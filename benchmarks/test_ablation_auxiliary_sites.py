@@ -1,0 +1,17 @@
+"""Ablation: enrich the network graph with non-pharmacy sites
+(the paper's future-work extension (a))."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import auxiliary_sites_ablation
+
+
+def test_ablation_auxiliary_sites(benchmark, bench_config, emit):
+    table = run_once(benchmark, lambda: auxiliary_sites_ablation(bench_config))
+    emit("ablation_auxiliary_sites", table.render(precision=3))
+    rows = {row[0]: row for row in table.rows}
+    plain_auc = rows["pharmacy-only (paper)"][1]
+    enriched_auc = rows["+ portals & directories"][1]
+    # The paper's conjecture: "a richer input ... will improve the
+    # performance of the algorithms."
+    assert enriched_auc >= plain_auc - 0.01
+    assert enriched_auc > 0.9

@@ -1,0 +1,13 @@
+"""Ablation: N-Gram-Graph rank/window n in {2, 3, 4, 5}."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import ngg_parameter_ablation
+
+
+def test_ablation_ngg_params(benchmark, bench_config, emit):
+    table = run_once(benchmark, lambda: ngg_parameter_ablation(bench_config))
+    emit("ablation_ngg_params", table.render(precision=3))
+    by_rank = {row[0]: row[1] for row in table.rows}
+    # The paper's n=4 setting (following [13]) is competitive with the
+    # best rank in the sweep.
+    assert by_rank["n=4"] >= max(by_rank.values()) - 0.05

@@ -1,0 +1,15 @@
+"""Ablation: ranking combiner (text-only / network-only / sum)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import ranking_combiner_ablation
+
+
+def test_ablation_ranking(benchmark, bench_config, emit):
+    table = run_once(benchmark, lambda: ranking_combiner_ablation(bench_config))
+    emit("ablation_ranking", table.render(precision=3))
+    by_combiner = {row[0]: row[1] for row in table.rows}
+    paper = by_combiner["textRank + networkRank (paper)"]
+    # The cumulative model should not lose to network-only ranking and
+    # should stay in the paper's near-perfect band.
+    assert paper >= by_combiner["networkRank only"] - 0.02
+    assert paper > 0.9

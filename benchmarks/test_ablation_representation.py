@@ -1,0 +1,14 @@
+"""Ablation: Term Vector vs Character N-Grams vs N-Gram Graphs ([13])."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import representation_ablation
+
+
+def test_ablation_representation(benchmark, bench_config, emit):
+    table = run_once(benchmark, lambda: representation_ablation(bench_config))
+    emit("ablation_representation", table.render(precision=3))
+    values = dict(zip(table.column_values("Representation"),
+                      table.column_values("AUC ROC")))
+    # All three representations are viable on this task (paper: the two
+    # it evaluates "perform very close to one another").
+    assert all(v > 0.9 for v in values.values())

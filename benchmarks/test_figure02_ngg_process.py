@@ -1,0 +1,12 @@
+"""Figure 2: the N-Gram-Graph classification process, end to end."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure2_pipeline_trace
+
+
+def test_figure02_ngg_process(benchmark, emit):
+    trace = run_once(benchmark, figure2_pipeline_trace)
+    emit("figure02", trace.render())
+    predictions = dict(trace.predictions)
+    assert predictions["unseen-legit"] == 1
+    assert predictions["unseen-illegit"] == 0

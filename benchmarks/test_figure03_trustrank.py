@@ -1,0 +1,14 @@
+"""Figure 3: TrustRank propagation over a good/bad node network."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure3_trustrank_demo
+
+
+def test_figure03_trustrank(benchmark, emit):
+    table = run_once(benchmark, figure3_trustrank_demo)
+    emit("figure03", table.render(precision=4))
+    scores = {row[0]: row[3] for row in table.rows}
+    # Figure 3b shape: all good nodes end up with non-zero trust,
+    # all bad nodes stay dark.
+    assert min(scores[n] for n in ("g1", "g2", "g3", "g4")) > 0.01
+    assert max(scores[n] for n in ("b1", "b2", "b3")) < 1e-6

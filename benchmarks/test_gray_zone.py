@@ -1,0 +1,17 @@
+"""Gray-zone placement: §6.1's "potentially legitimate" category."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import gray_zone_experiment
+
+
+def test_gray_zone(benchmark, bench_config, emit):
+    table = run_once(benchmark, lambda: gray_zone_experiment(bench_config))
+    emit("gray_zone", table.render(precision=3))
+    scores = {row[0]: row[1] for row in table.rows}
+    # The defining property of the gray zone: strictly between the two
+    # verified classes.
+    assert (
+        scores["illegitimate (unseen)"]
+        < scores["potentially legitimate (gray)"]
+        < scores["legitimate (unseen)"]
+    )

@@ -1,0 +1,42 @@
+"""Paper-scale dataset construction: Table 1 at the real 1459-site size.
+
+Generates and crawls both snapshots of the ``paper`` preset
+(167 legitimate + 1292 illegitimate per Table 1) and validates the
+Table 1 semantics at full scale.  This is the only bench that touches
+the paper preset; the classification sweeps run at reduced scale.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.config import preset
+from repro.data.loaders import make_dataset_pair
+
+
+def test_paper_scale_dataset(benchmark, emit):
+    config = preset("paper").generator
+
+    def build():
+        return make_dataset_pair(config)
+
+    dataset1, dataset2 = run_once(benchmark, build)
+    s1, s2 = dataset1.summary(), dataset2.summary()
+    lines = [
+        "PAPER-SCALE TABLE 1",
+        f"Dataset 1: {s1.n_examples} examples, {s1.n_legitimate} legitimate "
+        f"({s1.legitimate_fraction:.0%})",
+        f"Dataset 2: {s2.n_examples} examples, {s2.n_legitimate} legitimate "
+        f"({s2.legitimate_fraction:.0%})",
+        f"total pages crawled: "
+        f"{sum(site.n_pages for site in dataset1.sites) + sum(site.n_pages for site in dataset2.sites)}",
+    ]
+    emit("paper_scale_table01", "\n".join(lines))
+
+    assert s1.n_examples == 1459
+    assert s1.n_legitimate == 167
+    assert s2.n_examples == 1442  # Table 1: 167 + 1275
+    assert s2.n_illegitimate == 1275
+    legit1 = {d for d, l in zip(dataset1.domains, dataset1.labels) if l == 1}
+    legit2 = {d for d, l in zip(dataset2.domains, dataset2.labels) if l == 1}
+    bad1 = {d for d, l in zip(dataset1.domains, dataset1.labels) if l == 0}
+    bad2 = {d for d, l in zip(dataset2.domains, dataset2.labels) if l == 0}
+    assert legit1 == legit2
+    assert bad1.isdisjoint(bad2)

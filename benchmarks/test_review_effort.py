@@ -1,0 +1,18 @@
+"""Reviewer-effort experiment (the paper's Section 1 motivation)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import review_effort_experiment
+
+
+def test_review_effort(benchmark, bench_config, emit):
+    table = run_once(benchmark, lambda: review_effort_experiment(bench_config))
+    emit("review_effort", table.render(precision=1))
+    values = {row[0]: row[1] for row in table.rows}
+    ideal = values["ideal (oracle queue)"]
+    system = values["system ranking (paper model)"]
+    random_queue = values["random queue (unassisted)"]
+    # The ranked queue must land near the oracle lower bound and far
+    # below the unassisted reviewer's effort (random order needs ~90%
+    # of the whole queue to surface 90% of the rare legitimate class).
+    assert system <= 2.0 * ideal
+    assert system < 0.5 * random_queue

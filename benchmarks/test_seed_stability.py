@@ -1,0 +1,19 @@
+"""Seed-stability check: key results across independent corpora."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import seed_stability_experiment
+
+
+def test_seed_stability(benchmark, bench_config, emit):
+    table = run_once(benchmark, lambda: seed_stability_experiment(bench_config))
+    emit("seed_stability", table.render(precision=3))
+    spread = table.rows[-1]
+    assert spread[0] == "spread (max-min)"
+    # Text dominance and the network profile must not be artifacts of
+    # one generator seed.
+    assert spread[1] < 0.05  # text AUC is stable
+    assert spread[2] < 0.25  # network AUC varies but stays in band
+    for row in table.rows[:-1]:
+        assert row[1] > 0.95  # text AUC per seed
+        assert row[2] > 0.8  # network AUC per seed
+        assert row[1] >= row[2] - 0.02  # text >= network (paper ordering)

@@ -1,0 +1,12 @@
+"""Table 1: dataset construction (generate + crawl both snapshots)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import tables
+
+
+def test_table01_datasets(benchmark, bench_config, emit):
+    table = run_once(benchmark, lambda: tables.table1(bench_config))
+    emit("table01", table.render())
+    ratio = table.cell("Legitimate fraction", "Dataset 1")
+    assert 0.10 <= ratio <= 0.14  # the paper's 12% class ratio
+    assert "disjoint: True" in " ".join(table.notes)

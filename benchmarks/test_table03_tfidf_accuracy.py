@@ -1,0 +1,15 @@
+"""Table 3: TF-IDF overall accuracy sweep (pays for the TF-IDF sweep)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import tables
+
+
+def test_table03_tfidf_accuracy(benchmark, bench_config, emit):
+    table = run_once(benchmark, lambda: tables.table3(bench_config))
+    emit("table03", table.render())
+    # Paper shape: accuracy is above 0.88 everywhere; the best
+    # performers reach ~0.99.
+    for column in table.columns[2:]:
+        for value in table.column_values(column):
+            assert value > 0.85
+    assert max(table.column_values("All")) > 0.95

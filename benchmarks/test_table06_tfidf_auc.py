@@ -1,0 +1,15 @@
+"""Table 6: TF-IDF AUC-ROC sweep."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import tables
+
+
+def test_table06_tfidf_auc(benchmark, bench_config, emit):
+    table = run_once(benchmark, lambda: tables.table6(bench_config))
+    emit("table06", table.render())
+    # Paper shape: NBM is the AUC winner (~0.99); J48 is the weakest.
+    for column in table.columns[2:]:
+        nbm = table.cell("NBM", column)
+        j48 = table.cell("J48", column)
+        assert nbm >= j48
+    assert table.cell("NBM", "All") > 0.95

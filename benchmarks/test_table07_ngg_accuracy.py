@@ -1,0 +1,15 @@
+"""Table 7: N-Gram-Graph classifier accuracy (pays for the NGG sweep)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import tables
+
+
+def test_table07_ngg_accuracy(benchmark, bench_config, emit):
+    table = run_once(benchmark, lambda: tables.table7(bench_config))
+    emit("table07", table.render())
+    # Paper shape: MLP is the best N-Gram-Graph classifier.
+    mlp_all = table.cell("MLP", "All")
+    assert mlp_all >= max(
+        table.cell(name, "All") for name in ("NB", "SVM", "J48")
+    ) - 0.02
+    assert mlp_all > 0.9

@@ -1,0 +1,14 @@
+"""Table 10: N-Gram-Graph AUC-ROC."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import tables
+
+
+def test_table10_ngg_auc(benchmark, bench_config, emit):
+    table = run_once(benchmark, lambda: tables.table10(bench_config))
+    emit("table10", table.render())
+    # Paper shape: MLP wins AUC (0.99 across every subset size).
+    for column in table.columns[2:]:
+        mlp = table.cell("MLP", column)
+        assert mlp >= table.cell("SVM", column) - 0.02
+    assert table.cell("MLP", "All") > 0.95

@@ -1,0 +1,18 @@
+"""Table 11: most linked-to domains per class."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import tables
+
+
+def test_table11_linked_domains(benchmark, bench_config, emit):
+    table = run_once(benchmark, lambda: tables.table11(bench_config))
+    emit("table11", table.render())
+    legit = table.column_values("pointed by legitimate")
+    illegit = table.column_values("pointed by illegitimate")
+    # Paper: legitimate list led by social networks + government sites.
+    assert {"facebook.com", "twitter.com"} & set(legit[:4])
+    assert "fda.gov" in legit
+    # Paper: illegitimate list led by wikipedia/wordpress + affiliates.
+    assert {"wikipedia.org", "wordpress.org"} & set(illegit[:5])
+    # Government health sites absent from the illegitimate top-10.
+    assert "fda.gov" not in illegit

@@ -1,0 +1,12 @@
+"""Table 12: network (TrustRank) classifier accuracy and AUC."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import tables
+
+
+def test_table12_network_accuracy(benchmark, bench_config, emit):
+    table = run_once(benchmark, lambda: tables.table12(bench_config))
+    emit("table12", table.render())
+    # Paper: accuracy ~0.96, AUC ~0.95.
+    assert table.cell("NB", "Overall Accuracy") > 0.88
+    assert table.cell("NB", "AUC ROC") > 0.88

@@ -1,0 +1,13 @@
+"""Table 16: model over time — AUC-ROC."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import tables
+
+
+def test_table16_time_auc(benchmark, bench_config, emit):
+    table = run_once(benchmark, lambda: tables.table16(bench_config))
+    emit("table16", table.render())
+    # Paper shape: "the AUC ROC value remains almost the same" across
+    # Old-Old / New-New / Old-New for NBM.
+    nbm = [v for v in table.rows[0][2:]]
+    assert max(nbm) - min(nbm) < 0.1

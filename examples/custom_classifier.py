@@ -1,0 +1,100 @@
+"""Extending the library: plug a custom classifier into the pipelines.
+
+The pipelines accept any object implementing the
+:class:`repro.ml.base.BaseClassifier` contract, so domain teams can swap
+in their own models without touching the rest of the system.  This
+example implements a tiny *k*-nearest-neighbour classifier from scratch,
+plugs it into both text pipelines, and compares it against the paper's
+roster with the standard 3-fold protocol.
+
+Run:  python examples/custom_classifier.py
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro import GeneratorConfig, make_dataset
+from repro.core.evaluation import cross_validate_pipeline
+from repro.core.text_pipeline import NGramGraphTextPipeline, TfidfTextPipeline
+from repro.ml import MultinomialNB
+from repro.ml.base import BaseClassifier, check_X_y, ensure_dense
+from repro.text import Summarizer
+
+
+class KNNClassifier(BaseClassifier):
+    """Cosine-distance k-NN with probability = neighbour vote share."""
+
+    def __init__(self, k: int = 7) -> None:
+        super().__init__()
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self._k = k
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def fit(self, X: Any, y: Any) -> "KNNClassifier":
+        X = ensure_dense(X)
+        X, y = check_X_y(X, y, allow_sparse=False)
+        encoded = self._store_classes(y)
+        norms = np.linalg.norm(X, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        self._X = X / norms
+        self._y = encoded
+        return self
+
+    def predict_proba(self, X: Any) -> np.ndarray:
+        if self._X is None or self._y is None:
+            from repro.exceptions import NotFittedError
+
+            raise NotFittedError("KNNClassifier has not been fitted")
+        X = ensure_dense(X)
+        norms = np.linalg.norm(X, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        sims = (X / norms) @ self._X.T
+        k = min(self._k, self._X.shape[0])
+        n_classes = len(self._fitted_classes())
+        out = np.zeros((X.shape[0], n_classes))
+        for i in range(X.shape[0]):
+            nearest = np.argpartition(-sims[i], k - 1)[:k]
+            votes = np.bincount(self._y[nearest], minlength=n_classes)
+            out[i] = (votes + 0.5) / (votes.sum() + 0.5 * n_classes)
+        return out
+
+
+def main() -> None:
+    corpus = make_dataset(
+        GeneratorConfig(n_legitimate=18, n_illegitimate=132, seed=3)
+    )
+    summarizer = Summarizer(max_terms=500, seed=0)
+    docs = [summarizer.summarize_site(s) for s in corpus.sites]
+    y = corpus.labels
+
+    contenders = [
+        ("NBM / TF-IDF (paper)", lambda: TfidfTextPipeline(MultinomialNB())),
+        ("kNN / TF-IDF (custom)", lambda: TfidfTextPipeline(KNNClassifier(k=7))),
+        (
+            "kNN / N-Gram Graphs (custom)",
+            lambda: NGramGraphTextPipeline(KNNClassifier(k=7), seed=0),
+        ),
+    ]
+
+    print(f"{'model':32}  {'accuracy':>8}  {'AUC ROC':>8}  {'legit recall':>12}")
+    print("-" * 68)
+    for name, factory in contenders:
+        agg = cross_validate_pipeline(factory, docs, y, n_folds=3)
+        print(
+            f"{name:32}  {agg.accuracy.mean:8.3f}  {agg.auc_roc.mean:8.3f}"
+            f"  {agg.legitimate_recall.mean:12.3f}"
+        )
+    print(
+        "\nAny object with fit/predict_proba (see repro.ml.base."
+        "BaseClassifier)\ndrops into the same pipelines, samplers, and "
+        "evaluation harness."
+    )
+
+
+if __name__ == "__main__":
+    main()

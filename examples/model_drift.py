@@ -1,0 +1,61 @@
+"""Model drift over time: the Section 6.5 scenario as a monitoring loop.
+
+Trains on the first crawl (Dataset 1), then simulates a six-month gap by
+evaluating the stale model on the second crawl (Dataset 2), whose
+illegitimate population turned over completely and drifted its
+vocabulary.  Shows exactly what the paper reports: AUC stays flat while
+legitimate precision degrades — the signal that retraining is due.
+
+Run:  python examples/model_drift.py
+"""
+
+from __future__ import annotations
+
+from repro import GeneratorConfig, make_dataset_pair
+from repro.core.evaluation import cross_validate_pipeline, train_test_evaluate
+from repro.core.text_pipeline import TfidfTextPipeline
+from repro.ml import MultinomialNB
+from repro.text import Summarizer
+
+
+def main() -> None:
+    print("Generating both crawls (six months apart) ...")
+    dataset1, dataset2 = make_dataset_pair(
+        GeneratorConfig(n_legitimate=24, n_illegitimate=176, seed=21)
+    )
+    summarizer = Summarizer(max_terms=1000, seed=0)
+    docs1 = [summarizer.summarize_site(s) for s in dataset1.sites]
+    docs2 = [summarizer.summarize_site(s) for s in dataset2.sites]
+
+    def pipeline():
+        return TfidfTextPipeline(MultinomialNB())
+
+    print("Old-Old: 3-fold CV on Dataset 1 (fresh model, old data)")
+    old_old = cross_validate_pipeline(pipeline, docs1, dataset1.labels)
+    print("New-New: 3-fold CV on Dataset 2 (fresh model, new data)")
+    new_new = cross_validate_pipeline(pipeline, docs2, dataset2.labels)
+    print("Old-New: train on Dataset 1, test on Dataset 2 (stale model)\n")
+    old_new = train_test_evaluate(
+        pipeline, docs1, dataset1.labels, docs2, dataset2.labels
+    )
+
+    rows = [
+        ("Old-Old", old_old.auc_roc.mean, old_old.legitimate_precision.mean),
+        ("New-New", new_new.auc_roc.mean, new_new.legitimate_precision.mean),
+        ("Old-New", old_new.auc_roc, old_new.legitimate_precision),
+    ]
+    print(f"{'regime':8}  {'AUC ROC':>8}  {'legit precision':>16}")
+    print("-" * 38)
+    for name, auc, legit_precision in rows:
+        print(f"{name:8}  {auc:8.3f}  {legit_precision:16.3f}")
+
+    drop = rows[0][2] - rows[2][2]
+    print(
+        f"\nLegitimate precision drop Old-Old -> Old-New: {drop:+.3f}"
+        "\n(the paper's conclusion: models are robust over time, but"
+        "\nperiodic retraining is needed to keep legitimate precision)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Operating the verifier under a precision floor (deployment recipe).
+
+A verification company that auto-publishes a whitelist cannot afford
+false "legitimate" calls.  This example shows the operational loop the
+library supports beyond the paper:
+
+1. train the verifier on the labelled working set;
+2. tune the decision threshold on a holdout so legitimate precision
+   stays above a floor (here 95%), trading recall for safety;
+3. persist the tuned model with ``repro.io`` and reload it, as a
+   deployment would;
+4. verify fresh pharmacies and report the precision/recall actually
+   achieved at the tuned operating point.
+
+Run:  python examples/precision_floor.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    GeneratorConfig,
+    PharmacyVerifier,
+    load_model,
+    make_dataset_pair,
+    save_model,
+)
+from repro.ml import precision, recall
+
+
+def main() -> None:
+    dataset1, dataset2 = make_dataset_pair(
+        GeneratorConfig(n_legitimate=24, n_illegitimate=176, seed=29)
+    )
+
+    # Split the first crawl: train / threshold-tuning holdout.
+    train_idx = np.arange(0, len(dataset1), 2)
+    holdout_idx = np.arange(1, len(dataset1), 2)
+    verifier = PharmacyVerifier(max_terms=1000, seed=0).fit(
+        dataset1.subset(train_idx)
+    )
+
+    holdout_sites = [dataset1.sites[i] for i in holdout_idx]
+    holdout_labels = dataset1.labels[holdout_idx]
+    threshold = verifier.tune_threshold(
+        holdout_sites, holdout_labels, min_precision=0.95
+    )
+    print(f"tuned decision threshold: {threshold:.4f} "
+          f"(legitimate precision floor 95%)")
+
+    # Persist + reload, as a deployment would between train and serve.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "verifier.pkl"
+        save_model(verifier, path)
+        served = load_model(path)
+        print(f"model round-tripped through {path.name}; "
+              f"threshold preserved: {served.decision_threshold:.4f}")
+
+        # Serve both the tuning-period holdout and the six-months-later
+        # crawl (fresh, drifted illegitimate sites).
+        same_period = served.verify_sites(holdout_sites)
+        drifted = served.verify_sites(list(dataset2.sites))
+
+    def report(name, reports, truth):
+        predictions = np.array([r.predicted_label for r in reports])
+        print(
+            f"\n{name}:"
+            f"\n  legitimate precision: {precision(truth, predictions, 1):.3f}"
+            f"\n  legitimate recall:    {recall(truth, predictions, 1):.3f}"
+            f"\n  whitelisted sites:    {int(predictions.sum())} of {len(truth)}"
+        )
+        return precision(truth, predictions, 1)
+
+    p_same = report("same-period holdout", same_period, holdout_labels)
+    p_drift = report(
+        "six months later (drifted illegitimate population)",
+        drifted,
+        dataset2.labels,
+    )
+    print(
+        "\nThe floor holds in-period but erodes on the drifted crawl"
+        f" ({p_same:.2f} -> {p_drift:.2f}) — exactly the paper's"
+        "\nSection 6.5 finding: thresholds and models need periodic"
+        "\nretraining as the illegitimate population turns over."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Quickstart: train the verifier and classify unseen pharmacies.
+
+Runs the whole system end to end in under a minute:
+
+1. generate a synthetic pharmacy web (the proprietary-crawl substitute,
+   see DESIGN.md) and crawl it;
+2. split it into a labelled working set and "unseen" pharmacies;
+3. train :class:`repro.PharmacyVerifier` (TF-IDF text classifier +
+   TrustRank network scores);
+4. verify the unseen sites and print a triage report.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import GeneratorConfig, PharmacyVerifier, make_dataset
+
+
+def main() -> None:
+    print("Generating and crawling the synthetic pharmacy web ...")
+    corpus = make_dataset(
+        GeneratorConfig(n_legitimate=24, n_illegitimate=176, seed=7)
+    )
+    summary = corpus.summary()
+    print(
+        f"  {summary.n_examples} pharmacies crawled "
+        f"({summary.n_legitimate} legitimate / "
+        f"{summary.n_illegitimate} illegitimate)"
+    )
+
+    # Odd rows are the "unseen" pharmacies a reviewer would triage.
+    train_idx = np.arange(0, len(corpus), 2)
+    test_idx = np.arange(1, len(corpus), 2)
+    train = corpus.subset(train_idx)
+
+    print("Training the verifier on the labelled working set ...")
+    verifier = PharmacyVerifier(max_terms=1000, seed=0).fit(train)
+
+    print("Verifying unseen pharmacies ...\n")
+    sites = [corpus.sites[i] for i in test_idx]
+    reports = verifier.verify_sites(sites)
+
+    header = f"{'domain':38}  {'verdict':12}  {'P(legit)':>8}  {'rank':>7}"
+    print(header)
+    print("-" * len(header))
+    for report in sorted(reports, key=lambda r: -r.rank_score)[:12]:
+        verdict = "LEGITIMATE" if report.is_legitimate else "illegitimate"
+        print(
+            f"{report.domain:38}  {verdict:12}  "
+            f"{report.legitimacy_probability:8.3f}  {report.rank_score:7.3f}"
+        )
+    print("... (top 12 by rank score shown)")
+
+    truth = corpus.labels[test_idx]
+    predictions = np.array([r.predicted_label for r in reports])
+    accuracy = float((predictions == truth).mean())
+    print(f"\nAccuracy against the oracle on unseen pharmacies: {accuracy:.3f}")
+
+
+if __name__ == "__main__":
+    main()

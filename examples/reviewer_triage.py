@@ -1,0 +1,98 @@
+"""Reviewer triage: ranking + outlier analysis (the paper's use case).
+
+The paper motivates the system as an assistant for human reviewers at a
+verification company: instead of reviewing thousands of pharmacies in
+arbitrary order, reviewers get a legitimacy-ranked list and a shortlist
+of *outliers* — the illegitimate pharmacies that fooled the system and
+the legitimate ones it under-ranks (Section 6.4).
+
+This example reproduces that workflow, including the pairwise
+orderedness quality measure and a comparison with the generator's
+ground truth about which sites were deliberately atypical.
+
+Run:  python examples/reviewer_triage.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import GeneratorConfig, PharmacyVerifier, analyze_outliers, make_dataset
+from repro.core import simulate_review
+
+
+def main() -> None:
+    corpus = make_dataset(
+        GeneratorConfig(
+            n_legitimate=24,
+            n_illegitimate=176,
+            n_potentially_legitimate=6,
+            seed=13,
+        )
+    )
+    train_idx = np.arange(0, len(corpus), 2)
+    test_idx = np.arange(1, len(corpus), 2)
+
+    verifier = PharmacyVerifier(max_terms=1000, seed=0).fit(
+        corpus.subset(train_idx)
+    )
+
+    sites = [corpus.sites[i] for i in test_idx]
+    labels = corpus.labels[test_idx]
+    ranking = verifier.rank_sites(sites, oracle_labels=labels)
+
+    print(f"Ranked {len(ranking.entries)} pharmacies.")
+    print(f"Pairwise orderedness: {ranking.pairord:.4f}\n")
+
+    print("Top of the list (most legitimate):")
+    for entry in ranking.entries[:5]:
+        truth = "legit" if entry.oracle_label == 1 else "ILLEGIT"
+        print(f"  {entry.rank_score:7.3f}  [{truth:7}]  {entry.domain}")
+    print("Bottom of the list (least legitimate):")
+    for entry in ranking.entries[-5:]:
+        truth = "legit" if entry.oracle_label == 1 else "ILLEGIT"
+        print(f"  {entry.rank_score:7.3f}  [{truth:7}]  {entry.domain}")
+
+    outliers = analyze_outliers(ranking, top_k=3)
+    print("\nIllegitimate outliers (highest-ranked bad sites — the ones")
+    print("that fooled the system; the paper found these avoid affiliate")
+    print("networks):")
+    for entry in outliers.illegitimate_outliers:
+        record = corpus.record_for(entry.domain)
+        tags = []
+        if record.is_outlier:
+            tags.append("generator-designed mimic")
+        if not record.is_affiliate_member and not record.is_affiliate_hub:
+            tags.append("no affiliate network")
+        print(f"  {entry.rank_score:7.3f}  {entry.domain}  ({', '.join(tags) or '-'})")
+
+    print("\nLegitimate outliers (lowest-ranked good sites — the paper")
+    print("found these are the pharmacies offering *new* prescriptions):")
+    for entry in outliers.legitimate_outliers:
+        record = corpus.record_for(entry.domain)
+        tag = "scam-adjacent storefront" if record.is_outlier else "-"
+        print(f"  {entry.rank_score:7.3f}  {entry.domain}  ({tag})")
+
+    # "Potentially legitimate" pharmacies (Section 6.1): outside the
+    # labelled working set, scored for the reviewers' gray queue.
+    if corpus.gray_sites:
+        gray_reports = verifier.verify_sites(list(corpus.gray_sites))
+        print("\nGray queue — 'potentially legitimate' pharmacies (scored")
+        print("between the two classes, for manual policy review):")
+        for report in sorted(gray_reports, key=lambda r: -r.rank_score):
+            print(f"  {report.rank_score:7.3f}  {report.domain}")
+
+    # Budgeted review simulation: how fast does the ranked queue burn
+    # through the illegitimate population?
+    log = simulate_review(ranking, daily_budget=20)
+    print("\nBudgeted review simulation (20 reviews/day, ranked queue):")
+    for entry in log[:4]:
+        print(
+            f"  day {entry.day}: reviewed {entry.reviewed:3d}, "
+            f"illegitimate found so far {entry.illegitimate_found_total:3d} "
+            f"({entry.recall_of_illegitimate:.0%})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim enabling legacy editable installs offline.
+
+The execution environment has no ``wheel`` package and no network, so
+PEP 660 editable wheels cannot be built; this shim lets
+``pip install -e . --no-build-isolation`` fall back to
+``setup.py develop``.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

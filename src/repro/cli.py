@@ -1,0 +1,147 @@
+"""Command-line interface for the verification system.
+
+Subcommands:
+
+* ``generate``  — build a synthetic labelled corpus and export it.
+* ``train``     — fit a :class:`~repro.core.verifier.PharmacyVerifier`
+  on an exported corpus and save the model.
+* ``verify``    — classify every pharmacy in a corpus with a saved
+  model; print a triage table.
+* ``rank``      — rank a corpus by legitimacy; print the list with
+  pairwise orderedness when labels are present.
+* ``experiments`` — delegate to the table/figure regeneration runner.
+
+Example session::
+
+    python -m repro.cli generate --legit 24 --illegit 176 -o corpus.jsonl
+    python -m repro.cli train corpus.jsonl -o verifier.pkl
+    python -m repro.cli verify verifier.pkl corpus.jsonl --top 10
+    python -m repro.cli rank verifier.pkl corpus.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.verifier import PharmacyVerifier
+from repro.data.loaders import make_dataset
+from repro.data.synthesis import GeneratorConfig
+from repro.io import export_corpus, import_corpus, load_model, save_model
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Internet pharmacy verification (EDBT 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate + crawl a synthetic corpus")
+    gen.add_argument("--legit", type=int, default=24)
+    gen.add_argument("--illegit", type=int, default=176)
+    gen.add_argument("--seed", type=int, default=7)
+    gen.add_argument("-o", "--output", required=True, help="corpus .jsonl path")
+
+    train = sub.add_parser("train", help="train a verifier on a corpus")
+    train.add_argument("corpus", help="corpus .jsonl path")
+    train.add_argument("-o", "--output", required=True, help="model .pkl path")
+    train.add_argument("--max-terms", type=int, default=1000)
+
+    verify = sub.add_parser("verify", help="classify a corpus with a model")
+    verify.add_argument("model", help="model .pkl path")
+    verify.add_argument("corpus", help="corpus .jsonl path")
+    verify.add_argument("--top", type=int, default=20, help="rows to print")
+
+    rank = sub.add_parser("rank", help="rank a corpus by legitimacy")
+    rank.add_argument("model", help="model .pkl path")
+    rank.add_argument("corpus", help="corpus .jsonl path")
+    rank.add_argument("--top", type=int, default=20, help="rows to print")
+
+    exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
+    exp.add_argument("ids", nargs="*", default=[])
+    exp.add_argument("--scale", default="small")
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = GeneratorConfig(
+        n_legitimate=args.legit, n_illegitimate=args.illegit, seed=args.seed
+    )
+    corpus = make_dataset(config)
+    export_corpus(corpus, args.output)
+    summary = corpus.summary()
+    print(
+        f"wrote {summary.n_examples} pharmacies "
+        f"({summary.n_legitimate} legit / {summary.n_illegitimate} illegit) "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    corpus = import_corpus(args.corpus)
+    verifier = PharmacyVerifier(max_terms=args.max_terms).fit(corpus)
+    save_model(verifier, args.output)
+    print(f"trained on {len(corpus)} pharmacies; model saved to {args.output}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    verifier = load_model(args.model)
+    corpus = import_corpus(args.corpus)
+    reports = verifier.verify_sites(list(corpus.sites))
+    print(f"{'domain':40}  {'verdict':12}  {'P(legit)':>8}")
+    print("-" * 66)
+    for report in reports[: args.top]:
+        verdict = "LEGITIMATE" if report.is_legitimate else "illegitimate"
+        print(
+            f"{report.domain:40}  {verdict:12}  "
+            f"{report.legitimacy_probability:8.3f}"
+        )
+    n_legit = sum(1 for r in reports if r.is_legitimate)
+    print(
+        f"\n{len(reports)} pharmacies verified: "
+        f"{n_legit} legitimate / {len(reports) - n_legit} illegitimate"
+    )
+    return 0
+
+
+def _cmd_rank(args: argparse.Namespace) -> int:
+    verifier = load_model(args.model)
+    corpus = import_corpus(args.corpus)
+    ranking = verifier.rank_sites(list(corpus.sites), corpus.labels)
+    print(f"{'rank score':>10}  {'oracle':8}  domain")
+    print("-" * 66)
+    for entry in ranking.entries[: args.top]:
+        oracle = {1: "legit", 0: "illegit", None: "?"}[entry.oracle_label]
+        print(f"{entry.rank_score:10.3f}  {oracle:8}  {entry.domain}")
+    print(f"\npairwise orderedness: {ranking.pairord:.4f}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import main as runner_main
+
+    argv = list(args.ids) + ["--scale", args.scale]
+    return runner_main(argv)
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "train": _cmd_train,
+    "verify": _cmd_verify,
+    "rank": _cmd_rank,
+    "experiments": _cmd_experiments,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

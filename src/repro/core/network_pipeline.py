@@ -1,0 +1,149 @@
+"""Network-classification pipeline (Section 4.2 + Table 12/13).
+
+Fold protocol, per the paper: the two training folds form the TrustRank
+seed P0 (legitimate members get trust 1, everything else 0); the
+propagation runs over the full working-set graph; a Naïve Bayes
+classifier is trained on the TrustRank-derived scores of the training
+pharmacies and evaluated on the test pharmacies.
+
+Because TrustRank is transductive (the seed changes per fold and the
+scores of *all* nodes depend on it), this pipeline fits on index sets
+over a fixed corpus rather than on feature matrices.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.corpus import LEGITIMATE, PharmacyCorpus
+from repro.exceptions import NotFittedError
+from repro.ml.base import BaseClassifier, clone
+from repro.ml.naive_bayes import GaussianNB
+from repro.network.features import NetworkFeatureExtractor, NetworkFeatureMatrix
+
+__all__ = ["NetworkClassificationPipeline"]
+
+
+class NetworkClassificationPipeline:
+    """TrustRank-score classifier over a pharmacy corpus.
+
+    Args:
+        corpus: the full working set P (train + test pharmacies).
+        classifier: unfitted classifier prototype (paper: Naïve Bayes).
+        damping: TrustRank damping factor.
+        feature_columns: which extractor columns feed the classifier.
+            Defaults to ``("outlink_trust",)`` — see
+            :class:`~repro.network.features.NetworkFeatureExtractor`
+            for why the seed-biased own-node score is excluded.
+        include_anti_trustrank: also seed distrust from the training
+            illegitimate pharmacies and append the distrust columns
+            (future-work extension).
+        use_auxiliary_sites: add the corpus's non-pharmacy auxiliary
+            sites (health portals / spam directories) to the link graph
+            (future-work extension (a)); when enabled, pharmacies gain
+            in-links from portals, so the ``inlink_trust`` column is
+            appended to the classifier features.
+    """
+
+    def __init__(
+        self,
+        corpus: PharmacyCorpus,
+        classifier: BaseClassifier | None = None,
+        damping: float = 0.85,
+        feature_columns: Sequence[str] = ("outlink_trust",),
+        include_anti_trustrank: bool = False,
+        use_auxiliary_sites: bool = False,
+    ) -> None:
+        self._corpus = corpus
+        self._prototype = classifier or GaussianNB()
+        self._damping = damping
+        columns = tuple(feature_columns)
+        if use_auxiliary_sites and "inlink_trust" not in columns:
+            columns = columns + ("inlink_trust",)
+        self._feature_columns = columns
+        self._include_anti = include_anti_trustrank
+        self._use_auxiliary = use_auxiliary_sites
+        self._classifier: BaseClassifier | None = None
+        self._features: NetworkFeatureMatrix | None = None
+
+    @property
+    def corpus(self) -> PharmacyCorpus:
+        return self._corpus
+
+    @property
+    def classifier(self) -> BaseClassifier:
+        if self._classifier is None:
+            raise NotFittedError("NetworkClassificationPipeline is not fitted")
+        return self._classifier
+
+    @property
+    def feature_matrix(self) -> NetworkFeatureMatrix:
+        """Features of the whole corpus from the last :meth:`fit`."""
+        if self._features is None:
+            raise NotFittedError("NetworkClassificationPipeline is not fitted")
+        return self._features
+
+    def fit(self, train_indices: Sequence[int]) -> "NetworkClassificationPipeline":
+        """Seed TrustRank from the training fold and fit the classifier.
+
+        Args:
+            train_indices: corpus row indices forming P0.
+        """
+        train_idx = np.asarray(train_indices, dtype=np.int64)
+        labels = self._corpus.labels
+        domains = self._corpus.domains
+        trusted = [domains[i] for i in train_idx if labels[i] == LEGITIMATE]
+        distrusted = [domains[i] for i in train_idx if labels[i] != LEGITIMATE]
+        extractor = NetworkFeatureExtractor(
+            damping=self._damping,
+            include_anti_trustrank=self._include_anti,
+        )
+        self._features = extractor.extract(
+            self._corpus.sites,
+            trusted_domains=trusted,
+            distrusted_domains=distrusted if self._include_anti else (),
+            auxiliary_sites=(
+                self._corpus.auxiliary_sites if self._use_auxiliary else ()
+            ),
+        )
+        X = self._select_columns(self._features)
+        classifier = clone(self._prototype)
+        classifier.fit(X[train_idx], labels[train_idx])
+        self._classifier = classifier
+        return self
+
+    def _select_columns(self, matrix: NetworkFeatureMatrix) -> np.ndarray:
+        columns = list(self._feature_columns)
+        if self._include_anti:
+            for name in ("outlink_distrust",):
+                if name not in columns and name in matrix.feature_names:
+                    columns.append(name)
+        return np.column_stack([matrix.column(name) for name in columns])
+
+    def _rows(self, indices: Sequence[int]) -> np.ndarray:
+        idx = np.asarray(indices, dtype=np.int64)
+        return self._select_columns(self.feature_matrix)[idx]
+
+    def predict(self, indices: Sequence[int]) -> np.ndarray:
+        """Predicted labels for corpus rows ``indices``."""
+        return self.classifier.predict(self._rows(indices))
+
+    def predict_proba(self, indices: Sequence[int]) -> np.ndarray:
+        return self.classifier.predict_proba(self._rows(indices))
+
+    def decision_scores(self, indices: Sequence[int]) -> np.ndarray:
+        return self.classifier.decision_scores(self._rows(indices))
+
+    def network_rank(self, indices: Sequence[int]) -> np.ndarray:
+        """The networkRank term of Section 5: the TrustRank value.
+
+        Returns the raw trust feature (not the classifier output),
+        matching "networkRank() simply returns the TrustRank value".
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        trust = self.feature_matrix.column("outlink_trust") + self.feature_matrix.column(
+            "trustrank"
+        )
+        return trust[idx]

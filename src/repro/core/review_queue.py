@@ -1,0 +1,159 @@
+"""Reviewer-assistance simulation.
+
+The paper's motivation (Section 1) is operational: the review process
+at verification companies is manual, and the system's job is to order
+the reviewers' queue so their limited time lands on the right sites.
+This module quantifies that benefit:
+
+* :class:`ReviewQueue` — a work queue ordered by a ranking (most
+  suspicious first, i.e. ascending legitimacy score), consumed in
+  budgeted batches;
+* :func:`simulate_review` — run a reviewer with a per-day budget over a
+  queue and record how fast illegitimate pharmacies are found;
+* :func:`effort_to_find_fraction` — how many reviews are needed to
+  surface a given fraction of all illegitimate sites (the headline
+  "reviewer effort saved" number, compared against a random queue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.ranking import RankingResult
+
+__all__ = [
+    "ReviewQueue",
+    "ReviewLogEntry",
+    "simulate_review",
+    "effort_to_find_fraction",
+]
+
+
+class ReviewQueue:
+    """A reviewer queue ordered most-suspicious-first.
+
+    Args:
+        ranking: a :class:`RankingResult` whose entries carry oracle
+            labels (the simulation plays the reviewer, who, like the
+            paper's experts, labels correctly).
+    """
+
+    def __init__(self, ranking: RankingResult) -> None:
+        if any(entry.oracle_label is None for entry in ranking.entries):
+            raise ValueError("review simulation requires oracle labels")
+        # Most suspicious first: ascending rank score.
+        self._entries = tuple(reversed(ranking.entries))
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def remaining(self) -> int:
+        return len(self._entries) - self._cursor
+
+    def next_batch(self, batch_size: int):
+        """Pop the next ``batch_size`` entries (fewer at the end)."""
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        batch = self._entries[self._cursor : self._cursor + batch_size]
+        self._cursor += len(batch)
+        return batch
+
+
+@dataclass(frozen=True, slots=True)
+class ReviewLogEntry:
+    """One reviewer-day in the simulation."""
+
+    day: int
+    reviewed: int
+    illegitimate_found_today: int
+    illegitimate_found_total: int
+    recall_of_illegitimate: float
+
+
+def simulate_review(
+    ranking: RankingResult, daily_budget: int = 20
+) -> list[ReviewLogEntry]:
+    """Run a budgeted reviewer over a ranked queue.
+
+    Args:
+        ranking: labelled ranking of the pharmacies to triage.
+        daily_budget: reviews per day.
+
+    Returns:
+        Per-day log until the queue is exhausted.
+    """
+    queue = ReviewQueue(ranking)
+    total_illegitimate = sum(
+        1 for entry in ranking.entries if entry.oracle_label == 0
+    )
+    log: list[ReviewLogEntry] = []
+    found = 0
+    day = 0
+    while queue.remaining:
+        day += 1
+        batch = queue.next_batch(daily_budget)
+        today = sum(1 for entry in batch if entry.oracle_label == 0)
+        found += today
+        log.append(
+            ReviewLogEntry(
+                day=day,
+                reviewed=len(batch),
+                illegitimate_found_today=today,
+                illegitimate_found_total=found,
+                recall_of_illegitimate=(
+                    found / total_illegitimate if total_illegitimate else 1.0
+                ),
+            )
+        )
+    return log
+
+
+def effort_to_find_fraction(
+    ranks: Sequence[float],
+    oracle_labels: Sequence[int],
+    fraction: float = 0.9,
+    target_label: int = 1,
+) -> int:
+    """Reviews needed to surface a fraction of one class.
+
+    The queue is traversed in the direction that favours the target:
+    most-legitimate-first when hunting legitimate pharmacies
+    (``target_label=1`` — the discriminative task in a corpus that is
+    ~90% illegitimate), most-suspicious-first otherwise.
+
+    A perfect ranking needs exactly ``fraction * n_target`` reviews; a
+    random queue needs ~``fraction * n_total``.
+
+    Args:
+        ranks: legitimacy scores (higher = more legitimate).
+        oracle_labels: ground truth (1 legit, 0 illegit).
+        fraction: target fraction of the class to surface.
+        target_label: which class the reviewer is hunting.
+
+    Returns:
+        Number of reviews (queue positions consumed).
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    scores = np.asarray(ranks, dtype=np.float64)
+    labels = np.asarray(oracle_labels, dtype=np.int64)
+    if scores.shape != labels.shape:
+        raise ValueError("ranks and oracle_labels disagree in shape")
+    n_target = int(np.sum(labels == target_label))
+    if n_target == 0:
+        return 0
+    target = int(np.ceil(fraction * n_target))
+    key = -scores if target_label == 1 else scores
+    order = np.argsort(key, kind="stable")
+    found = 0
+    for position, idx in enumerate(order, start=1):
+        if labels[idx] == target_label:
+            found += 1
+            if found >= target:
+                return position
+    return len(order)

@@ -1,0 +1,31 @@
+"""Data substrate: lexicon, synthetic web generation, corpora, loaders."""
+
+from repro.data.corpus import (
+    CorpusSummary,
+    ILLEGITIMATE,
+    LEGITIMATE,
+    PharmacyCorpus,
+)
+from repro.data.loaders import crawl_snapshot, make_dataset, make_dataset_pair
+from repro.data.synthesis import (
+    GeneratorConfig,
+    PharmacyRecord,
+    SyntheticWebGenerator,
+    WebSnapshot,
+    scaled_config,
+)
+
+__all__ = [
+    "CorpusSummary",
+    "ILLEGITIMATE",
+    "LEGITIMATE",
+    "PharmacyCorpus",
+    "crawl_snapshot",
+    "make_dataset",
+    "make_dataset_pair",
+    "GeneratorConfig",
+    "PharmacyRecord",
+    "SyntheticWebGenerator",
+    "WebSnapshot",
+    "scaled_config",
+]

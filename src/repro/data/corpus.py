@@ -1,0 +1,158 @@
+"""Labelled pharmacy corpora: the crawled working set P with its oracle.
+
+A :class:`PharmacyCorpus` bundles the crawled :class:`Website` objects
+with their ground-truth labels — the oracle function O of the problem
+statement (Section 3.2).  Labels: 1 = legitimate (P+), 0 = illegitimate
+(P-).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.synthesis import PharmacyRecord
+from repro.exceptions import DataGenerationError
+from repro.web.site import Website
+
+__all__ = ["PharmacyCorpus", "CorpusSummary", "LEGITIMATE", "ILLEGITIMATE"]
+
+LEGITIMATE = 1
+ILLEGITIMATE = 0
+
+
+@dataclass(frozen=True, slots=True)
+class CorpusSummary:
+    """The Table 1 row for one dataset."""
+
+    name: str
+    n_examples: int
+    n_legitimate: int
+    n_illegitimate: int
+
+    @property
+    def legitimate_fraction(self) -> float:
+        return self.n_legitimate / self.n_examples if self.n_examples else 0.0
+
+    @property
+    def illegitimate_fraction(self) -> float:
+        return self.n_illegitimate / self.n_examples if self.n_examples else 0.0
+
+
+class PharmacyCorpus:
+    """The working set P: crawled sites, labels, and ground truth.
+
+    Args:
+        name: dataset name ("dataset1", "dataset2").
+        sites: crawled websites, one per pharmacy.
+        records: generator ground truth aligned with ``sites``.
+        auxiliary_sites: crawled NON-pharmacy sites (health portals,
+            spam directories) that are not part of P but can enrich the
+            network graph (the paper's future-work extension (a)).
+        gray_sites: crawled "potentially legitimate" pharmacies
+            (Section 6.1) — outside P, no labels, but rankable.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        sites: tuple[Website, ...],
+        records: tuple[PharmacyRecord, ...],
+        auxiliary_sites: tuple[Website, ...] = (),
+        gray_sites: tuple[Website, ...] = (),
+    ) -> None:
+        if len(sites) != len(records):
+            raise DataGenerationError(
+                f"sites and records disagree: {len(sites)} vs {len(records)}"
+            )
+        for site, record in zip(sites, records):
+            if site.domain != record.domain:
+                raise DataGenerationError(
+                    f"site/record misalignment: {site.domain} vs {record.domain}"
+                )
+        self._name = name
+        self._sites = sites
+        self._records = records
+        self._auxiliary_sites = auxiliary_sites
+        self._gray_sites = gray_sites
+        self._labels = np.array([r.label for r in records], dtype=np.int64)
+        self._by_domain = {r.domain: i for i, r in enumerate(records)}
+
+    # -- container protocol ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+    def __iter__(self):
+        return iter(self._sites)
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def sites(self) -> tuple[Website, ...]:
+        return self._sites
+
+    @property
+    def records(self) -> tuple[PharmacyRecord, ...]:
+        return self._records
+
+    @property
+    def auxiliary_sites(self) -> tuple[Website, ...]:
+        """Non-pharmacy sites available for the network extension."""
+        return self._auxiliary_sites
+
+    @property
+    def gray_sites(self) -> tuple[Website, ...]:
+        """Unlabelled "potentially legitimate" pharmacies (§6.1)."""
+        return self._gray_sites
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Ground-truth labels (copy)."""
+        return self._labels.copy()
+
+    @property
+    def domains(self) -> tuple[str, ...]:
+        return tuple(site.domain for site in self._sites)
+
+    def oracle(self, domain: str) -> int:
+        """The oracle O(p): ground-truth label of a pharmacy domain.
+
+        Raises:
+            KeyError: unknown domain.
+        """
+        return int(self._labels[self._by_domain[domain]])
+
+    def site_for(self, domain: str) -> Website:
+        """The crawled website of ``domain``."""
+        return self._sites[self._by_domain[domain]]
+
+    def record_for(self, domain: str) -> PharmacyRecord:
+        """The ground-truth record of ``domain``."""
+        return self._records[self._by_domain[domain]]
+
+    def subset(self, indices) -> "PharmacyCorpus":
+        """A new corpus containing only ``indices`` (row order kept)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        return PharmacyCorpus(
+            name=self._name,
+            sites=tuple(self._sites[i] for i in idx),
+            records=tuple(self._records[i] for i in idx),
+            auxiliary_sites=self._auxiliary_sites,
+            gray_sites=self._gray_sites,
+        )
+
+    def summary(self) -> CorpusSummary:
+        """The dataset's Table 1 row."""
+        n_legit = int(np.sum(self._labels == LEGITIMATE))
+        return CorpusSummary(
+            name=self._name,
+            n_examples=len(self._sites),
+            n_legitimate=n_legit,
+            n_illegitimate=len(self._sites) - n_legit,
+        )

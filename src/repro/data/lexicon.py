@@ -1,0 +1,223 @@
+"""Vocabularies and link-target pools for the synthetic pharmacy web.
+
+The generator reproduces the *signals* the paper documents, so the word
+pools below are organized by signal:
+
+* illegitimate pharmacies over-use lifestyle-drug brand names and
+  no-prescription marketing ("viagra", "cialis", "no prescription" —
+  Section 6.3.1);
+* legitimate pharmacies carry more health content, store-presence text,
+  and verification-seal language (Mavlanova & Benbunan-Fich [23],
+  cited in Sections 2.1 and 6.3.2);
+* the link-target pools mirror Table 11: legitimate pharmacies point to
+  social networks and government health agencies, illegitimate ones to
+  wikipedia/wordpress, affiliate billing hosts, and each other.
+
+All pools are plain tuples so the generator can sample them with NumPy.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "HEALTH_CONTENT",
+    "PHARMACY_COMMERCE",
+    "STORE_PRESENCE",
+    "VERIFICATION_SEALS",
+    "PRESCRIPTION_POLICY_LEGIT",
+    "LIFESTYLE_DRUGS",
+    "GENERIC_DRUGS",
+    "SCAM_MARKETING",
+    "NO_PRESCRIPTION_MARKETING",
+    "DRIFT_MARKETING",
+    "COMMON_FILLER",
+    "LEGIT_LINK_TARGETS",
+    "ILLEGIT_LINK_TARGETS",
+    "SHARED_LINK_TARGETS",
+    "LEGIT_DOMAIN_STEMS",
+    "ILLEGIT_DOMAIN_STEMS",
+    "AFFILIATE_HUB_STEMS",
+]
+
+#: General health/medical content words — legitimate-heavy.
+HEALTH_CONTENT = (
+    "health", "wellness", "patient", "doctor", "physician", "clinical",
+    "treatment", "therapy", "diagnosis", "symptoms", "condition",
+    "chronic", "diabetes", "hypertension", "cholesterol", "asthma",
+    "allergy", "vaccination", "immunization", "screening", "prevention",
+    "nutrition", "vitamins", "supplements", "dosage", "interactions",
+    "side", "effects", "medication", "guidance", "counseling",
+    "pharmacist", "consultation", "monitoring", "bloodpressure",
+    "cardiology", "dermatology", "pediatric", "geriatric", "oncology",
+    "mental", "depression", "anxiety", "arthritis", "migraine",
+    "infection", "antibiotic", "insulin", "thyroid", "anemia",
+    "wellbeing", "lifestyle", "exercise", "smoking", "cessation",
+)
+
+#: Pharmacy commerce vocabulary — both classes, legit-leaning.
+PHARMACY_COMMERCE = (
+    "pharmacy", "prescription", "refill", "transfer", "dispense",
+    "medication", "medicine", "drug", "tablet", "capsule", "dose",
+    "insurance", "copay", "coverage", "medicare", "medicaid", "formulary",
+    "generic", "brand", "order", "delivery", "pickup", "availability",
+    "stock", "price", "cost", "savings", "coupon", "program",
+    "pharmacist", "technician", "counter", "otc", "prescriber",
+)
+
+#: Store-presence features — legitimate pharmacies have more of these
+#: (physical address, contact channels, policies) [23].
+STORE_PRESENCE = (
+    "contact", "address", "street", "suite", "phone", "telephone",
+    "fax", "email", "hours", "monday", "friday", "saturday", "location",
+    "directions", "parking", "store", "locations", "branch", "customer",
+    "service", "support", "help", "faq", "policy", "privacy", "terms",
+    "returns", "shipping", "accessibility", "careers", "about",
+    "history", "team", "community", "license", "licensed", "registered",
+    "state", "board",
+)
+
+#: Verification-seal and accreditation language — legitimate marker.
+VERIFICATION_SEALS = (
+    "vipps", "accredited", "verified", "accreditation", "nabp",
+    "certification", "certified", "seal", "trustmark", "inspected",
+    "compliance", "compliant", "regulated", "regulation", "fda",
+    "approved", "dea", "hipaa", "secure", "encryption", "validated",
+)
+
+#: How legitimate pharmacies talk about prescriptions (required, valid).
+PRESCRIPTION_POLICY_LEGIT = (
+    "valid", "prescription", "required", "prescriber", "authorization",
+    "physician", "signature", "verify", "verification", "original",
+    "refills", "authorized", "consultation", "records", "transfer",
+)
+
+#: Lifestyle drug brands — heavily over-represented on illegitimate
+#: sites (Section 6.3.1 names viagra and cialis explicitly).
+LIFESTYLE_DRUGS = (
+    "viagra", "cialis", "levitra", "sildenafil", "tadalafil",
+    "vardenafil", "kamagra", "priligy", "propecia", "finasteride",
+    "xanax", "valium", "ambien", "tramadol", "soma", "phentermine",
+    "clomid", "accutane", "modafinil", "steroids",
+)
+
+#: Generic/maintenance drugs — both classes, legit-leaning.
+GENERIC_DRUGS = (
+    "amoxicillin", "lisinopril", "metformin", "atorvastatin",
+    "levothyroxine", "amlodipine", "omeprazole", "metoprolol",
+    "losartan", "albuterol", "gabapentin", "hydrochlorothiazide",
+    "sertraline", "simvastatin", "montelukast", "escitalopram",
+    "rosuvastatin", "bupropion", "furosemide", "pantoprazole",
+    "prednisone", "citalopram", "ibuprofen", "acetaminophen", "aspirin",
+)
+
+#: Aggressive discount marketing — illegitimate-heavy.
+SCAM_MARKETING = (
+    "cheap", "cheapest", "discount", "discounts", "bonus", "pills",
+    "free", "bonuses", "lowest", "prices", "offer", "deal", "sale",
+    "save", "wholesale", "bulk", "worldwide", "overnight", "express",
+    "anonymous", "discreet", "packaging", "guaranteed", "satisfaction",
+    "moneyback", "unbeatable", "exclusive", "limited", "hurry",
+    "bestsellers", "toppicks", "megasale", "superdiscount",
+)
+
+#: No-prescription marketing — the paper's strongest illegitimate
+#: signal ("no prescription" appears far more frequently).
+NO_PRESCRIPTION_MARKETING = (
+    "no", "prescription", "needed", "without", "rx", "norx",
+    "prescriptionfree", "doctor", "skip", "online", "instant",
+    "approval", "noquestions", "nodoctor", "noscript",
+)
+
+#: Vocabulary that *new* illegitimate sites adopt six months later —
+#: imitating store-presence/health language (drives the Old-New
+#: legitimate-precision drop of Table 17).
+DRIFT_MARKETING = (
+    "trusted", "safety", "quality", "customer", "care", "support",
+    "certified", "pharmacy", "checker", "reviews", "testimonials",
+    "secure", "checkout", "billing", "confidential", "licensed",
+    "canadian", "international", "accredited", "verified",
+)
+
+#: High-frequency filler common to all web text.
+COMMON_FILLER = (
+    "the", "and", "for", "with", "your", "our", "you", "we", "all",
+    "new", "more", "can", "get", "now", "here", "home", "page", "site",
+    "website", "click", "read", "learn", "find", "view", "see", "shop",
+    "products", "product", "items", "list", "search", "menu", "cart",
+    "checkout", "account", "login", "register", "welcome", "today",
+    "information", "online", "best", "top", "great", "quality",
+)
+
+#: Table 11 (legitimate column): social networks, government health
+#: agencies, mainstream infrastructure.
+LEGIT_LINK_TARGETS = (
+    "facebook.com", "twitter.com", "fda.gov", "google.com",
+    "youtube.com", "nih.gov", "adobe.com", "cdc.gov",
+    "doubleclick.net", "nabp.net",
+)
+
+#: Table 11 (illegitimate column): generic references, affiliate
+#: billing/support hosts, manufacturer sites.
+ILLEGIT_LINK_TARGETS = (
+    "wikipedia.org", "wordpress.org", "drugs.com",
+    "securebilling-page.com", "rxwinners.com", "google.com",
+    "providesupport.com", "euro-med-store.com", "statcounter.com",
+    "cipla.com",
+)
+
+#: Targets plausibly linked by either class (noise overlap).
+SHARED_LINK_TARGETS = (
+    "google.com", "youtube.com", "instagram.com", "pinterest.com",
+    "medicalnewstoday.com", "webmd.com", "mayoclinic.org",
+)
+
+#: Domain-name stems for legitimate pharmacies.
+LEGIT_DOMAIN_STEMS = (
+    "healthmart", "carepoint", "wellspring", "citycare", "familycare",
+    "cornerstone", "heritage", "lakeside", "riverside", "parkview",
+    "maplewood", "oakridge", "hillcrest", "brookfield", "fairview",
+    "northgate", "southport", "eastline", "westfield", "midtown",
+    "harborview", "meadowbrook", "stonebridge", "clearwater",
+    "springfield", "lakeview", "greenfield", "sunrise", "summit",
+    "beacon",
+)
+
+#: Domain-name stems for illegitimate pharmacies.
+ILLEGIT_DOMAIN_STEMS = (
+    "cheaprx", "pillsdirect", "rxexpress", "medsbargain", "quickpills",
+    "discountmeds", "globalrx", "pharmaexpress", "easymeds", "rxdepot",
+    "medsonline", "pillmart", "rxsaver", "tabsdirect", "medbargains",
+    "pharmadeal", "rxoutlet", "pillstore", "medexpress", "rxcentral",
+    "drugbazaar", "pillplanet", "rxuniverse", "medsworld", "pharmaplus",
+    "rxgiant", "pillvault", "medsdepot", "rxplaza", "drugmarket",
+)
+
+#: Stems for affiliate-network hub pharmacies (themselves illegitimate
+#: pharmacies that many spokes link to — Section 6.3.2).
+AFFILIATE_HUB_STEMS = (
+    "rxwinners", "euro-med-store", "securebilling-page", "toprxnetwork",
+    "medsalliance", "pharmacyring", "rxpartners", "globalpillhub",
+)
+
+#: Stems for non-pharmacy health portals that link *to* legitimate
+#: pharmacies (the paper's future-work extension (a): include websites
+#: that point to pharmacies and websites at distance > 1).
+HEALTH_PORTAL_STEMS = (
+    "healthportal", "medinfocenter", "patientguide", "wellnessdirectory",
+    "careatlas", "pharmafinder", "medcompass", "healthnavigator",
+)
+
+#: Stems for spam link directories that point to illegitimate
+#: pharmacies (the bad-side counterpart of the portals).
+SPAM_DIRECTORY_STEMS = (
+    "bestpillslinks", "rxtoplist", "cheapmedsdir", "pharmadeals-hub",
+    "pillindex", "medbargainlist",
+)
+
+#: Stems for "potentially legitimate" pharmacies (Section 6.1: sites
+#: that do not fully adhere to the verifier's policies but are probably
+#: not illegitimate — 2.8% of the PharmaVerComp database).
+POTENTIALLY_LEGIT_STEMS = (
+    "valuemeds", "directpharma", "budgetcare", "mailorderrx",
+    "expressscripts-plus", "thriftymeds", "homedelivery-rx",
+    "discountcare",
+)

@@ -1,0 +1,71 @@
+"""Dataset construction: generate the synthetic web and crawl it.
+
+:func:`make_dataset_pair` is the one-stop loader reproducing Table 1:
+it generates the two snapshots (six "months" apart), crawls every
+pharmacy domain with the BFS crawler (max 200 pages, like the paper's
+crawler4j setup), and returns two :class:`PharmacyCorpus` objects.
+"""
+
+from __future__ import annotations
+
+from repro.data.corpus import PharmacyCorpus
+from repro.data.synthesis import (
+    GeneratorConfig,
+    SyntheticWebGenerator,
+    WebSnapshot,
+)
+from repro.web.crawler import DEFAULT_MAX_PAGES, Crawler
+
+__all__ = ["crawl_snapshot", "make_dataset", "make_dataset_pair"]
+
+
+def crawl_snapshot(
+    snapshot: WebSnapshot, max_pages: int = DEFAULT_MAX_PAGES
+) -> PharmacyCorpus:
+    """Crawl every pharmacy in ``snapshot`` into a labelled corpus."""
+    crawler = Crawler(snapshot.host, max_pages=max_pages)
+    sites = tuple(
+        crawler.crawl_site(f"https://www.{record.domain}/")
+        for record in snapshot.records
+    )
+    auxiliary = tuple(
+        crawler.crawl_site(f"https://www.{domain}/")
+        for domain in snapshot.auxiliary_domains
+    )
+    gray = tuple(
+        crawler.crawl_site(f"https://www.{domain}/")
+        for domain in snapshot.gray_domains
+    )
+    return PharmacyCorpus(
+        name=snapshot.name,
+        sites=sites,
+        records=snapshot.records,
+        auxiliary_sites=auxiliary,
+        gray_sites=gray,
+    )
+
+
+def make_dataset(
+    config: GeneratorConfig | None = None,
+    max_pages: int = DEFAULT_MAX_PAGES,
+) -> PharmacyCorpus:
+    """Generate and crawl a single snapshot (Dataset 1)."""
+    generator = SyntheticWebGenerator(config)
+    return crawl_snapshot(generator.generate_snapshot(), max_pages=max_pages)
+
+
+def make_dataset_pair(
+    config: GeneratorConfig | None = None,
+    max_pages: int = DEFAULT_MAX_PAGES,
+) -> tuple[PharmacyCorpus, PharmacyCorpus]:
+    """Generate and crawl both snapshots (Dataset 1, Dataset 2).
+
+    Dataset 2 contains the same legitimate domains re-crawled and an
+    entirely new set of illegitimate domains (Table 1 semantics).
+    """
+    generator = SyntheticWebGenerator(config)
+    snap1, snap2 = generator.generate_pair()
+    return (
+        crawl_snapshot(snap1, max_pages=max_pages),
+        crawl_snapshot(snap2, max_pages=max_pages),
+    )

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class NotFittedError(ReproError):
+    """Raised when ``predict``/``transform`` is called before ``fit``."""
+
+
+class InvalidURLError(ReproError):
+    """Raised when a URL cannot be parsed into a usable structure."""
+
+
+class CrawlError(ReproError):
+    """Raised when a crawl cannot start (e.g. unknown seed domain)."""
+
+
+class DataGenerationError(ReproError):
+    """Raised when synthetic-web generation parameters are inconsistent."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid experiment or pipeline configuration."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid graph operations (missing nodes, bad weights)."""

@@ -1,0 +1,55 @@
+"""Paper table/figure regeneration harness."""
+
+from repro.experiments.figures import (
+    PipelineTrace,
+    figure2_pipeline_trace,
+    figure3_trustrank_demo,
+)
+from repro.experiments.results import TableResult, format_value
+from repro.experiments.runner import EXPERIMENT_IDS, run_experiment
+from repro.experiments.tables import (
+    clear_cache,
+    table1,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+    table9,
+    table10,
+    table11,
+    table12,
+    table13,
+    table14,
+    table15,
+    table16,
+    table17,
+)
+
+__all__ = [
+    "PipelineTrace",
+    "figure2_pipeline_trace",
+    "figure3_trustrank_demo",
+    "TableResult",
+    "format_value",
+    "EXPERIMENT_IDS",
+    "run_experiment",
+    "clear_cache",
+    "table1",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+    "table10",
+    "table11",
+    "table12",
+    "table13",
+    "table14",
+    "table15",
+    "table16",
+    "table17",
+]

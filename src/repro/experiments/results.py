@@ -1,0 +1,81 @@
+"""Result containers and plain-text rendering for the paper tables.
+
+Every experiment produces a :class:`TableResult` whose ``render``
+output mirrors the corresponding paper table: same row labels, same
+columns, values from this reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["TableResult", "format_value", "term_subset_header"]
+
+
+def format_value(value: object, precision: int = 2) -> str:
+    """Format one table cell (floats to fixed precision)."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+@dataclass(frozen=True, slots=True)
+class TableResult:
+    """One reproduced table.
+
+    Attributes:
+        table_id: paper identifier ("table3", "figure3", ...).
+        title: the paper's caption (abridged).
+        columns: column headers (first column is the row label).
+        rows: row tuples; the first element is the row label.
+        notes: free-form remarks (substitutions, caveats).
+    """
+
+    table_id: str
+    title: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple[object, ...], ...]
+    notes: tuple[str, ...] = field(default_factory=tuple)
+
+    def cell(self, row_label: str, column: str) -> object:
+        """Look up a cell by row label and column header."""
+        col_idx = self.columns.index(column)
+        for row in self.rows:
+            if str(row[0]) == row_label:
+                return row[col_idx]
+        raise KeyError(f"no row labelled {row_label!r} in {self.table_id}")
+
+    def column_values(self, column: str) -> list[object]:
+        idx = self.columns.index(column)
+        return [row[idx] for row in self.rows]
+
+    def render(self, precision: int = 2) -> str:
+        """Render as a fixed-width text table."""
+        header = [str(c) for c in self.columns]
+        body = [
+            [format_value(cell, precision) for cell in row] for row in self.rows
+        ]
+        widths = [
+            max(len(header[j]), *(len(r[j]) for r in body)) if body else len(header[j])
+            for j in range(len(header))
+        ]
+        lines = [f"{self.table_id.upper()}: {self.title}"]
+        lines.append(
+            "  ".join(h.ljust(widths[j]) for j, h in enumerate(header))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append(
+                "  ".join(cell.ljust(widths[j]) for j, cell in enumerate(row))
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def term_subset_header(term_subsets: Sequence[int | None]) -> tuple[str, ...]:
+    """Column headers for a term-subset sweep ("100", ..., "All")."""
+    return tuple("All" if n is None else str(n) for n in term_subsets)

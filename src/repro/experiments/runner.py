@@ -1,0 +1,89 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments.runner [--scale small] [ids ...]
+
+With no ids, every table and figure is regenerated.  ids are paper
+identifiers: ``table1 table3 ... table17 figure2 figure3``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.core.config import ExperimentConfig
+from repro.experiments import figures, tables
+
+__all__ = ["main", "run_experiment", "EXPERIMENT_IDS"]
+
+_TABLE_BUILDERS: dict[str, Callable[[ExperimentConfig], object]] = {
+    "table1": tables.table1,
+    "table3": tables.table3,
+    "table4": tables.table4,
+    "table5": tables.table5,
+    "table6": tables.table6,
+    "table7": tables.table7,
+    "table8": tables.table8,
+    "table9": tables.table9,
+    "table10": tables.table10,
+    "table11": tables.table11,
+    "table12": tables.table12,
+    "table13": tables.table13,
+    "table14": tables.table14,
+    "table15": tables.table15,
+    "table16": tables.table16,
+    "table17": tables.table17,
+}
+
+EXPERIMENT_IDS = tuple(_TABLE_BUILDERS) + ("figure2", "figure3")
+
+
+def run_experiment(experiment_id: str, config: ExperimentConfig) -> str:
+    """Run one experiment and return its rendered output."""
+    if experiment_id in _TABLE_BUILDERS:
+        result = _TABLE_BUILDERS[experiment_id](config)
+        return result.render()
+    if experiment_id == "figure2":
+        return figures.figure2_pipeline_trace().render()
+    if experiment_id == "figure3":
+        return figures.figure3_trustrank_demo().render(precision=4)
+    raise KeyError(
+        f"unknown experiment {experiment_id!r}; choose from {EXPERIMENT_IDS}"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures."
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        default=list(EXPERIMENT_IDS),
+        help="experiment ids (default: all)",
+    )
+    parser.add_argument(
+        "--scale",
+        default="small",
+        help="dataset scale preset: tiny / small / medium / paper",
+    )
+    parser.add_argument(
+        "--folds", type=int, default=3, help="cross-validation folds"
+    )
+    args = parser.parse_args(argv)
+    config = ExperimentConfig(scale=args.scale, n_folds=args.folds)
+    for experiment_id in args.ids:
+        start = time.time()
+        output = run_experiment(experiment_id, config)
+        elapsed = time.time() - start
+        print(output)
+        print(f"[{experiment_id} done in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

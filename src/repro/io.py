@@ -1,0 +1,145 @@
+"""Persistence: save/load models and export/import corpora.
+
+* Fitted models (any library object, e.g. a
+  :class:`~repro.core.verifier.PharmacyVerifier`) round-trip through
+  pickle with a format header and version check, so stale artifacts
+  fail loudly instead of mis-predicting.
+* Corpora export to a line-oriented JSON format (one pharmacy per line:
+  domain, label, ground-truth flags, pages) so labelled crawls can be
+  shared without pickling arbitrary code.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from pathlib import Path
+from typing import Any
+
+from repro.data.corpus import PharmacyCorpus
+from repro.data.synthesis import PharmacyRecord
+from repro.exceptions import ReproError
+from repro.web.page import WebPage
+from repro.web.site import Website
+
+__all__ = ["save_model", "load_model", "export_corpus", "import_corpus"]
+
+_MAGIC = "repro-model"
+_FORMAT_VERSION = 1
+
+
+class PersistenceError(ReproError):
+    """Raised for unreadable or incompatible persisted artifacts."""
+
+
+def save_model(model: Any, path: str | Path) -> None:
+    """Pickle a (fitted) model with a format header."""
+    payload = {
+        "magic": _MAGIC,
+        "format_version": _FORMAT_VERSION,
+        "model": model,
+    }
+    with open(path, "wb") as fh:
+        pickle.dump(payload, fh)
+
+
+def load_model(path: str | Path) -> Any:
+    """Load a model saved by :func:`save_model`.
+
+    Raises:
+        PersistenceError: missing file, wrong format, or version skew.
+    """
+    try:
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+    except FileNotFoundError as exc:
+        raise PersistenceError(f"no such model file: {path}") from exc
+    except (pickle.UnpicklingError, EOFError) as exc:
+        raise PersistenceError(f"not a repro model file: {path}") from exc
+    if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
+        raise PersistenceError(f"not a repro model file: {path}")
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise PersistenceError(
+            f"model format version {version} != supported {_FORMAT_VERSION}"
+        )
+    return payload["model"]
+
+
+def export_corpus(corpus: PharmacyCorpus, path: str | Path) -> None:
+    """Write a corpus as JSON lines (one pharmacy per line)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        header = {"format": "repro-corpus", "version": 1, "name": corpus.name}
+        fh.write(json.dumps(header) + "\n")
+        for site, record in zip(corpus.sites, corpus.records):
+            row = {
+                "domain": record.domain,
+                "label": record.label,
+                "flags": {
+                    "is_affiliate_hub": record.is_affiliate_hub,
+                    "is_affiliate_member": record.is_affiliate_member,
+                    "is_outlier": record.is_outlier,
+                    "is_asocial": record.is_asocial,
+                    "is_trust_imitator": record.is_trust_imitator,
+                },
+                "pages": [
+                    {"url": p.url, "text": p.text, "links": list(p.links)}
+                    for p in site.pages
+                ],
+            }
+            fh.write(json.dumps(row) + "\n")
+
+
+def import_corpus(path: str | Path) -> PharmacyCorpus:
+    """Read a corpus written by :func:`export_corpus`.
+
+    Raises:
+        PersistenceError: malformed file or unsupported version.
+    """
+    try:
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    except FileNotFoundError as exc:
+        raise PersistenceError(f"no such corpus file: {path}") from exc
+    if not lines:
+        raise PersistenceError(f"empty corpus file: {path}")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"malformed corpus header in {path}") from exc
+    if header.get("format") != "repro-corpus" or header.get("version") != 1:
+        raise PersistenceError(f"unsupported corpus format in {path}")
+
+    sites: list[Website] = []
+    records: list[PharmacyRecord] = []
+    for line_no, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise PersistenceError(
+                f"malformed corpus row at {path}:{line_no}"
+            ) from exc
+        pages = tuple(
+            WebPage(url=p["url"], text=p["text"], links=tuple(p["links"]))
+            for p in row["pages"]
+        )
+        sites.append(Website(domain=row["domain"], pages=pages))
+        flags = row.get("flags", {})
+        records.append(
+            PharmacyRecord(
+                domain=row["domain"],
+                label=int(row["label"]),
+                is_affiliate_hub=bool(flags.get("is_affiliate_hub", False)),
+                is_affiliate_member=bool(flags.get("is_affiliate_member", False)),
+                is_outlier=bool(flags.get("is_outlier", False)),
+                is_asocial=bool(flags.get("is_asocial", False)),
+                is_trust_imitator=bool(flags.get("is_trust_imitator", False)),
+            )
+        )
+    return PharmacyCorpus(
+        name=str(header.get("name", "imported")),
+        sites=tuple(sites),
+        records=tuple(records),
+    )

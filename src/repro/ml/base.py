@@ -1,0 +1,147 @@
+"""Base classifier protocol and array-validation helpers.
+
+All classifiers in :mod:`repro.ml` follow a minimal fit/predict
+contract:
+
+* ``fit(X, y)`` with ``X`` of shape ``(n_samples, n_features)`` (dense
+  ndarray or scipy CSR) and ``y`` an integer label vector;
+* ``predict(X)`` returning integer labels;
+* ``predict_proba(X)`` returning class-membership probabilities with
+  columns ordered by ``classes_``;
+* ``decision_scores(X)`` returning a 1-D legitimacy-leaning score used
+  for ROC curves (higher = more likely the *positive*, i.e. last,
+  class).
+
+Hyperparameters are constructor arguments only, so :func:`clone`
+recreates an unfitted copy from ``get_params``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Mapping
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import NotFittedError
+
+__all__ = [
+    "BaseClassifier",
+    "clone",
+    "check_X_y",
+    "check_X",
+    "ensure_dense",
+]
+
+
+def ensure_dense(X: Any) -> np.ndarray:
+    """Return ``X`` as a 2-D float64 ndarray (densifying CSR input)."""
+    if sp.issparse(X):
+        return np.asarray(X.todense(), dtype=np.float64)
+    arr = np.asarray(X, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {arr.shape}")
+    return arr
+
+
+def check_X(X: Any, allow_sparse: bool = True) -> Any:
+    """Validate feature-matrix shape; densify if sparse is not allowed."""
+    if sp.issparse(X):
+        if allow_sparse:
+            return X.tocsr()
+        return ensure_dense(X)
+    return ensure_dense(X)
+
+
+def check_X_y(X: Any, y: Any, allow_sparse: bool = True) -> tuple[Any, np.ndarray]:
+    """Validate (X, y) shapes and label dtype."""
+    X = check_X(X, allow_sparse=allow_sparse)
+    y_arr = np.asarray(y)
+    if y_arr.ndim != 1:
+        raise ValueError(f"y must be 1-D, got shape {y_arr.shape}")
+    n_samples = X.shape[0]
+    if y_arr.shape[0] != n_samples:
+        raise ValueError(
+            f"X and y disagree in length: {n_samples} vs {y_arr.shape[0]}"
+        )
+    if n_samples == 0:
+        raise ValueError("cannot fit on an empty dataset")
+    return X, y_arr.astype(np.int64)
+
+
+class BaseClassifier(abc.ABC):
+    """Abstract base for all classifiers in the library."""
+
+    def __init__(self) -> None:
+        self.classes_: np.ndarray | None = None
+
+    # -- abstract API ------------------------------------------------------
+
+    @abc.abstractmethod
+    def fit(self, X: Any, y: Any) -> "BaseClassifier":
+        """Fit the model; returns self."""
+
+    @abc.abstractmethod
+    def predict_proba(self, X: Any) -> np.ndarray:
+        """Class-membership probabilities, columns ordered by classes_."""
+
+    # -- shared behaviour ----------------------------------------------------
+
+    def predict(self, X: Any) -> np.ndarray:
+        """Predicted labels (argmax of :meth:`predict_proba`)."""
+        proba = self.predict_proba(X)
+        classes = self._fitted_classes()
+        return classes[np.argmax(proba, axis=1)]
+
+    def decision_scores(self, X: Any) -> np.ndarray:
+        """1-D score increasing with membership in the positive class.
+
+        The positive class is the largest label in ``classes_`` (the
+        library's convention puts *legitimate* = 1 above
+        *illegitimate* = 0).
+        """
+        proba = self.predict_proba(X)
+        return proba[:, -1]
+
+    def get_params(self) -> dict[str, Any]:
+        """Constructor hyperparameters (for :func:`clone` / repr)."""
+        import inspect
+
+        signature = inspect.signature(type(self).__init__)
+        params = {}
+        for name in signature.parameters:
+            if name == "self":
+                continue
+            attr = f"_{name}"
+            if hasattr(self, attr):
+                params[name] = getattr(self, attr)
+            elif hasattr(self, name):
+                params[name] = getattr(self, name)
+        return params
+
+    def _fitted_classes(self) -> np.ndarray:
+        if self.classes_ is None:
+            raise NotFittedError(f"{type(self).__name__} has not been fitted")
+        return self.classes_
+
+    def _store_classes(self, y: np.ndarray) -> np.ndarray:
+        """Record sorted unique labels; return y re-encoded to 0..k-1."""
+        classes, encoded = np.unique(y, return_inverse=True)
+        if classes.shape[0] < 2:
+            raise ValueError(
+                f"need at least 2 classes to fit, got {classes.tolist()}"
+            )
+        self.classes_ = classes
+        return encoded
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({params})"
+
+
+def clone(estimator: BaseClassifier) -> BaseClassifier:
+    """Return an unfitted copy of ``estimator`` with the same params."""
+    return type(estimator)(**estimator.get_params())

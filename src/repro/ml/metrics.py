@@ -1,0 +1,294 @@
+"""Evaluation measures (Section 6.2 of the paper).
+
+Implements exactly the measures the paper reports:
+
+* overall accuracy;
+* per-class precision and recall (the paper reports them for both the
+  *legitimate* (positive) and *illegitimate* (negative) class);
+* the ROC curve and the area under it (AUC-ROC);
+* normal-approximation confidence intervals over cross-validation folds;
+* pairwise orderedness for the ranking problem (Problem 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "confusion_counts",
+    "accuracy",
+    "precision",
+    "recall",
+    "f1_score",
+    "roc_curve",
+    "auc_roc",
+    "precision_recall_curve",
+    "average_precision",
+    "threshold_for_precision",
+    "mean_confidence_interval",
+    "pairwise_orderedness",
+    "BinaryClassificationReport",
+    "classification_report",
+]
+
+
+def _as_label_arrays(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    yt = np.asarray(y_true).ravel()
+    yp = np.asarray(y_pred).ravel()
+    if yt.shape != yp.shape:
+        raise ValueError(f"shape mismatch: {yt.shape} vs {yp.shape}")
+    if yt.size == 0:
+        raise ValueError("empty label arrays")
+    return yt, yp
+
+
+def confusion_counts(
+    y_true, y_pred, positive_label: int = 1
+) -> tuple[int, int, int, int]:
+    """Return ``(tp, fp, tn, fn)`` with respect to ``positive_label``."""
+    yt, yp = _as_label_arrays(y_true, y_pred)
+    pos_true = yt == positive_label
+    pos_pred = yp == positive_label
+    tp = int(np.sum(pos_true & pos_pred))
+    fp = int(np.sum(~pos_true & pos_pred))
+    tn = int(np.sum(~pos_true & ~pos_pred))
+    fn = int(np.sum(pos_true & ~pos_pred))
+    return tp, fp, tn, fn
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Overall accuracy: fraction of correctly classified instances."""
+    yt, yp = _as_label_arrays(y_true, y_pred)
+    return float(np.mean(yt == yp))
+
+
+def precision(y_true, y_pred, positive_label: int = 1) -> float:
+    """Precision for ``positive_label``; 0.0 when nothing was predicted
+    positive (convention for the degenerate case)."""
+    tp, fp, _, _ = confusion_counts(y_true, y_pred, positive_label)
+    denom = tp + fp
+    return tp / denom if denom else 0.0
+
+
+def recall(y_true, y_pred, positive_label: int = 1) -> float:
+    """Recall for ``positive_label``; 0.0 when the class is absent."""
+    tp, _, _, fn = confusion_counts(y_true, y_pred, positive_label)
+    denom = tp + fn
+    return tp / denom if denom else 0.0
+
+
+def f1_score(y_true, y_pred, positive_label: int = 1) -> float:
+    """Harmonic mean of precision and recall for ``positive_label``."""
+    p = precision(y_true, y_pred, positive_label)
+    r = recall(y_true, y_pred, positive_label)
+    return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def roc_curve(
+    y_true, scores, positive_label: int = 1
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compute the ROC curve.
+
+    Args:
+        y_true: true labels.
+        scores: real-valued scores, higher = more positive.
+        positive_label: which label counts as positive.
+
+    Returns:
+        ``(fpr, tpr, thresholds)`` arrays; thresholds descending,
+        starting above the max score so the curve begins at (0, 0).
+    """
+    yt = np.asarray(y_true).ravel()
+    sc = np.asarray(scores, dtype=np.float64).ravel()
+    if yt.shape != sc.shape:
+        raise ValueError(f"shape mismatch: {yt.shape} vs {sc.shape}")
+    pos = yt == positive_label
+    n_pos = int(np.sum(pos))
+    n_neg = int(yt.size - n_pos)
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("ROC requires both positive and negative examples")
+    order = np.argsort(-sc, kind="stable")
+    sorted_scores = sc[order]
+    sorted_pos = pos[order].astype(np.float64)
+    # Collapse ties: only keep the last index of each distinct score.
+    distinct = np.where(np.diff(sorted_scores))[0]
+    cut = np.r_[distinct, sorted_scores.size - 1]
+    tp_cum = np.cumsum(sorted_pos)[cut]
+    fp_cum = (cut + 1) - tp_cum
+    tpr = np.r_[0.0, tp_cum / n_pos]
+    fpr = np.r_[0.0, fp_cum / n_neg]
+    thresholds = np.r_[sorted_scores[0] + 1.0, sorted_scores[cut]]
+    return fpr, tpr, thresholds
+
+
+def auc_roc(y_true, scores, positive_label: int = 1) -> float:
+    """Area under the ROC curve (trapezoidal rule over the exact curve)."""
+    fpr, tpr, _ = roc_curve(y_true, scores, positive_label)
+    return float(np.trapezoid(tpr, fpr))
+
+
+def precision_recall_curve(
+    y_true, scores, positive_label: int = 1
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Precision-recall pairs at every distinct score threshold.
+
+    Returns:
+        ``(precision, recall, thresholds)``; recall is non-decreasing
+        along the arrays (thresholds descending), with the conventional
+        (precision=1, recall=0) starting point prepended.
+    """
+    yt = np.asarray(y_true).ravel()
+    sc = np.asarray(scores, dtype=np.float64).ravel()
+    if yt.shape != sc.shape:
+        raise ValueError(f"shape mismatch: {yt.shape} vs {sc.shape}")
+    pos = yt == positive_label
+    n_pos = int(np.sum(pos))
+    if n_pos == 0:
+        raise ValueError("precision-recall requires positive examples")
+    order = np.argsort(-sc, kind="stable")
+    sorted_scores = sc[order]
+    sorted_pos = pos[order].astype(np.float64)
+    distinct = np.where(np.diff(sorted_scores))[0]
+    cut = np.r_[distinct, sorted_scores.size - 1]
+    tp = np.cumsum(sorted_pos)[cut]
+    predicted = (cut + 1).astype(np.float64)
+    prec = np.r_[1.0, tp / predicted]
+    rec = np.r_[0.0, tp / n_pos]
+    thresholds = np.r_[sorted_scores[0] + 1.0, sorted_scores[cut]]
+    return prec, rec, thresholds
+
+
+def average_precision(y_true, scores, positive_label: int = 1) -> float:
+    """Average precision (area under the PR curve, step interpolation)."""
+    prec, rec, _ = precision_recall_curve(y_true, scores, positive_label)
+    return float(np.sum(np.diff(rec) * prec[1:]))
+
+
+def threshold_for_precision(
+    y_true, scores, min_precision: float, positive_label: int = 1
+) -> float | None:
+    """Smallest score threshold achieving at least ``min_precision``.
+
+    The operational knob for a verification deployment: "only
+    auto-whitelist pharmacies when legitimate precision stays above X".
+
+    Returns:
+        The threshold (predict positive when ``score >= threshold``)
+        maximizing recall subject to the precision floor, or ``None``
+        when no threshold achieves it.
+    """
+    if not 0.0 < min_precision <= 1.0:
+        raise ValueError(f"min_precision must be in (0, 1], got {min_precision}")
+    prec, rec, thresholds = precision_recall_curve(
+        y_true, scores, positive_label
+    )
+    feasible = np.flatnonzero(prec[1:] >= min_precision) + 1
+    if feasible.size == 0:
+        return None
+    best = feasible[np.argmax(rec[feasible])]
+    return float(thresholds[best])
+
+
+def mean_confidence_interval(
+    values, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Mean and half-width of a normal-approximation confidence interval.
+
+    The paper reports 95% confidence intervals across cross-validation
+    folds.  For tiny fold counts a Student-t critical value is used.
+
+    Returns:
+        ``(mean, half_width)``; half_width is 0.0 for a single value.
+    """
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise ValueError("no values to aggregate")
+    mean = float(np.mean(arr))
+    if arr.size == 1:
+        return mean, 0.0
+    from scipy import stats
+
+    sem = float(np.std(arr, ddof=1) / np.sqrt(arr.size))
+    t_crit = float(stats.t.ppf(0.5 + confidence / 2.0, df=arr.size - 1))
+    return mean, t_crit * sem
+
+
+def pairwise_orderedness(ranks, oracle_labels) -> float:
+    """Pairwise orderedness of a legitimacy ranking (Section 6.2).
+
+    A pair (p, q) is a *violation* when an illegitimate pharmacy
+    received a rank score >= that of a legitimate pharmacy.  The
+    measure is the fraction of ordered pairs without a violation:
+
+        pairord(X) = (|X| - violations) / |X|
+
+    Args:
+        ranks: rank scores (higher = more legitimate).
+        oracle_labels: ground-truth labels (1 legit, 0 illegit).
+
+    Returns:
+        Value in [0, 1]; 1.0 means every legitimate pharmacy outranks
+        every illegitimate one strictly.
+    """
+    r = np.asarray(ranks, dtype=np.float64).ravel()
+    y = np.asarray(oracle_labels).ravel()
+    if r.shape != y.shape:
+        raise ValueError(f"shape mismatch: {r.shape} vs {y.shape}")
+    legit_scores = r[y == 1]
+    illegit_scores = r[y == 0]
+    n_pairs = legit_scores.size * illegit_scores.size
+    if n_pairs == 0:
+        raise ValueError("pairwise orderedness needs both classes present")
+    # Violation: rank(illegit) >= rank(legit).  Count via sorting:
+    # for each legit score, how many illegit scores are >= it.
+    sorted_illegit = np.sort(illegit_scores)
+    # index of first illegit >= legit score
+    idx = np.searchsorted(sorted_illegit, legit_scores, side="left")
+    violations = int(np.sum(sorted_illegit.size - idx))
+    return (n_pairs - violations) / n_pairs
+
+
+@dataclass(frozen=True, slots=True)
+class BinaryClassificationReport:
+    """All paper-reported classification measures for one evaluation."""
+
+    accuracy: float
+    legitimate_precision: float
+    legitimate_recall: float
+    illegitimate_precision: float
+    illegitimate_recall: float
+    auc_roc: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "accuracy": self.accuracy,
+            "legitimate_precision": self.legitimate_precision,
+            "legitimate_recall": self.legitimate_recall,
+            "illegitimate_precision": self.illegitimate_precision,
+            "illegitimate_recall": self.illegitimate_recall,
+            "auc_roc": self.auc_roc,
+        }
+
+
+def classification_report(
+    y_true, y_pred, scores, positive_label: int = 1, negative_label: int = 0
+) -> BinaryClassificationReport:
+    """Build the full report the paper's tables are drawn from.
+
+    Args:
+        y_true: true labels.
+        y_pred: hard predictions.
+        scores: real-valued positive-class scores (for AUC).
+        positive_label: the *legitimate* label (default 1).
+        negative_label: the *illegitimate* label (default 0).
+    """
+    return BinaryClassificationReport(
+        accuracy=accuracy(y_true, y_pred),
+        legitimate_precision=precision(y_true, y_pred, positive_label),
+        legitimate_recall=recall(y_true, y_pred, positive_label),
+        illegitimate_precision=precision(y_true, y_pred, negative_label),
+        illegitimate_recall=recall(y_true, y_pred, negative_label),
+        auc_roc=auc_roc(y_true, scores, positive_label),
+    )

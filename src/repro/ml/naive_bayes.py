@@ -1,0 +1,150 @@
+"""Naïve Bayes classifiers: Multinomial (NBM) and Gaussian (NB).
+
+:class:`MultinomialNB` is the paper's NBM text classifier — the
+membership probability P(c | d) ∝ P(c) Π P(t_k | c) with Laplace
+smoothing — and accepts sparse TF-IDF matrices directly (fractional
+"counts" are handled the standard way, by accumulating weights).
+
+:class:`GaussianNB` is the paper's plain NB, used on the dense
+low-dimensional feature sets (N-Gram-Graph similarities, TrustRank
+scores).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import NotFittedError
+from repro.ml.base import BaseClassifier, check_X, check_X_y, ensure_dense
+
+__all__ = ["MultinomialNB", "GaussianNB"]
+
+
+class MultinomialNB(BaseClassifier):
+    """Multinomial Naïve Bayes with Laplace (add-alpha) smoothing.
+
+    Args:
+        alpha: smoothing pseudo-count added to every (class, term) pair.
+        fit_prior: when False, use a uniform class prior instead of the
+            empirical one (useful under heavy class imbalance).
+    """
+
+    def __init__(self, alpha: float = 1.0, fit_prior: bool = True) -> None:
+        super().__init__()
+        if alpha <= 0.0:
+            raise ValueError(f"alpha must be > 0, got {alpha}")
+        self._alpha = alpha
+        self._fit_prior = fit_prior
+        self._log_prior: np.ndarray | None = None
+        self._log_likelihood: np.ndarray | None = None
+
+    def fit(self, X: Any, y: Any) -> "MultinomialNB":
+        X, y = check_X_y(X, y, allow_sparse=True)
+        encoded = self._store_classes(y)
+        n_classes = len(self._fitted_classes())
+        n_features = X.shape[1]
+        counts = np.zeros((n_classes, n_features), dtype=np.float64)
+        class_sizes = np.zeros(n_classes, dtype=np.float64)
+        for k in range(n_classes):
+            mask = encoded == k
+            class_sizes[k] = float(np.sum(mask))
+            block = X[mask]
+            if sp.issparse(block):
+                counts[k] = np.asarray(block.sum(axis=0)).ravel()
+            else:
+                counts[k] = block.sum(axis=0)
+        if np.any(counts < 0):
+            raise ValueError("MultinomialNB requires non-negative features")
+        smoothed = counts + self._alpha
+        self._log_likelihood = np.log(smoothed) - np.log(
+            smoothed.sum(axis=1, keepdims=True)
+        )
+        if self._fit_prior:
+            self._log_prior = np.log(class_sizes / class_sizes.sum())
+        else:
+            self._log_prior = np.full(n_classes, -np.log(n_classes))
+        return self
+
+    def _joint_log_likelihood(self, X: Any) -> np.ndarray:
+        if self._log_likelihood is None or self._log_prior is None:
+            raise NotFittedError("MultinomialNB has not been fitted")
+        X = check_X(X, allow_sparse=True)
+        if X.shape[1] != self._log_likelihood.shape[1]:
+            raise ValueError(
+                f"feature-count mismatch: fitted on "
+                f"{self._log_likelihood.shape[1]}, got {X.shape[1]}"
+            )
+        jll = X @ self._log_likelihood.T
+        if sp.issparse(jll):
+            jll = np.asarray(jll.todense())
+        return np.asarray(jll) + self._log_prior
+
+    def predict_proba(self, X: Any) -> np.ndarray:
+        jll = self._joint_log_likelihood(X)
+        jll -= jll.max(axis=1, keepdims=True)
+        proba = np.exp(jll)
+        proba /= proba.sum(axis=1, keepdims=True)
+        return proba
+
+
+class GaussianNB(BaseClassifier):
+    """Gaussian Naïve Bayes for dense continuous features.
+
+    Args:
+        var_smoothing: fraction of the largest feature variance added to
+            every per-class variance for numerical stability.
+    """
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        super().__init__()
+        if var_smoothing < 0.0:
+            raise ValueError(f"var_smoothing must be >= 0, got {var_smoothing}")
+        self._var_smoothing = var_smoothing
+        self._theta: np.ndarray | None = None  # per-class means
+        self._var: np.ndarray | None = None  # per-class variances
+        self._log_prior: np.ndarray | None = None
+
+    def fit(self, X: Any, y: Any) -> "GaussianNB":
+        X = ensure_dense(X)
+        X, y = check_X_y(X, y, allow_sparse=False)
+        encoded = self._store_classes(y)
+        n_classes = len(self._fitted_classes())
+        n_features = X.shape[1]
+        theta = np.zeros((n_classes, n_features), dtype=np.float64)
+        var = np.zeros((n_classes, n_features), dtype=np.float64)
+        sizes = np.zeros(n_classes, dtype=np.float64)
+        for k in range(n_classes):
+            block = X[encoded == k]
+            sizes[k] = block.shape[0]
+            theta[k] = block.mean(axis=0)
+            var[k] = block.var(axis=0)
+        eps = self._var_smoothing * max(float(X.var(axis=0).max()), 1e-12)
+        self._theta = theta
+        self._var = var + eps
+        self._log_prior = np.log(sizes / sizes.sum())
+        return self
+
+    def predict_proba(self, X: Any) -> np.ndarray:
+        if self._theta is None or self._var is None or self._log_prior is None:
+            raise NotFittedError("GaussianNB has not been fitted")
+        X = ensure_dense(X)
+        if X.shape[1] != self._theta.shape[1]:
+            raise ValueError(
+                f"feature-count mismatch: fitted on "
+                f"{self._theta.shape[1]}, got {X.shape[1]}"
+            )
+        n_classes = self._theta.shape[0]
+        jll = np.empty((X.shape[0], n_classes), dtype=np.float64)
+        for k in range(n_classes):
+            diff = X - self._theta[k]
+            jll[:, k] = self._log_prior[k] - 0.5 * np.sum(
+                np.log(2.0 * np.pi * self._var[k]) + diff**2 / self._var[k],
+                axis=1,
+            )
+        jll -= jll.max(axis=1, keepdims=True)
+        proba = np.exp(jll)
+        proba /= proba.sum(axis=1, keepdims=True)
+        return proba

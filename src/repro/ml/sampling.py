@@ -1,0 +1,128 @@
+"""Class-imbalance resampling: random undersampling (SUB) and SMOTE.
+
+The paper's two classes are strongly imbalanced (12% legitimate).  It
+evaluates three regimes per classifier — the natural distribution (NO),
+random undersampling of the majority class (SUB), and SMOTE
+oversampling of the minority class — and reports the best (Table 2).
+
+* :class:`RandomUnderSampler` removes majority-class examples at random
+  until both classes are the same size.
+* :class:`SMOTE` synthesizes minority examples by interpolating between
+  a minority point and one of its k nearest minority neighbours
+  (Chawla et al., JAIR 2002) — "operating in feature space rather than
+  data space".
+
+Both operate on dense or sparse matrices (sparse input is densified for
+SMOTE's neighbour computation; the paper's subsampled TF-IDF matrices
+are small enough for this).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ml.base import check_X_y, ensure_dense
+
+__all__ = ["RandomUnderSampler", "SMOTE", "SAMPLER_ABBREVIATIONS"]
+
+#: Abbreviations used in the paper's tables (Table 2).
+SAMPLER_ABBREVIATIONS = {
+    None: "NO",
+    "RandomUnderSampler": "SUB",
+    "SMOTE": "SMOTE",
+}
+
+
+class RandomUnderSampler:
+    """Balance classes by dropping random majority-class rows (SUB).
+
+    Args:
+        seed: RNG seed for the row selection.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+
+    def fit_resample(self, X: Any, y: Any) -> tuple[Any, np.ndarray]:
+        """Return a class-balanced (X, y) subsample.
+
+        Every class is cut to the size of the smallest one.  Row order
+        is re-sorted to keep the output deterministic.
+        """
+        X, y = check_X_y(X, y, allow_sparse=True)
+        rng = np.random.default_rng(self._seed)
+        classes, counts = np.unique(y, return_counts=True)
+        target = int(counts.min())
+        keep: list[np.ndarray] = []
+        for label in classes:
+            idx = np.flatnonzero(y == label)
+            if idx.size > target:
+                idx = rng.choice(idx, size=target, replace=False)
+            keep.append(idx)
+        rows = np.sort(np.concatenate(keep))
+        return X[rows], y[rows]
+
+
+class SMOTE:
+    """Synthetic Minority Over-sampling TEchnique (Chawla et al. 2002).
+
+    Oversamples every non-majority class up to the majority-class size
+    by generating synthetic rows ``x + u * (neighbour - x)`` with
+    ``u ~ U(0, 1)`` and ``neighbour`` one of the ``k`` nearest
+    same-class rows.
+
+    Args:
+        k_neighbors: neighbourhood size (paper/standard default 5).
+        seed: RNG seed.
+    """
+
+    def __init__(self, k_neighbors: int = 5, seed: int = 0) -> None:
+        if k_neighbors < 1:
+            raise ValueError(f"k_neighbors must be >= 1, got {k_neighbors}")
+        self._k_neighbors = k_neighbors
+        self._seed = seed
+
+    def fit_resample(self, X: Any, y: Any) -> tuple[np.ndarray, np.ndarray]:
+        """Return (X, y) with minority classes synthetically upsampled.
+
+        Output is always dense (synthetic rows are dense by nature).
+        """
+        X, y = check_X_y(X, y, allow_sparse=True)
+        dense = ensure_dense(X) if sp.issparse(X) else X
+        rng = np.random.default_rng(self._seed)
+        classes, counts = np.unique(y, return_counts=True)
+        majority = int(counts.max())
+        new_rows: list[np.ndarray] = [dense]
+        new_labels: list[np.ndarray] = [y]
+        for label, count in zip(classes, counts):
+            deficit = majority - int(count)
+            if deficit == 0:
+                continue
+            block = dense[y == label]
+            if block.shape[0] == 1:
+                # Nothing to interpolate with; replicate the single row.
+                synthetic = np.repeat(block, deficit, axis=0)
+            else:
+                synthetic = self._synthesize(block, deficit, rng)
+            new_rows.append(synthetic)
+            new_labels.append(np.full(deficit, label, dtype=y.dtype))
+        return np.vstack(new_rows), np.concatenate(new_labels)
+
+    def _synthesize(
+        self, block: np.ndarray, n_new: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Generate ``n_new`` synthetic rows from minority ``block``."""
+        k = min(self._k_neighbors, block.shape[0] - 1)
+        # Pairwise squared distances within the minority class.
+        sq = np.sum(block**2, axis=1)
+        d2 = sq[:, None] + sq[None, :] - 2.0 * (block @ block.T)
+        np.fill_diagonal(d2, np.inf)
+        neighbour_idx = np.argsort(d2, axis=1)[:, :k]
+        base = rng.integers(0, block.shape[0], size=n_new)
+        pick = rng.integers(0, k, size=n_new)
+        neighbours = block[neighbour_idx[base, pick]]
+        gaps = rng.random(size=(n_new, 1))
+        return block[base] + gaps * (neighbours - block[base])

@@ -1,0 +1,351 @@
+"""C4.5-style decision tree (Weka's J48 equivalent).
+
+Implements the core of Quinlan's C4.5 for continuous attributes, which
+is what both TF-IDF weights and graph-similarity features are:
+
+* binary splits ``feature <= threshold`` chosen by **gain ratio**
+  (information gain / split information), with the C4.5 rule that a
+  split must first beat the average gain of all candidate splits;
+* recursive growth until purity, ``min_samples_split``, or
+  ``max_depth``;
+* pessimistic error pruning (C4.5's upper-bound error estimate with
+  confidence factor CF = 0.25, Weka's default);
+* leaves predict the training class distribution, so
+  ``predict_proba`` is available for ranking and AUC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+from scipy import stats
+
+from repro.exceptions import NotFittedError
+from repro.ml.base import BaseClassifier, check_X_y, ensure_dense
+
+__all__ = ["C45Tree"]
+
+_EPS = 1e-12
+
+
+@dataclass
+class _Node:
+    """One tree node; a leaf when ``feature`` is None."""
+
+    counts: np.ndarray  # class counts of training samples at this node
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+    def n_samples(self) -> float:
+        return float(self.counts.sum())
+
+    def error_count(self) -> float:
+        """Misclassifications if this node predicted its majority class."""
+        return float(self.counts.sum() - self.counts.max())
+
+
+def _entropy(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    p = counts[counts > 0] / total
+    return float(-np.sum(p * np.log2(p)))
+
+
+def _pessimistic_errors(n: float, e: float, cf: float = 0.25) -> float:
+    """C4.5's upper confidence bound on the error count of a leaf.
+
+    Uses the normal approximation to the binomial upper limit that
+    Quinlan's release (and Weka) apply with confidence factor ``cf``.
+    """
+    if n <= 0:
+        return 0.0
+    z = float(stats.norm.ppf(1.0 - cf))
+    f = e / n
+    numerator = (
+        f
+        + z * z / (2.0 * n)
+        + z * np.sqrt(f / n - f * f / n + z * z / (4.0 * n * n))
+    )
+    return n * numerator / (1.0 + z * z / n)
+
+
+class C45Tree(BaseClassifier):
+    """C4.5 decision tree for continuous features.
+
+    Args:
+        max_depth: depth cap (None = unlimited).
+        min_samples_split: do not split nodes smaller than this.
+        min_samples_leaf: each child must keep at least this many rows.
+        confidence_factor: CF for pessimistic pruning (Weka default 0.25);
+            ``None`` disables pruning.
+        max_candidate_features: if set, evaluate splits only on the
+            ``k`` highest-variance features at each node — an optional
+            speed knob for very wide TF-IDF matrices (None = all).
+        seed: reserved for future stochastic variants (kept for clone
+            symmetry; the tree itself is deterministic).
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 4,
+        min_samples_leaf: int = 2,
+        confidence_factor: float | None = 0.25,
+        max_candidate_features: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if max_depth is not None and max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1 or None, got {max_depth}")
+        if min_samples_split < 2:
+            raise ValueError(
+                f"min_samples_split must be >= 2, got {min_samples_split}"
+            )
+        if min_samples_leaf < 1:
+            raise ValueError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
+        self._max_depth = max_depth
+        self._min_samples_split = min_samples_split
+        self._min_samples_leaf = min_samples_leaf
+        self._confidence_factor = confidence_factor
+        self._max_candidate_features = max_candidate_features
+        self._seed = seed
+        self._root: _Node | None = None
+        self._n_features = 0
+
+    # -- fitting -------------------------------------------------------------
+
+    def fit(self, X: Any, y: Any) -> "C45Tree":
+        X = ensure_dense(X)
+        X, y = check_X_y(X, y, allow_sparse=False)
+        encoded = self._store_classes(y)
+        n_classes = len(self._fitted_classes())
+        self._n_features = X.shape[1]
+        self._root = self._grow(X, encoded, n_classes, depth=0)
+        if self._confidence_factor is not None:
+            self._prune(self._root)
+        return self
+
+    def _grow(
+        self, X: np.ndarray, y: np.ndarray, n_classes: int, depth: int
+    ) -> _Node:
+        counts = np.bincount(y, minlength=n_classes).astype(np.float64)
+        node = _Node(counts=counts)
+        if (
+            counts.max() == counts.sum()  # pure
+            or counts.sum() < self._min_samples_split
+            or (self._max_depth is not None and depth >= self._max_depth)
+        ):
+            return node
+        split = self._best_split(X, y, n_classes)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X[mask], y[mask], n_classes, depth + 1)
+        node.right = self._grow(X[~mask], y[~mask], n_classes, depth + 1)
+        return node
+
+    def _candidate_features(self, X: np.ndarray) -> np.ndarray:
+        n_features = X.shape[1]
+        if (
+            self._max_candidate_features is None
+            or n_features <= self._max_candidate_features
+        ):
+            return np.arange(n_features)
+        variances = X.var(axis=0)
+        top = np.argpartition(-variances, self._max_candidate_features)[
+            : self._max_candidate_features
+        ]
+        return np.sort(top)
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray, n_classes: int
+    ) -> tuple[int, float] | None:
+        """Best (feature, threshold) by C4.5 gain ratio, or None."""
+        n_samples = X.shape[0]
+        parent_counts = np.bincount(y, minlength=n_classes).astype(np.float64)
+        parent_entropy = _entropy(parent_counts)
+        min_leaf = self._min_samples_leaf
+
+        best: tuple[float, int, float] | None = None  # (ratio, feature, thr)
+        gains: list[tuple[float, float, int, float]] = []  # (gain, ratio, f, thr)
+
+        for feature in self._candidate_features(X):
+            column = X[:, feature]
+            order = np.argsort(column, kind="stable")
+            sorted_vals = column[order]
+            sorted_y = y[order]
+            # one-hot cumulative class counts along the sorted column
+            onehot = np.zeros((n_samples, n_classes), dtype=np.float64)
+            onehot[np.arange(n_samples), sorted_y] = 1.0
+            cum = np.cumsum(onehot, axis=0)
+            # candidate cut after position i (0-based): left = first i+1 rows
+            boundaries = np.where(np.diff(sorted_vals) > _EPS)[0]
+            if boundaries.size == 0:
+                continue
+            valid = boundaries[
+                (boundaries + 1 >= min_leaf)
+                & (n_samples - boundaries - 1 >= min_leaf)
+            ]
+            if valid.size == 0:
+                continue
+            left_counts = cum[valid]
+            right_counts = parent_counts - left_counts
+            n_left = (valid + 1).astype(np.float64)
+            n_right = n_samples - n_left
+            h_left = _entropy_rows(left_counts)
+            h_right = _entropy_rows(right_counts)
+            weighted = (n_left * h_left + n_right * h_right) / n_samples
+            gain = parent_entropy - weighted
+            p_left = n_left / n_samples
+            p_right = n_right / n_samples
+            split_info = -(
+                p_left * np.log2(p_left) + p_right * np.log2(p_right)
+            )
+            ratio = np.where(split_info > _EPS, gain / split_info, 0.0)
+            k = int(np.argmax(ratio))
+            if gain[k] <= _EPS:
+                continue
+            # C4.5 midpoint threshold between the boundary values.
+            thr = 0.5 * (sorted_vals[valid[k]] + sorted_vals[valid[k] + 1])
+            gains.append((float(gain[k]), float(ratio[k]), int(feature), float(thr)))
+
+        if not gains:
+            return None
+        # C4.5 restriction: only consider splits with at least average gain.
+        avg_gain = sum(g for g, _, _, _ in gains) / len(gains)
+        eligible = [item for item in gains if item[0] >= avg_gain - _EPS]
+        _, _, feature, thr = max(eligible, key=lambda item: item[1])
+        return feature, thr
+
+    # -- pruning ---------------------------------------------------------------
+
+    def _prune(self, node: _Node) -> float:
+        """Post-order pessimistic pruning; returns estimated errors."""
+        cf = self._confidence_factor
+        assert cf is not None
+        if node.is_leaf:
+            return _pessimistic_errors(node.n_samples(), node.error_count(), cf)
+        assert node.left is not None and node.right is not None
+        subtree_errors = self._prune(node.left) + self._prune(node.right)
+        leaf_errors = _pessimistic_errors(node.n_samples(), node.error_count(), cf)
+        if leaf_errors <= subtree_errors + 0.1:
+            node.feature = None
+            node.left = None
+            node.right = None
+            return leaf_errors
+        return subtree_errors
+
+    # -- prediction --------------------------------------------------------------
+
+    def predict_proba(self, X: Any) -> np.ndarray:
+        if self._root is None:
+            raise NotFittedError("C45Tree has not been fitted")
+        X = ensure_dense(X)
+        if X.shape[1] != self._n_features:
+            raise ValueError(
+                f"feature-count mismatch: fitted on {self._n_features}, "
+                f"got {X.shape[1]}"
+            )
+        n_classes = len(self._fitted_classes())
+        out = np.empty((X.shape[0], n_classes), dtype=np.float64)
+        for i in range(X.shape[0]):
+            node = self._root
+            while not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                node = node.left if X[i, node.feature] <= node.threshold else node.right
+            # Laplace-smoothed leaf distribution (as J48 does).
+            out[i] = (node.counts + 1.0) / (node.counts.sum() + n_classes)
+        return out
+
+    # -- introspection --------------------------------------------------------------
+
+    def depth(self) -> int:
+        """Depth of the fitted tree (0 for a single leaf)."""
+        if self._root is None:
+            raise NotFittedError("C45Tree has not been fitted")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            assert node.left is not None and node.right is not None
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)
+
+    def n_leaves(self) -> int:
+        """Number of leaves in the fitted tree."""
+        if self._root is None:
+            raise NotFittedError("C45Tree has not been fitted")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            assert node.left is not None and node.right is not None
+            return walk(node.left) + walk(node.right)
+
+        return walk(self._root)
+
+    def to_text(self, feature_names: list[str] | None = None) -> str:
+        """Render the fitted tree as indented rules (J48's print style).
+
+        Args:
+            feature_names: optional display names per feature index;
+                defaults to ``f0, f1, ...``.
+
+        Returns:
+            One line per decision/leaf, e.g.::
+
+                f2 <= 0.35
+                |   class 0 (12.0)
+                f2 > 0.35
+                |   class 1 (8.0)
+        """
+        if self._root is None:
+            raise NotFittedError("C45Tree has not been fitted")
+        classes = self._fitted_classes()
+
+        def name(idx: int) -> str:
+            if feature_names is not None:
+                return feature_names[idx]
+            return f"f{idx}"
+
+        lines: list[str] = []
+
+        def walk(node: _Node, depth: int) -> None:
+            prefix = "|   " * depth
+            if node.is_leaf:
+                majority = classes[int(np.argmax(node.counts))]
+                lines.append(
+                    f"{prefix}class {majority} ({node.counts.sum():.1f})"
+                )
+                return
+            assert node.left is not None and node.right is not None
+            lines.append(f"{prefix}{name(node.feature)} <= {node.threshold:.6g}")
+            walk(node.left, depth + 1)
+            lines.append(f"{prefix}{name(node.feature)} > {node.threshold:.6g}")
+            walk(node.right, depth + 1)
+
+        walk(self._root, 0)
+        return "\n".join(lines)
+
+
+def _entropy_rows(counts: np.ndarray) -> np.ndarray:
+    """Row-wise entropy of a (rows, classes) count matrix."""
+    totals = counts.sum(axis=1, keepdims=True)
+    safe_totals = np.where(totals > 0, totals, 1.0)
+    p = counts / safe_totals
+    with np.errstate(divide="ignore", invalid="ignore"):
+        logp = np.where(p > 0, np.log2(np.where(p > 0, p, 1.0)), 0.0)
+    return -np.sum(p * logp, axis=1)

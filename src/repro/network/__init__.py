@@ -1,0 +1,30 @@
+"""Network substrate: web graph, PageRank/TrustRank, link features."""
+
+from repro.network.construction import (
+    build_graph_from_link_table,
+    build_pharmacy_graph,
+)
+from repro.network.eigentrust import eigentrust
+from repro.network.features import (
+    NetworkFeatureExtractor,
+    NetworkFeatureMatrix,
+    top_linked_domains,
+)
+from repro.network.graph import DirectedGraph
+from repro.network.pagerank import pagerank, personalized_pagerank
+from repro.network.trustrank import anti_trustrank, reverse_graph, trustrank
+
+__all__ = [
+    "build_graph_from_link_table",
+    "build_pharmacy_graph",
+    "eigentrust",
+    "NetworkFeatureExtractor",
+    "NetworkFeatureMatrix",
+    "top_linked_domains",
+    "DirectedGraph",
+    "pagerank",
+    "personalized_pagerank",
+    "anti_trustrank",
+    "reverse_graph",
+    "trustrank",
+]

@@ -1,0 +1,376 @@
+"""Character N-Gram Graphs (Section 4.1.2).
+
+An N-Gram Graph represents a text as a graph whose vertices are the
+character n-grams of the text and whose weighted edges record how often
+two n-grams co-occur within a sliding window.  Per the paper (and
+Giannakopoulos et al.), we use rank ``Lmin = Lmax = 4`` and window
+``Dwin = 4``.
+
+The module provides:
+
+* :class:`NGramGraph` — build from text, merge (for class graphs), and
+  the four similarity measures the paper uses:
+
+  - Containment Similarity  ``CS(Gi, Gj) = sum_{e in Gi} mu(e, Gj) / min(|Gi|, |Gj|)``
+  - Size Similarity         ``SS(Gi, Gj) = min(|Gi|, |Gj|) / max(|Gi|, |Gj|)``
+  - Value Similarity        ``VS(Gi, Gj) = sum_{e in Gi} (min(wi,wj)/max(wi,wj)) / max(|Gi|, |Gj|)``
+  - Normalized Value Sim.   ``NVS = VS / SS``
+
+* :class:`ClassGraphModel` — the classification featurizer of Figure 2:
+  one merged graph per class; each document is mapped to the vector of
+  its similarities against every class graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import NotFittedError
+
+__all__ = [
+    "NGramGraph",
+    "GraphSimilarities",
+    "ClassGraphModel",
+    "SIMILARITY_NAMES",
+]
+
+#: Feature order produced by :class:`ClassGraphModel` per class graph.
+SIMILARITY_NAMES = ("cs", "ss", "vs", "nvs")
+
+
+@dataclass(frozen=True, slots=True)
+class GraphSimilarities:
+    """The four graph similarity values between a document and a graph."""
+
+    cs: float
+    ss: float
+    vs: float
+    nvs: float
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        return (self.cs, self.ss, self.vs, self.nvs)
+
+
+class NGramGraph:
+    """A character n-gram graph.
+
+    Edges are undirected (stored with a canonical key ordering) and
+    weighted by co-occurrence counts within the sliding window; merged
+    graphs carry averaged weights.
+
+    Args:
+        n: n-gram rank (paper: 4).
+        window: neighbourhood distance Dwin (paper: 4).
+    """
+
+    def __init__(self, n: int = 4, window: int = 4) -> None:
+        if n < 1:
+            raise ValueError(f"n-gram rank must be >= 1, got {n}")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._n = n
+        self._window = window
+        self._edges: dict[tuple[str, str], float] = {}
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_text(cls, text: str, n: int = 4, window: int = 4) -> "NGramGraph":
+        """Build the n-gram graph of ``text``."""
+        graph = cls(n=n, window=window)
+        graph._add_text(text)
+        return graph
+
+    def _add_text(self, text: str) -> None:
+        grams = self._ngrams(text)
+        window = self._window
+        edges = self._edges
+        for i, gram in enumerate(grams):
+            stop = min(i + window, len(grams) - 1)
+            for j in range(i + 1, stop + 1):
+                key = self._edge_key(gram, grams[j])
+                edges[key] = edges.get(key, 0.0) + 1.0
+
+    def _ngrams(self, text: str) -> list[str]:
+        n = self._n
+        if len(text) < n:
+            return [text] if text else []
+        return [text[i : i + n] for i in range(len(text) - n + 1)]
+
+    @staticmethod
+    def _edge_key(a: str, b: str) -> tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def window(self) -> int:
+        return self._window
+
+    @property
+    def n_edges(self) -> int:
+        """|G| — the edge count used by the similarity formulas."""
+        return len(self._edges)
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def edge_weight(self, a: str, b: str) -> float:
+        """Weight of edge {a, b}, or 0.0 when absent."""
+        return self._edges.get(self._edge_key(a, b), 0.0)
+
+    def edges(self) -> Mapping[tuple[str, str], float]:
+        """Read-only view of the weighted edge set."""
+        return dict(self._edges)
+
+    # -- merging (class graphs) -------------------------------------------
+
+    def merge(self, other: "NGramGraph", learning_rate: float = 0.5) -> None:
+        """Merge ``other`` into this graph in place.
+
+        Weights are blended with the JInsect update rule
+        ``w <- w + lr * (w_other - w)``; edges new to this graph are
+        adopted with ``lr * w_other`` so repeated merging converges to
+        the running average of the merged documents.
+
+        Args:
+            other: graph to merge in (must share n and window).
+            learning_rate: blending factor in (0, 1].
+        """
+        if (other.n, other.window) != (self._n, self._window):
+            raise ValueError(
+                "cannot merge graphs with different (n, window): "
+                f"{(self._n, self._window)} vs {(other.n, other.window)}"
+            )
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValueError(f"learning_rate must be in (0, 1], got {learning_rate}")
+        for key, w_other in other._edges.items():
+            w_self = self._edges.get(key)
+            if w_self is None:
+                self._edges[key] = learning_rate * w_other
+            else:
+                self._edges[key] = w_self + learning_rate * (w_other - w_self)
+
+    @classmethod
+    def merged(
+        cls, graphs: Sequence["NGramGraph"], n: int = 4, window: int = 4
+    ) -> "NGramGraph":
+        """Build a class graph by folding ``graphs`` together.
+
+        Uses learning rate ``1/i`` for the i-th merge so the result is
+        the (approximate) average graph of the collection.
+        """
+        result = cls(n=n, window=window)
+        for i, graph in enumerate(graphs, start=1):
+            result.merge(graph, learning_rate=1.0 / i)
+        return result
+
+    # -- similarities ------------------------------------------------------
+
+    def containment_similarity(self, other: "NGramGraph") -> float:
+        """CS: fraction of this graph's edges present in ``other``."""
+        if not self._edges or not other._edges:
+            return 0.0
+        shared = sum(1 for key in self._edges if key in other._edges)
+        return shared / min(len(self._edges), len(other._edges))
+
+    def size_similarity(self, other: "NGramGraph") -> float:
+        """SS: ratio of the two edge-set sizes (min over max)."""
+        if not self._edges or not other._edges:
+            return 0.0
+        return min(len(self._edges), len(other._edges)) / max(
+            len(self._edges), len(other._edges)
+        )
+
+    def value_similarity(self, other: "NGramGraph") -> float:
+        """VS: weight-aware containment."""
+        if not self._edges or not other._edges:
+            return 0.0
+        total = 0.0
+        other_edges = other._edges
+        for key, w_self in self._edges.items():
+            w_other = other_edges.get(key)
+            if w_other is not None:
+                hi = max(w_self, w_other)
+                if hi > 0.0:
+                    total += min(w_self, w_other) / hi
+        return total / max(len(self._edges), len(other._edges))
+
+    def normalized_value_similarity(self, other: "NGramGraph") -> float:
+        """NVS = VS / SS (0 when SS is 0)."""
+        ss = self.size_similarity(other)
+        if ss == 0.0:
+            return 0.0
+        return self.value_similarity(other) / ss
+
+    def similarities(self, other: "NGramGraph") -> GraphSimilarities:
+        """All four similarity measures against ``other``.
+
+        Equivalent to calling the four methods separately but computed
+        in a single pass over this graph's edge set.
+        """
+        if not self._edges or not other._edges:
+            return GraphSimilarities(cs=0.0, ss=0.0, vs=0.0, nvs=0.0)
+        n_self = len(self._edges)
+        n_other = len(other._edges)
+        shared = 0
+        vs_total = 0.0
+        other_edges = other._edges
+        for key, w_self in self._edges.items():
+            w_other = other_edges.get(key)
+            if w_other is not None:
+                shared += 1
+                hi = max(w_self, w_other)
+                if hi > 0.0:
+                    vs_total += min(w_self, w_other) / hi
+        lo, hi = min(n_self, n_other), max(n_self, n_other)
+        cs = shared / lo
+        ss = lo / hi
+        vs = vs_total / hi
+        return GraphSimilarities(cs=cs, ss=ss, vs=vs, nvs=vs / ss)
+
+
+class ClassGraphModel:
+    """The N-Gram-Graph featurizer of Figure 2.
+
+    ``fit`` builds one merged graph per class from (a subset of) the
+    training documents; ``transform`` maps each document to the
+    concatenated (CS, SS, VS, NVS) similarities against every class
+    graph — 8 features for the paper's two classes.
+
+    Args:
+        n: n-gram rank (paper: 4).
+        window: Dwin (paper: 4).
+        class_sample_fraction: fraction of each class's training
+            documents used to build its class graph.  The paper
+            "randomly selected half of the training instances to build
+            the class graph", i.e. 0.5.
+        seed: RNG seed for the class-graph subsample.
+    """
+
+    def __init__(
+        self,
+        n: int = 4,
+        window: int = 4,
+        class_sample_fraction: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < class_sample_fraction <= 1.0:
+            raise ValueError(
+                f"class_sample_fraction must be in (0, 1], got {class_sample_fraction}"
+            )
+        self._n = n
+        self._window = window
+        self._fraction = class_sample_fraction
+        self._seed = seed
+        self._class_graphs: dict[int, NGramGraph] | None = None
+        self._class_order: tuple[int, ...] = ()
+
+    @property
+    def class_graphs(self) -> dict[int, NGramGraph]:
+        if self._class_graphs is None:
+            raise NotFittedError("ClassGraphModel has not been fitted")
+        return self._class_graphs
+
+    @property
+    def classes(self) -> tuple[int, ...]:
+        """Class labels in feature-block order."""
+        if self._class_graphs is None:
+            raise NotFittedError("ClassGraphModel has not been fitted")
+        return self._class_order
+
+    def feature_names(self) -> tuple[str, ...]:
+        """Names of the transform output columns."""
+        return tuple(
+            f"{name}_class{label}"
+            for label in self.classes
+            for name in SIMILARITY_NAMES
+        )
+
+    def build_document_graph(self, text: str) -> NGramGraph:
+        """Build one document graph with this model's (n, window)."""
+        return NGramGraph.from_text(text, n=self._n, window=self._window)
+
+    def fit(self, texts: Sequence[str], labels: Sequence[int]) -> "ClassGraphModel":
+        """Build per-class graphs from training texts."""
+        return self.fit_graphs(
+            [self.build_document_graph(t) for t in texts], labels
+        )
+
+    def fit_graphs(
+        self, graphs: Sequence[NGramGraph], labels: Sequence[int]
+    ) -> "ClassGraphModel":
+        """Like :meth:`fit` but over pre-built document graphs.
+
+        Lets callers that evaluate many classifiers or folds build each
+        document's graph exactly once.
+        """
+        if len(graphs) != len(labels):
+            raise ValueError(
+                f"graphs and labels disagree in length: {len(graphs)} vs {len(labels)}"
+            )
+        if not graphs:
+            raise ValueError("cannot fit ClassGraphModel on an empty corpus")
+        rng = np.random.default_rng(self._seed)
+        by_class: dict[int, list[int]] = {}
+        for i, label in enumerate(labels):
+            by_class.setdefault(int(label), []).append(i)
+        class_graphs: dict[int, NGramGraph] = {}
+        for label in sorted(by_class):
+            indices = by_class[label]
+            n_pick = max(1, int(round(self._fraction * len(indices))))
+            picked = rng.choice(len(indices), size=n_pick, replace=False)
+            class_graphs[label] = NGramGraph.merged(
+                [graphs[indices[k]] for k in sorted(picked)],
+                n=self._n,
+                window=self._window,
+            )
+        self._class_graphs = class_graphs
+        self._class_order = tuple(sorted(class_graphs))
+        return self
+
+    def transform(self, texts: Sequence[str]) -> np.ndarray:
+        """Map texts to similarity-feature vectors.
+
+        Returns:
+            Array of shape ``(len(texts), 4 * n_classes)`` with columns
+            ordered per :meth:`feature_names`.
+        """
+        return self.transform_graphs(
+            [self.build_document_graph(t) for t in texts]
+        )
+
+    def transform_graphs(self, graphs: Sequence[NGramGraph]) -> np.ndarray:
+        """Like :meth:`transform` but over pre-built document graphs."""
+        class_graphs = self.class_graphs
+        out = np.zeros((len(graphs), 4 * len(class_graphs)), dtype=np.float64)
+        for row, doc in enumerate(graphs):
+            col = 0
+            for label in self._class_order:
+                sims = doc.similarities(class_graphs[label])
+                out[row, col : col + 4] = sims.as_tuple()
+                col += 4
+        return out
+
+    def fit_transform(
+        self, texts: Sequence[str], labels: Sequence[int]
+    ) -> np.ndarray:
+        """``fit`` then ``transform`` the same texts."""
+        return self.fit(texts, labels).transform(texts)
+
+    def document_similarities(
+        self, text: str
+    ) -> dict[int, GraphSimilarities]:
+        """Similarities of one document against every class graph."""
+        doc = NGramGraph.from_text(text, n=self._n, window=self._window)
+        return {
+            label: doc.similarities(graph)
+            for label, graph in self.class_graphs.items()
+        }

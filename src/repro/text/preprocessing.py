@@ -1,0 +1,61 @@
+"""Text preprocessing: tokenization + stop-word removal, no stemming.
+
+Mirrors Section 4.1 of the paper: stop words are removed (the paper used
+Apache Lucene 3.4.0); stemming is deliberately **not** applied because
+pharmacy text is dense with technical terms and trademarks that stemming
+would corrupt.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.text.stopwords import default_stop_words
+from repro.text.tokenization import iter_tokens
+
+__all__ = ["TextPreprocessor"]
+
+
+class TextPreprocessor:
+    """Tokenize, lowercase, and drop stop words.
+
+    Args:
+        stop_words: the stop set to remove.  Defaults to Lucene's
+            33-word English list (the paper's choice).  Pass an empty
+            collection to disable stop-word removal.
+        min_token_length: tokens shorter than this are dropped
+            (default 1, i.e. keep everything the tokenizer emits).
+    """
+
+    def __init__(
+        self,
+        stop_words: Iterable[str] | None = None,
+        min_token_length: int = 1,
+    ) -> None:
+        if min_token_length < 1:
+            raise ValueError(f"min_token_length must be >= 1, got {min_token_length}")
+        self._stop_words = (
+            frozenset(w.lower() for w in stop_words)
+            if stop_words is not None
+            else default_stop_words()
+        )
+        self._min_len = min_token_length
+
+    @property
+    def stop_words(self) -> frozenset[str]:
+        return self._stop_words
+
+    def preprocess(self, text: str) -> list[str]:
+        """Return the non-stop-word tokens of ``text`` in order."""
+        return [
+            tok
+            for tok in iter_tokens(text)
+            if len(tok) >= self._min_len and tok not in self._stop_words
+        ]
+
+    def preprocess_to_text(self, text: str) -> str:
+        """Like :meth:`preprocess` but re-joined with single spaces.
+
+        Used by the N-Gram-Graph path, which works on character streams.
+        """
+        return " ".join(self.preprocess(text))

@@ -1,0 +1,51 @@
+"""English stop-word lists.
+
+The paper removes stop words with Apache Lucene 3.4.0.  Lucene's
+``StopAnalyzer.ENGLISH_STOP_WORDS_SET`` is a 33-word list reproduced
+here verbatim as :data:`LUCENE_ENGLISH_STOP_WORDS`.  A larger
+:data:`EXTENDED_ENGLISH_STOP_WORDS` set is provided for callers who want
+more aggressive pruning; the default pipeline uses the Lucene set to
+stay faithful to the paper.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "LUCENE_ENGLISH_STOP_WORDS",
+    "EXTENDED_ENGLISH_STOP_WORDS",
+    "default_stop_words",
+]
+
+#: Lucene 3.x StopAnalyzer.ENGLISH_STOP_WORDS_SET (what the paper used).
+LUCENE_ENGLISH_STOP_WORDS = frozenset(
+    {
+        "a", "an", "and", "are", "as", "at", "be", "but", "by", "for",
+        "if", "in", "into", "is", "it", "no", "not", "of", "on", "or",
+        "such", "that", "the", "their", "then", "there", "these", "they",
+        "this", "to", "was", "will", "with",
+    }
+)
+
+#: A broader conventional English stop list (superset of the Lucene set).
+EXTENDED_ENGLISH_STOP_WORDS = LUCENE_ENGLISH_STOP_WORDS | frozenset(
+    {
+        "about", "above", "after", "again", "against", "all", "am",
+        "any", "because", "been", "before", "being", "below", "between",
+        "both", "can", "cannot", "could", "did", "do", "does", "doing",
+        "down", "during", "each", "few", "from", "further", "had", "has",
+        "have", "having", "he", "her", "here", "hers", "herself", "him",
+        "himself", "his", "how", "i", "its", "itself", "just", "me",
+        "more", "most", "my", "myself", "nor", "now", "off", "once",
+        "only", "other", "our", "ours", "ourselves", "out", "over",
+        "own", "same", "she", "should", "so", "some", "than", "them",
+        "themselves", "those", "through", "too", "under", "until", "up",
+        "very", "we", "were", "what", "when", "where", "which", "while",
+        "who", "whom", "why", "would", "you", "your", "yours",
+        "yourself", "yourselves",
+    }
+)
+
+
+def default_stop_words() -> frozenset[str]:
+    """The stop set the default pipeline uses (Lucene's, per the paper)."""
+    return LUCENE_ENGLISH_STOP_WORDS

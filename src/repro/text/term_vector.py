@@ -1,0 +1,166 @@
+"""Term Vector model with TF-IDF weighting (Section 4.1.1).
+
+Documents are represented as vectors over the corpus vocabulary; each
+component carries a TF-IDF weight:
+
+    tfidf(t, d) = tf(t, d) * idf(t)          with
+    idf(t)      = ln((1 + |D|) / (1 + df(t))) + 1
+
+(the smoothed variant, which never divides by zero for unseen terms).
+Vectors are L2-normalized so that document length does not dominate.
+
+The vectorizer is fit on training documents only; transforming unseen
+documents silently drops out-of-vocabulary terms, which mirrors how the
+model behaves on "new" data in the paper's temporal experiments.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import NotFittedError
+
+__all__ = ["Vocabulary", "TfidfVectorizer"]
+
+
+class Vocabulary:
+    """An ordered term -> column-index mapping."""
+
+    def __init__(self, terms: Iterable[str] = ()) -> None:
+        self._index: dict[str, int] = {}
+        for term in terms:
+            self.add(term)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._index
+
+    def add(self, term: str) -> int:
+        """Add ``term`` if absent; return its column index."""
+        idx = self._index.get(term)
+        if idx is None:
+            idx = len(self._index)
+            self._index[term] = idx
+        return idx
+
+    def index_of(self, term: str) -> int | None:
+        """Column index of ``term``, or ``None`` if unknown."""
+        return self._index.get(term)
+
+    def terms(self) -> tuple[str, ...]:
+        """Terms in column order."""
+        ordered = sorted(self._index.items(), key=lambda kv: kv[1])
+        return tuple(term for term, _ in ordered)
+
+
+class TfidfVectorizer:
+    """Fit a vocabulary + IDF on token lists; transform to sparse TF-IDF.
+
+    Args:
+        min_df: drop terms appearing in fewer than this many documents.
+        max_features: if set, keep only the ``max_features`` terms with
+            the highest document frequency (ties broken alphabetically
+            for determinism).
+        sublinear_tf: when True use ``1 + ln(tf)`` instead of raw counts.
+        normalize: L2-normalize each document vector (default True).
+    """
+
+    def __init__(
+        self,
+        min_df: int = 1,
+        max_features: int | None = None,
+        sublinear_tf: bool = False,
+        normalize: bool = True,
+    ) -> None:
+        if min_df < 1:
+            raise ValueError(f"min_df must be >= 1, got {min_df}")
+        if max_features is not None and max_features < 1:
+            raise ValueError(f"max_features must be >= 1, got {max_features}")
+        self._min_df = min_df
+        self._max_features = max_features
+        self._sublinear_tf = sublinear_tf
+        self._normalize = normalize
+        self._vocabulary: Vocabulary | None = None
+        self._idf: np.ndarray | None = None
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        if self._vocabulary is None:
+            raise NotFittedError("TfidfVectorizer has not been fitted")
+        return self._vocabulary
+
+    @property
+    def idf(self) -> np.ndarray:
+        if self._idf is None:
+            raise NotFittedError("TfidfVectorizer has not been fitted")
+        return self._idf
+
+    def fit(self, documents: Sequence[Sequence[str]]) -> "TfidfVectorizer":
+        """Learn vocabulary and IDF weights from tokenized documents."""
+        if not documents:
+            raise ValueError("cannot fit TfidfVectorizer on an empty corpus")
+        doc_freq: Counter[str] = Counter()
+        for doc in documents:
+            doc_freq.update(set(doc))
+        items = [(t, df) for t, df in doc_freq.items() if df >= self._min_df]
+        if self._max_features is not None and len(items) > self._max_features:
+            items.sort(key=lambda kv: (-kv[1], kv[0]))
+            items = items[: self._max_features]
+        items.sort(key=lambda kv: kv[0])  # deterministic column order
+        vocab = Vocabulary(term for term, _ in items)
+        n_docs = len(documents)
+        idf = np.empty(len(vocab), dtype=np.float64)
+        for term, df in items:
+            idx = vocab.index_of(term)
+            assert idx is not None
+            idf[idx] = np.log((1.0 + n_docs) / (1.0 + df)) + 1.0
+        self._vocabulary = vocab
+        self._idf = idf
+        return self
+
+    def transform(self, documents: Sequence[Sequence[str]]) -> sp.csr_matrix:
+        """Transform tokenized documents to a sparse TF-IDF matrix."""
+        vocab = self.vocabulary
+        idf = self.idf
+        indptr = [0]
+        indices: list[int] = []
+        data: list[float] = []
+        for doc in documents:
+            counts: Counter[int] = Counter()
+            for term in doc:
+                idx = vocab.index_of(term)
+                if idx is not None:
+                    counts[idx] += 1
+            for idx in sorted(counts):
+                tf = float(counts[idx])
+                if self._sublinear_tf:
+                    tf = 1.0 + np.log(tf)
+                indices.append(idx)
+                data.append(tf * idf[idx])
+            indptr.append(len(indices))
+        matrix = sp.csr_matrix(
+            (np.asarray(data), np.asarray(indices, dtype=np.int32), indptr),
+            shape=(len(documents), len(vocab)),
+            dtype=np.float64,
+        )
+        if self._normalize:
+            matrix = _l2_normalize_rows(matrix)
+        return matrix
+
+    def fit_transform(self, documents: Sequence[Sequence[str]]) -> sp.csr_matrix:
+        """Equivalent to ``fit(documents).transform(documents)``."""
+        return self.fit(documents).transform(documents)
+
+
+def _l2_normalize_rows(matrix: sp.csr_matrix) -> sp.csr_matrix:
+    """Row-wise L2 normalization; zero rows stay zero."""
+    norms = np.sqrt(np.asarray(matrix.multiply(matrix).sum(axis=1))).ravel()
+    norms[norms == 0.0] = 1.0
+    inv = sp.diags(1.0 / norms)
+    return (inv @ matrix).tocsr()

@@ -1,0 +1,32 @@
+"""Word tokenization.
+
+A deliberately simple, Lucene-StandardAnalyzer-like tokenizer: lowercase
+alphanumeric runs, keeping internal apostrophes and hyphens so that
+terms like ``"fda-approved"`` and ``"don't"`` survive as single tokens.
+The paper's pipeline does **not** stem (technical terms and trademarks
+would be mangled), and neither does this module.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+__all__ = ["tokenize", "iter_tokens"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+(?:[-'][a-z0-9]+)*")
+
+
+def iter_tokens(text: str) -> Iterator[str]:
+    """Yield lowercase tokens from ``text`` in document order."""
+    for match in _TOKEN_RE.finditer(text.lower()):
+        yield match.group(0)
+
+
+def tokenize(text: str) -> list[str]:
+    """Tokenize ``text`` into a list of lowercase tokens.
+
+    >>> tokenize("Buy FDA-Approved drugs, no prescription!")
+    ['buy', 'fda-approved', 'drugs', 'no', 'prescription']
+    """
+    return list(iter_tokens(text))

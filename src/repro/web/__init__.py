@@ -1,0 +1,20 @@
+"""Web substrate: URLs, pages, sites, hosts, and the BFS crawler."""
+
+from repro.web.crawler import Crawler, CrawlStats
+from repro.web.host import InMemoryWebHost, WebHost
+from repro.web.page import WebPage
+from repro.web.site import Website
+from repro.web.url import ParsedURL, endpoint, parse_url, same_domain
+
+__all__ = [
+    "Crawler",
+    "CrawlStats",
+    "InMemoryWebHost",
+    "WebHost",
+    "WebPage",
+    "Website",
+    "ParsedURL",
+    "endpoint",
+    "parse_url",
+    "same_domain",
+]

@@ -1,0 +1,130 @@
+"""Breadth-first website crawler (crawler4j substitute).
+
+The paper crawled each pharmacy domain "without depth limit, but for a
+maximum of 200 pages" (Section 6.1).  :class:`Crawler` reproduces those
+semantics over a :class:`~repro.web.host.WebHost`:
+
+* the frontier is a FIFO queue seeded with the site root (BFS, hence
+  effectively unbounded depth until the page cap);
+* only links on the seed's registrable domain are enqueued;
+* external links are recorded on the page objects and later harvested
+  by :meth:`~repro.web.site.Website.outbound_endpoints`;
+* at most ``max_pages`` pages are fetched per site.
+"""
+
+from __future__ import annotations
+
+import logging
+from collections import deque
+from dataclasses import dataclass
+
+from repro.exceptions import CrawlError
+from repro.web.host import WebHost
+from repro.web.page import WebPage
+from repro.web.site import Website
+from repro.web.url import endpoint, parse_url
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["Crawler", "CrawlStats"]
+
+#: The paper's per-site page cap.
+DEFAULT_MAX_PAGES = 200
+
+
+@dataclass(frozen=True, slots=True)
+class CrawlStats:
+    """Bookkeeping for one site crawl."""
+
+    domain: str
+    pages_fetched: int
+    pages_skipped: int  # frontier entries dropped by the page cap
+    fetch_failures: int  # URLs the host returned None for
+
+
+class Crawler:
+    """BFS crawler with a per-site page cap.
+
+    Args:
+        host: where to fetch pages from.
+        max_pages: per-site page cap (paper: 200).
+    """
+
+    def __init__(self, host: WebHost, max_pages: int = DEFAULT_MAX_PAGES) -> None:
+        if max_pages < 1:
+            raise CrawlError(f"max_pages must be >= 1, got {max_pages}")
+        self._host = host
+        self._max_pages = max_pages
+        self._last_stats: CrawlStats | None = None
+
+    @property
+    def max_pages(self) -> int:
+        return self._max_pages
+
+    @property
+    def last_stats(self) -> CrawlStats | None:
+        """Statistics of the most recent :meth:`crawl_site` call."""
+        return self._last_stats
+
+    def crawl_site(self, seed_url: str) -> Website:
+        """Crawl one site starting from ``seed_url``.
+
+        Args:
+            seed_url: URL of the site root (or any page of the site).
+
+        Returns:
+            A :class:`Website` with the pages reachable from the seed,
+            in BFS order, capped at ``max_pages``.
+
+        Raises:
+            CrawlError: when the seed URL itself cannot be fetched.
+        """
+        parse_url(seed_url)
+        domain = endpoint(seed_url)
+        seed_page = self._host.fetch(seed_url)
+        if seed_page is None:
+            raise CrawlError(f"seed URL not fetchable: {seed_url!r}")
+
+        visited: set[str] = set()
+        pages: list[WebPage] = []
+        failures = 0
+        skipped = 0
+        frontier: deque[str] = deque([seed_url])
+        visited.add(self._normalize(seed_url))
+
+        while frontier:
+            if len(pages) >= self._max_pages:
+                skipped += len(frontier)
+                break
+            url = frontier.popleft()
+            page = self._host.fetch(url)
+            if page is None:
+                failures += 1
+                continue
+            pages.append(page)
+            for link in page.internal_links():
+                key = self._normalize(link)
+                if key not in visited:
+                    visited.add(key)
+                    frontier.append(link)
+
+        logger.debug(
+            "crawled %s: %d pages, %d skipped by cap, %d fetch failures",
+            domain,
+            len(pages),
+            skipped,
+            failures,
+        )
+        self._last_stats = CrawlStats(
+            domain=domain,
+            pages_fetched=len(pages),
+            pages_skipped=skipped,
+            fetch_failures=failures,
+        )
+        return Website(domain=domain, pages=tuple(pages))
+
+    @staticmethod
+    def _normalize(url: str) -> str:
+        parsed = parse_url(url)
+        path = parsed.path.rstrip("/") or "/"
+        return f"{parsed.host}{path}"

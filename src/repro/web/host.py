@@ -1,0 +1,68 @@
+"""Host abstraction the crawler fetches pages from.
+
+In the paper the crawler (crawler4j) fetched live websites.  Here the
+"web" is any object satisfying the :class:`WebHost` protocol; the
+synthetic generator provides an :class:`InMemoryWebHost`.  Keeping the
+crawler behind this interface means the crawl semantics (BFS frontier,
+page cap) are identical regardless of where bytes come from.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, runtime_checkable
+
+from repro.web.page import WebPage
+from repro.web.url import parse_url
+
+__all__ = ["WebHost", "InMemoryWebHost"]
+
+
+@runtime_checkable
+class WebHost(Protocol):
+    """Anything the crawler can fetch pages from."""
+
+    def fetch(self, url: str) -> WebPage | None:
+        """Return the page at ``url``, or ``None`` for a 404/timeout."""
+        ...
+
+
+class InMemoryWebHost:
+    """A static, in-memory web: URL -> :class:`WebPage`.
+
+    URLs are normalized on insertion and lookup (scheme/host lowering,
+    fragment/query stripping) so that generated links resolve even when
+    they differ in these cosmetic details.
+    """
+
+    def __init__(self, pages: Iterable[WebPage] = ()) -> None:
+        self._pages: dict[str, WebPage] = {}
+        for page in pages:
+            self.add(page)
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, url: str) -> bool:
+        return self._key(url) in self._pages
+
+    @staticmethod
+    def _key(url: str) -> str:
+        parsed = parse_url(url)
+        path = parsed.path.rstrip("/") or "/"
+        return f"{parsed.host}{path}"
+
+    def add(self, page: WebPage) -> None:
+        """Register a page; later additions with the same URL win."""
+        self._pages[self._key(page.url)] = page
+
+    def fetch(self, url: str) -> WebPage | None:
+        """Return the page at ``url`` or ``None`` when unknown."""
+        try:
+            key = self._key(url)
+        except Exception:
+            return None
+        return self._pages.get(key)
+
+    def urls(self) -> tuple[str, ...]:
+        """All page URLs currently hosted (normalized keys)."""
+        return tuple(page.url for page in self._pages.values())

@@ -1,0 +1,72 @@
+"""Website model: a domain plus its pages.
+
+A :class:`Website` is the unit of classification in the paper — one
+online pharmacy.  It aggregates the pages the crawler collected for one
+registrable domain and exposes the two raw signals the system uses:
+
+* the merged text of all crawled pages (input to summarization), and
+* the set of outbound link endpoints (input to the network graph).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.exceptions import DataGenerationError
+from repro.web.page import WebPage
+from repro.web.url import endpoint
+
+__all__ = ["Website"]
+
+
+@dataclass(frozen=True, slots=True)
+class Website:
+    """A crawled website: one registrable domain and its pages.
+
+    Attributes:
+        domain: registrable domain (e.g. ``"healthmart-rx.com"``).
+        pages: crawled pages, all belonging to :attr:`domain`.
+    """
+
+    domain: str
+    pages: tuple[WebPage, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for page in self.pages:
+            if page.domain != self.domain:
+                raise DataGenerationError(
+                    f"page {page.url!r} does not belong to domain {self.domain!r}"
+                )
+
+    @property
+    def n_pages(self) -> int:
+        return len(self.pages)
+
+    def merged_text(self) -> str:
+        """Concatenated text of all pages (paper's summarization input)."""
+        return "\n".join(page.text for page in self.pages)
+
+    def outbound_endpoints(self) -> tuple[str, ...]:
+        """Distinct external second-level domains linked from any page.
+
+        This is ``outboundLinks`` + ``endpoint`` of Algorithm 1, already
+        deduplicated, in first-seen order.
+        """
+        seen: dict[str, None] = {}
+        for page in self.pages:
+            for url in page.external_links():
+                seen.setdefault(endpoint(url), None)
+        return tuple(seen)
+
+    def outbound_endpoint_counts(self) -> Counter[str]:
+        """Multiplicity of external endpoints (how often each is linked)."""
+        counts: Counter[str] = Counter()
+        for page in self.pages:
+            for url in page.external_links():
+                counts[endpoint(url)] += 1
+        return counts
+
+    def front_page(self) -> WebPage | None:
+        """The first crawled page (by convention the site root), if any."""
+        return self.pages[0] if self.pages else None

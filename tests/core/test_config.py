@@ -1,0 +1,51 @@
+"""Tests for presets and experiment configuration."""
+
+import pytest
+
+from repro.core.config import PRESETS, ExperimentConfig, preset
+from repro.exceptions import ConfigurationError
+
+
+class TestPresets:
+    def test_all_presets_present(self):
+        assert set(PRESETS) == {"tiny", "small", "medium", "paper"}
+
+    def test_paper_preset_matches_table1(self):
+        gen = preset("paper").generator
+        assert gen.n_legitimate == 167
+        assert gen.n_illegitimate == 1292
+
+    def test_all_presets_keep_class_ratio(self):
+        for name, scale in PRESETS.items():
+            gen = scale.generator
+            ratio = gen.n_legitimate / (gen.n_legitimate + gen.n_illegitimate)
+            assert ratio == pytest.approx(0.12, abs=0.01), name
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ConfigurationError):
+            preset("huge")
+
+
+class TestExperimentConfig:
+    def test_defaults(self):
+        config = ExperimentConfig()
+        assert config.n_folds == 3
+        assert config.term_subsets == (100, 250, 1000, 2000, None)
+
+    def test_generator_property(self):
+        config = ExperimentConfig(scale="tiny")
+        assert config.generator is preset("tiny").generator
+
+    def test_invalid_folds(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(n_folds=1)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(scale="galactic")
+
+    def test_hashable_for_caching(self):
+        a = ExperimentConfig(scale="tiny")
+        b = ExperimentConfig(scale="tiny")
+        assert hash(a) == hash(b)
+        assert a == b

@@ -1,0 +1,101 @@
+"""Tests for the reviewer-assistance simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.ranking import rank_pharmacies
+from repro.core.review_queue import (
+    ReviewQueue,
+    effort_to_find_fraction,
+    simulate_review,
+)
+
+
+def labelled_ranking(n_legit=3, n_illegit=9):
+    domains = [f"l{i}.com" for i in range(n_legit)] + [
+        f"b{i}.net" for i in range(n_illegit)
+    ]
+    # Perfect separation: legit scores 0.9+, illegit 0.1-.
+    text = [0.9 + 0.01 * i for i in range(n_legit)] + [
+        0.1 - 0.005 * i for i in range(n_illegit)
+    ]
+    labels = [1] * n_legit + [0] * n_illegit
+    return rank_pharmacies(domains, text, [0.0] * len(domains), labels)
+
+
+class TestReviewQueue:
+    def test_most_suspicious_first(self):
+        queue = ReviewQueue(labelled_ranking())
+        first = queue.next_batch(1)[0]
+        assert first.oracle_label == 0  # lowest rank = most suspicious
+
+    def test_batches_consume_queue(self):
+        queue = ReviewQueue(labelled_ranking())
+        assert len(queue) == 12
+        queue.next_batch(5)
+        assert queue.remaining == 7
+        queue.next_batch(100)
+        assert queue.remaining == 0
+
+    def test_requires_labels(self):
+        ranking = rank_pharmacies(["a.com"], [0.5], [0.0])
+        with pytest.raises(ValueError):
+            ReviewQueue(ranking)
+
+    def test_batch_size_validation(self):
+        queue = ReviewQueue(labelled_ranking())
+        with pytest.raises(ValueError):
+            queue.next_batch(0)
+
+
+class TestSimulateReview:
+    def test_log_covers_whole_queue(self):
+        log = simulate_review(labelled_ranking(), daily_budget=5)
+        assert sum(entry.reviewed for entry in log) == 12
+        assert log[-1].recall_of_illegitimate == pytest.approx(1.0)
+
+    def test_perfect_ranking_frontloads_illegitimate(self):
+        log = simulate_review(labelled_ranking(3, 9), daily_budget=9)
+        # Day 1 reviews exactly the 9 illegitimate sites.
+        assert log[0].illegitimate_found_today == 9
+        assert log[0].recall_of_illegitimate == pytest.approx(1.0)
+
+    def test_days_counted(self):
+        log = simulate_review(labelled_ranking(), daily_budget=4)
+        assert [entry.day for entry in log] == [1, 2, 3]
+
+
+class TestEffortToFindFraction:
+    def test_perfect_ranking_is_ideal_for_legit(self):
+        ranks = [0.9, 0.8, 0.1, 0.05, 0.01]
+        labels = [1, 1, 0, 0, 0]
+        # 90% of 2 legit -> 2 sites; both at the top.
+        assert effort_to_find_fraction(ranks, labels, 0.9, target_label=1) == 2
+
+    def test_perfect_ranking_is_ideal_for_illegit(self):
+        ranks = [0.9, 0.8, 0.1, 0.05, 0.01]
+        labels = [1, 1, 0, 0, 0]
+        assert effort_to_find_fraction(ranks, labels, 1.0, target_label=0) == 3
+
+    def test_inverted_ranking_is_worst_case(self):
+        ranks = [0.1, 0.2, 0.8, 0.9]
+        labels = [1, 1, 0, 0]
+        assert effort_to_find_fraction(ranks, labels, 1.0, target_label=1) == 4
+
+    def test_no_targets_returns_zero(self):
+        assert effort_to_find_fraction([0.5], [0], 0.9, target_label=1) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            effort_to_find_fraction([0.5], [1], 0.0)
+        with pytest.raises(ValueError):
+            effort_to_find_fraction([0.5, 0.6], [1], 0.9)
+
+    def test_better_ranking_never_needs_more_reviews(self):
+        rng = np.random.default_rng(0)
+        labels = np.array([1] * 5 + [0] * 45)
+        perfect = np.where(labels == 1, 1.0, 0.0) + rng.random(50) * 0.01
+        noisy = perfect + rng.normal(0, 0.5, 50)
+        effort_perfect = effort_to_find_fraction(perfect, labels, 0.9)
+        effort_noisy = effort_to_find_fraction(noisy, labels, 0.9)
+        assert effort_perfect <= effort_noisy

@@ -1,0 +1,101 @@
+"""Tests for the end-to-end PharmacyVerifier."""
+
+import numpy as np
+import pytest
+
+from repro.core.verifier import PharmacyVerifier
+from repro.exceptions import NotFittedError
+
+
+@pytest.fixture(scope="module")
+def fitted_verifier(tiny_corpus):
+    # Train on even rows; odd rows are "unseen".
+    train = tiny_corpus.subset(np.arange(0, len(tiny_corpus), 2))
+    return PharmacyVerifier(seed=0).fit(train), tiny_corpus
+
+
+class TestPharmacyVerifier:
+    def test_unfitted_raises(self, tiny_corpus):
+        with pytest.raises(NotFittedError):
+            PharmacyVerifier().verify_site(tiny_corpus.sites[0])
+
+    def test_is_fitted_flag(self, fitted_verifier):
+        verifier, _ = fitted_verifier
+        assert verifier.is_fitted
+
+    def test_report_fields(self, fitted_verifier):
+        verifier, corpus = fitted_verifier
+        report = verifier.verify_site(corpus.sites[1])
+        assert report.domain == corpus.sites[1].domain
+        assert report.predicted_label in (0, 1)
+        assert 0.0 <= report.legitimacy_probability <= 1.0
+        assert report.rank_score == pytest.approx(
+            report.text_rank + report.network_rank
+        )
+
+    def test_unseen_accuracy(self, fitted_verifier):
+        verifier, corpus = fitted_verifier
+        test_idx = np.arange(1, len(corpus), 2)
+        sites = [corpus.sites[i] for i in test_idx]
+        reports = verifier.verify_sites(sites)
+        predictions = np.array([r.predicted_label for r in reports])
+        assert (predictions == corpus.labels[test_idx]).mean() > 0.9
+
+    def test_is_legitimate_property(self, fitted_verifier):
+        verifier, corpus = fitted_verifier
+        report = verifier.verify_site(corpus.sites[0])
+        assert report.is_legitimate == (report.predicted_label == 1)
+
+    def test_rank_sites(self, fitted_verifier):
+        verifier, corpus = fitted_verifier
+        test_idx = np.arange(1, len(corpus), 2)
+        sites = [corpus.sites[i] for i in test_idx]
+        result = verifier.rank_sites(sites, corpus.labels[test_idx])
+        assert result.pairord > 0.9
+        scores = [e.rank_score for e in result.entries]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_verify_url_crawls_then_verifies(
+        self, fitted_verifier, tiny_snapshot_pair
+    ):
+        verifier, corpus = fitted_verifier
+        snap1, _ = tiny_snapshot_pair
+        domain = corpus.domains[1]
+        report = verifier.verify_url(snap1.host, f"https://www.{domain}/")
+        assert report.domain == domain
+
+    def test_network_rank_nonnegative(self, fitted_verifier):
+        verifier, corpus = fitted_verifier
+        for report in verifier.verify_sites(list(corpus.sites[:5])):
+            assert report.network_rank >= 0.0
+
+
+class TestThresholdTuning:
+    def test_tuned_threshold_enforces_precision(self, tiny_corpus):
+        from repro.ml.metrics import precision
+
+        train = tiny_corpus.subset(np.arange(0, len(tiny_corpus), 2))
+        holdout_idx = np.arange(1, len(tiny_corpus), 2)
+        holdout_sites = [tiny_corpus.sites[i] for i in holdout_idx]
+        holdout_labels = tiny_corpus.labels[holdout_idx]
+
+        verifier = PharmacyVerifier(seed=0).fit(train)
+        threshold = verifier.tune_threshold(
+            holdout_sites, holdout_labels, min_precision=1.0
+        )
+        assert threshold is not None
+        assert verifier.decision_threshold == threshold
+        reports = verifier.verify_sites(holdout_sites)
+        predictions = np.array([r.predicted_label for r in reports])
+        # On the tuning set itself the floor must hold exactly.
+        assert precision(holdout_labels, predictions, 1) == 1.0
+
+    def test_tune_before_fit_raises(self, tiny_corpus):
+        with pytest.raises(NotFittedError):
+            PharmacyVerifier().tune_threshold(
+                list(tiny_corpus.sites[:4]), tiny_corpus.labels[:4]
+            )
+
+    def test_untuned_verifier_has_no_threshold(self, fitted_verifier):
+        verifier, _ = fitted_verifier
+        assert verifier.decision_threshold is None

@@ -1,0 +1,75 @@
+"""Tests for PharmacyCorpus."""
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import ILLEGITIMATE, LEGITIMATE, PharmacyCorpus
+from repro.data.synthesis import PharmacyRecord
+from repro.exceptions import DataGenerationError
+from repro.web.page import WebPage
+from repro.web.site import Website
+
+
+def make_corpus():
+    sites = []
+    records = []
+    for i, label in enumerate([1, 0, 0, 1]):
+        domain = f"p{i}.com"
+        sites.append(
+            Website(
+                domain=domain,
+                pages=(WebPage(url=f"https://www.{domain}/", text=f"text {i}"),),
+            )
+        )
+        records.append(PharmacyRecord(domain=domain, label=label))
+    return PharmacyCorpus("test", tuple(sites), tuple(records))
+
+
+class TestPharmacyCorpus:
+    def test_len_and_iter(self):
+        corpus = make_corpus()
+        assert len(corpus) == 4
+        assert [s.domain for s in corpus] == ["p0.com", "p1.com", "p2.com", "p3.com"]
+
+    def test_labels_copy(self):
+        corpus = make_corpus()
+        labels = corpus.labels
+        labels[0] = 99
+        assert corpus.labels[0] == 1  # internal state untouched
+
+    def test_oracle(self):
+        corpus = make_corpus()
+        assert corpus.oracle("p0.com") == LEGITIMATE
+        assert corpus.oracle("p1.com") == ILLEGITIMATE
+
+    def test_oracle_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make_corpus().oracle("missing.com")
+
+    def test_site_and_record_lookup(self):
+        corpus = make_corpus()
+        assert corpus.site_for("p2.com").domain == "p2.com"
+        assert corpus.record_for("p2.com").label == 0
+
+    def test_subset(self):
+        corpus = make_corpus()
+        sub = corpus.subset([0, 3])
+        assert len(sub) == 2
+        assert np.array_equal(sub.labels, [1, 1])
+
+    def test_summary(self):
+        summary = make_corpus().summary()
+        assert summary.n_examples == 4
+        assert summary.n_legitimate == 2
+        assert summary.legitimate_fraction == pytest.approx(0.5)
+
+    def test_misaligned_records_rejected(self):
+        corpus = make_corpus()
+        bad_records = tuple(reversed(corpus.records))
+        with pytest.raises(DataGenerationError):
+            PharmacyCorpus("bad", corpus.sites, bad_records)
+
+    def test_length_mismatch_rejected(self):
+        corpus = make_corpus()
+        with pytest.raises(DataGenerationError):
+            PharmacyCorpus("bad", corpus.sites[:2], corpus.records)

@@ -1,0 +1,45 @@
+"""Tests for the lexicon pools."""
+
+from repro.data import lexicon
+
+
+class TestLexicon:
+    def test_table11_legit_targets_verbatim(self):
+        assert lexicon.LEGIT_LINK_TARGETS == (
+            "facebook.com", "twitter.com", "fda.gov", "google.com",
+            "youtube.com", "nih.gov", "adobe.com", "cdc.gov",
+            "doubleclick.net", "nabp.net",
+        )
+
+    def test_table11_illegit_targets_verbatim(self):
+        assert lexicon.ILLEGIT_LINK_TARGETS == (
+            "wikipedia.org", "wordpress.org", "drugs.com",
+            "securebilling-page.com", "rxwinners.com", "google.com",
+            "providesupport.com", "euro-med-store.com", "statcounter.com",
+            "cipla.com",
+        )
+
+    def test_paper_marker_terms_present(self):
+        """Section 6.3.1 names these terms explicitly."""
+        assert "viagra" in lexicon.LIFESTYLE_DRUGS
+        assert "cialis" in lexicon.LIFESTYLE_DRUGS
+        assert "no" in lexicon.NO_PRESCRIPTION_MARKETING
+        assert "prescription" in lexicon.NO_PRESCRIPTION_MARKETING
+
+    def test_pools_nonempty_and_lowercase(self):
+        for name in (
+            "HEALTH_CONTENT", "PHARMACY_COMMERCE", "STORE_PRESENCE",
+            "VERIFICATION_SEALS", "LIFESTYLE_DRUGS", "GENERIC_DRUGS",
+            "SCAM_MARKETING", "COMMON_FILLER", "DRIFT_MARKETING",
+        ):
+            pool = getattr(lexicon, name)
+            assert pool, name
+            assert all(w == w.lower() for w in pool), name
+
+    def test_no_duplicate_stems_within_pool(self):
+        assert len(set(lexicon.LEGIT_DOMAIN_STEMS)) == len(
+            lexicon.LEGIT_DOMAIN_STEMS
+        )
+        assert len(set(lexicon.ILLEGIT_DOMAIN_STEMS)) == len(
+            lexicon.ILLEGIT_DOMAIN_STEMS
+        )

@@ -1,0 +1,69 @@
+"""Tests for dataset loaders (generation + crawl)."""
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import crawl_snapshot, make_dataset, make_dataset_pair
+from repro.data.synthesis import GeneratorConfig, SyntheticWebGenerator
+
+
+CFG = GeneratorConfig(
+    n_legitimate=4,
+    n_illegitimate=26,
+    n_affiliate_hubs=2,
+    min_pages=2,
+    max_pages=4,
+    min_terms_per_page=30,
+    max_terms_per_page=60,
+    seed=11,
+)
+
+
+class TestLoaders:
+    def test_make_dataset_counts(self):
+        corpus = make_dataset(CFG)
+        assert len(corpus) == 30
+        assert corpus.labels.sum() == 4
+
+    def test_sites_have_crawled_pages(self):
+        corpus = make_dataset(CFG)
+        assert all(site.n_pages >= 2 for site in corpus.sites)
+
+    def test_max_pages_cap_respected(self):
+        corpus = make_dataset(CFG, max_pages=1)
+        assert all(site.n_pages == 1 for site in corpus.sites)
+
+    def test_pair_names(self):
+        d1, d2 = make_dataset_pair(CFG)
+        assert d1.name == "dataset1"
+        assert d2.name == "dataset2"
+
+    def test_pair_table1_semantics(self):
+        d1, d2 = make_dataset_pair(CFG)
+        legit1 = {d for d, l in zip(d1.domains, d1.labels) if l == 1}
+        legit2 = {d for d, l in zip(d2.domains, d2.labels) if l == 1}
+        bad1 = {d for d, l in zip(d1.domains, d1.labels) if l == 0}
+        bad2 = {d for d, l in zip(d2.domains, d2.labels) if l == 0}
+        assert legit1 == legit2
+        assert bad1.isdisjoint(bad2)
+
+    def test_crawl_snapshot_alignment(self):
+        snapshot = SyntheticWebGenerator(CFG).generate_snapshot()
+        corpus = crawl_snapshot(snapshot)
+        assert corpus.domains == snapshot.domains
+        assert np.array_equal(corpus.labels, snapshot.labels)
+
+
+class TestSnapshot2Size:
+    def test_distinct_snapshot2_illegitimate_count(self):
+        import dataclasses
+
+        cfg = dataclasses.replace(CFG, n_illegitimate_snapshot2=20)
+        d1, d2 = make_dataset_pair(cfg)
+        assert d1.summary().n_illegitimate == 26
+        assert d2.summary().n_illegitimate == 20
+        assert d1.summary().n_legitimate == d2.summary().n_legitimate == 4
+
+    def test_default_copies_snapshot1_count(self):
+        d1, d2 = make_dataset_pair(CFG)
+        assert d1.summary().n_illegitimate == d2.summary().n_illegitimate

@@ -1,0 +1,294 @@
+"""Tests for the synthetic web generator."""
+
+import pytest
+
+from repro.data.synthesis import (
+    GeneratorConfig,
+    SyntheticWebGenerator,
+    scaled_config,
+)
+from repro.exceptions import DataGenerationError
+
+
+SMALL = GeneratorConfig(
+    n_legitimate=6,
+    n_illegitimate=44,
+    n_affiliate_hubs=2,
+    min_pages=2,
+    max_pages=4,
+    min_terms_per_page=40,
+    max_terms_per_page=80,
+    seed=5,
+)
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return SyntheticWebGenerator(SMALL).generate_pair()
+
+
+class TestGeneratorConfig:
+    def test_defaults_keep_paper_ratio(self):
+        cfg = GeneratorConfig()
+        ratio = cfg.n_legitimate / (cfg.n_legitimate + cfg.n_illegitimate)
+        assert ratio == pytest.approx(0.12, abs=0.01)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_legitimate=0),
+            dict(n_affiliate_hubs=1000),
+            dict(min_pages=5, max_pages=2),
+            dict(min_terms_per_page=0),
+            dict(affiliate_member_fraction=1.5),
+            dict(external_links_per_page=-1.0),
+            dict(legit_asocial_fraction=-0.1),
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(DataGenerationError):
+            GeneratorConfig(**kwargs)
+
+
+class TestSnapshotStructure:
+    def test_class_counts(self, pair):
+        snap1, _ = pair
+        labels = snap1.labels
+        assert sum(labels) == 6
+        assert len(labels) - sum(labels) == 44
+
+    def test_every_domain_hosted(self, pair):
+        snap1, _ = pair
+        for record in snap1.records:
+            assert snap1.host.fetch(f"https://www.{record.domain}/") is not None
+
+    def test_hub_count(self, pair):
+        snap1, _ = pair
+        hubs = [r for r in snap1.records if r.is_affiliate_hub]
+        assert len(hubs) == 2
+        assert all(r.label == 0 for r in hubs)
+
+    def test_members_are_illegitimate_non_hubs(self, pair):
+        snap1, _ = pair
+        members = [r for r in snap1.records if r.is_affiliate_member]
+        assert members
+        assert all(r.label == 0 and not r.is_affiliate_hub for r in members)
+
+    def test_asocial_flag_only_on_legit(self, pair):
+        snap1, _ = pair
+        for record in snap1.records:
+            if record.is_asocial:
+                assert record.label == 1
+
+    def test_imitator_flag_only_on_illegit(self, pair):
+        snap1, _ = pair
+        for record in snap1.records:
+            if record.is_trust_imitator:
+                assert record.label == 0
+
+    def test_record_lookup(self, pair):
+        snap1, _ = pair
+        domain = snap1.records[0].domain
+        assert snap1.record_for(domain).domain == domain
+        with pytest.raises(KeyError):
+            snap1.record_for("missing.example")
+
+
+class TestTemporalSemantics:
+    def test_legitimate_domains_identical(self, pair):
+        snap1, snap2 = pair
+        legit1 = {r.domain for r in snap1.records if r.label == 1}
+        legit2 = {r.domain for r in snap2.records if r.label == 1}
+        assert legit1 == legit2
+
+    def test_illegitimate_domains_disjoint(self, pair):
+        snap1, snap2 = pair
+        bad1 = {r.domain for r in snap1.records if r.label == 0}
+        bad2 = {r.domain for r in snap2.records if r.label == 0}
+        assert bad1.isdisjoint(bad2)
+
+    def test_legit_text_recrawled_not_identical(self, pair):
+        snap1, snap2 = pair
+        domain = next(r.domain for r in snap1.records if r.label == 1)
+        page1 = snap1.host.fetch(f"https://www.{domain}/")
+        page2 = snap2.host.fetch(f"https://www.{domain}/")
+        assert page1.text != page2.text  # fresh crawl, same character
+
+
+class TestDeterminism:
+    def test_same_seed_same_output(self):
+        a = SyntheticWebGenerator(SMALL).generate_snapshot()
+        b = SyntheticWebGenerator(SMALL).generate_snapshot()
+        assert a.domains == b.domains
+        url = f"https://www.{a.domains[0]}/"
+        assert a.host.fetch(url).text == b.host.fetch(url).text
+
+    def test_different_seed_different_text(self):
+        import dataclasses
+
+        other = dataclasses.replace(SMALL, seed=99)
+        a = SyntheticWebGenerator(SMALL).generate_snapshot()
+        b = SyntheticWebGenerator(other).generate_snapshot()
+        url = f"https://www.{a.domains[0]}/"
+        assert a.host.fetch(url).text != b.host.fetch(url).text
+
+
+class TestTextSignals:
+    def test_illegit_overuses_lifestyle_terms(self, pair):
+        """The paper's observation: viagra/cialis/'no prescription'
+        appear far more frequently on illegitimate sites."""
+        snap1, _ = pair
+        def class_text(label):
+            chunks = []
+            for record in snap1.records:
+                if record.label == label and not record.is_outlier:
+                    page = snap1.host.fetch(f"https://www.{record.domain}/")
+                    chunks.append(page.text)
+            return " ".join(chunks).split()
+
+        legit_tokens = class_text(1)
+        illegit_tokens = class_text(0)
+        legit_rate = legit_tokens.count("viagra") / len(legit_tokens)
+        illegit_rate = illegit_tokens.count("viagra") / len(illegit_tokens)
+        assert illegit_rate > 3 * legit_rate
+
+    def test_legit_has_more_store_presence(self, pair):
+        from repro.data.lexicon import STORE_PRESENCE
+
+        snap1, _ = pair
+        store_words = set(STORE_PRESENCE)
+
+        def store_rate(label):
+            tokens = []
+            for record in snap1.records:
+                if record.label == label and not record.is_outlier:
+                    for i in range(4):
+                        suffix = "" if i == 0 else f"page{i}"
+                        page = snap1.host.fetch(
+                            f"https://www.{record.domain}/{suffix}"
+                        )
+                        if page is not None:
+                            tokens.extend(page.text.split())
+            hits = sum(1 for t in tokens if t in store_words)
+            return hits / len(tokens)
+
+        assert store_rate(1) > 2 * store_rate(0)
+
+
+class TestScaledConfig:
+    def test_scaling_preserves_ratio(self):
+        scaled = scaled_config(SMALL, 0.5)
+        assert scaled.n_legitimate == 3
+        assert scaled.n_illegitimate == 22
+
+    def test_invalid_factor(self):
+        with pytest.raises(DataGenerationError):
+            scaled_config(SMALL, 0.0)
+
+
+class TestAuxiliarySites:
+    CFG_AUX = GeneratorConfig(
+        n_legitimate=6,
+        n_illegitimate=44,
+        n_affiliate_hubs=2,
+        min_pages=2,
+        max_pages=4,
+        min_terms_per_page=40,
+        max_terms_per_page=80,
+        n_health_portals=4,
+        n_spam_directories=2,
+        seed=5,
+    )
+
+    @pytest.fixture(scope="class")
+    def aux_snapshot(self):
+        return SyntheticWebGenerator(self.CFG_AUX).generate_snapshot()
+
+    def test_auxiliary_domains_listed_and_hosted(self, aux_snapshot):
+        assert len(aux_snapshot.auxiliary_domains) == 6
+        for domain in aux_snapshot.auxiliary_domains:
+            assert aux_snapshot.host.fetch(f"https://www.{domain}/") is not None
+
+    def test_auxiliaries_not_in_working_set(self, aux_snapshot):
+        assert not set(aux_snapshot.auxiliary_domains) & set(aux_snapshot.domains)
+
+    def test_portals_link_to_legitimate_pharmacies(self, aux_snapshot):
+        from repro.web.url import endpoint
+
+        legit = {r.domain for r in aux_snapshot.records if r.label == 1}
+        portal = next(
+            d for d in aux_snapshot.auxiliary_domains if d.endswith(".org")
+        )
+        linked = set()
+        for i in range(4):
+            suffix = "" if i == 0 else f"page{i}"
+            page = aux_snapshot.host.fetch(f"https://www.{portal}/{suffix}")
+            if page is not None:
+                linked.update(
+                    endpoint(u) for u in page.external_links()
+                )
+        assert linked & legit
+
+    def test_directories_link_to_illegitimate_pharmacies(self, aux_snapshot):
+        from repro.web.url import endpoint
+
+        illegit = {r.domain for r in aux_snapshot.records if r.label == 0}
+        # Directories use .net domains; portals use .org.
+        directory = next(
+            d for d in aux_snapshot.auxiliary_domains if d.endswith(".net")
+        )
+        linked = set()
+        for i in range(4):
+            suffix = "" if i == 0 else f"page{i}"
+            page = aux_snapshot.host.fetch(f"https://www.{directory}/{suffix}")
+            if page is not None:
+                linked.update(endpoint(u) for u in page.external_links())
+        assert linked & illegit
+
+    def test_default_config_has_no_auxiliaries(self):
+        snapshot = SyntheticWebGenerator(SMALL).generate_snapshot()
+        assert snapshot.auxiliary_domains == ()
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(DataGenerationError):
+            GeneratorConfig(n_health_portals=-1)
+
+
+class TestPotentiallyLegitimate:
+    CFG_GRAY = GeneratorConfig(
+        n_legitimate=6,
+        n_illegitimate=44,
+        n_affiliate_hubs=2,
+        min_pages=2,
+        max_pages=4,
+        min_terms_per_page=40,
+        max_terms_per_page=80,
+        n_potentially_legitimate=4,
+        seed=5,
+    )
+
+    @pytest.fixture(scope="class")
+    def gray_snapshot(self):
+        return SyntheticWebGenerator(self.CFG_GRAY).generate_snapshot()
+
+    def test_gray_domains_hosted_but_outside_p(self, gray_snapshot):
+        assert len(gray_snapshot.gray_domains) == 4
+        assert not set(gray_snapshot.gray_domains) & set(gray_snapshot.domains)
+        for domain in gray_snapshot.gray_domains:
+            assert gray_snapshot.host.fetch(f"https://www.{domain}/") is not None
+
+    def test_default_has_no_gray_sites(self):
+        snapshot = SyntheticWebGenerator(SMALL).generate_snapshot()
+        assert snapshot.gray_domains == ()
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(DataGenerationError):
+            GeneratorConfig(n_potentially_legitimate=-1)
+
+    def test_corpus_carries_gray_sites(self):
+        from repro.data.loaders import crawl_snapshot
+
+        snapshot = SyntheticWebGenerator(self.CFG_GRAY).generate_snapshot()
+        corpus = crawl_snapshot(snapshot)
+        assert len(corpus.gray_sites) == 4
+        assert len(corpus) == 50  # gray sites are not part of P

@@ -1,0 +1,47 @@
+"""Tests for the figure regenerations."""
+
+from repro.experiments.figures import (
+    figure2_pipeline_trace,
+    figure3_trustrank_demo,
+)
+
+
+class TestFigure2:
+    def test_trace_classifies_unseen_correctly(self):
+        trace = figure2_pipeline_trace()
+        predictions = dict(trace.predictions)
+        assert predictions["unseen-legit"] == 1
+        assert predictions["unseen-illegit"] == 0
+
+    def test_trace_has_both_class_graphs(self):
+        trace = figure2_pipeline_trace()
+        assert set(trace.class_graph_sizes) == {0, 1}
+        assert all(size > 0 for size in trace.class_graph_sizes.values())
+
+    def test_render_mentions_steps(self):
+        text = figure2_pipeline_trace().render()
+        assert "class graph" in text
+        assert "predict" in text
+
+
+class TestFigure3:
+    def test_bad_nodes_near_zero(self):
+        table = figure3_trustrank_demo()
+        for row in table.rows:
+            node, kind, _, propagated = row
+            if kind == "bad":
+                assert propagated < 1e-6, node
+
+    def test_good_nodes_positive(self):
+        table = figure3_trustrank_demo()
+        for row in table.rows:
+            _, kind, _, propagated = row
+            if kind == "good":
+                assert propagated > 0.01
+
+    def test_seed_initial_trust_one(self):
+        table = figure3_trustrank_demo()
+        initial = {row[0]: row[2] for row in table.rows}
+        assert initial["g1"] == 1.0
+        assert initial["g2"] == 1.0
+        assert initial["b1"] == 0.0

@@ -1,0 +1,64 @@
+"""Tests for table rendering."""
+
+import pytest
+
+from repro.experiments.results import TableResult, format_value, term_subset_header
+
+
+def sample_table():
+    return TableResult(
+        table_id="tableX",
+        title="Sample",
+        columns=("Classifier", "100", "All"),
+        rows=(("NBM", 0.974, 0.951), ("SVM", 0.968, 0.992)),
+        notes=("a note",),
+    )
+
+
+class TestFormatValue:
+    def test_float_precision(self):
+        assert format_value(0.975) == "0.97"
+        assert format_value(0.975, precision=3) == "0.975"
+
+    def test_int_passthrough(self):
+        assert format_value(42) == "42"
+
+    def test_string_passthrough(self):
+        assert format_value("NBM") == "NBM"
+
+    def test_bool(self):
+        assert format_value(True) == "True"
+
+
+class TestTableResult:
+    def test_cell_lookup(self):
+        table = sample_table()
+        assert table.cell("NBM", "100") == 0.974
+
+    def test_cell_missing_row(self):
+        with pytest.raises(KeyError):
+            sample_table().cell("J48", "100")
+
+    def test_cell_missing_column(self):
+        with pytest.raises(ValueError):
+            sample_table().cell("NBM", "250")
+
+    def test_column_values(self):
+        assert sample_table().column_values("All") == [0.951, 0.992]
+
+    def test_render_contains_everything(self):
+        text = sample_table().render()
+        assert "TABLEX" in text
+        assert "NBM" in text
+        assert "0.97" in text
+        assert "note: a note" in text
+
+    def test_render_alignment(self):
+        lines = sample_table().render().splitlines()
+        header, sep = lines[1], lines[2]
+        assert len(header) == len(sep)
+
+
+class TestTermSubsetHeader:
+    def test_none_becomes_all(self):
+        assert term_subset_header((100, None)) == ("100", "All")

@@ -1,0 +1,81 @@
+"""Tests for the classifier base utilities."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.ml.base import check_X, check_X_y, clone, ensure_dense
+from repro.ml.naive_bayes import GaussianNB, MultinomialNB
+from repro.ml.svm import LinearSVC
+from repro.ml.tree import C45Tree
+
+
+class TestEnsureDense:
+    def test_sparse_densified(self):
+        X = sp.csr_matrix(np.eye(3))
+        out = ensure_dense(X)
+        assert isinstance(out, np.ndarray)
+        assert np.allclose(out, np.eye(3))
+
+    def test_1d_promoted_to_column(self):
+        assert ensure_dense(np.array([1.0, 2.0])).shape == (2, 1)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError):
+            ensure_dense(np.zeros((2, 2, 2)))
+
+
+class TestCheckXY:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            check_X_y(np.ones((3, 2)), [0, 1])
+
+    def test_2d_y_rejected(self):
+        with pytest.raises(ValueError):
+            check_X_y(np.ones((2, 2)), np.ones((2, 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            check_X_y(np.ones((0, 2)), [])
+
+    def test_sparse_passthrough(self):
+        X = sp.csr_matrix(np.ones((2, 2)))
+        out, y = check_X_y(X, [0, 1])
+        assert sp.issparse(out)
+
+    def test_sparse_densified_when_disallowed(self):
+        X = sp.csr_matrix(np.ones((2, 2)))
+        out = check_X(X, allow_sparse=False)
+        assert isinstance(out, np.ndarray)
+
+
+class TestClone:
+    @pytest.mark.parametrize(
+        "estimator",
+        [
+            MultinomialNB(alpha=0.3, fit_prior=False),
+            GaussianNB(var_smoothing=1e-6),
+            LinearSVC(lam=0.01, n_epochs=7, class_weight=None, seed=5),
+            C45Tree(max_depth=3, min_samples_split=6),
+        ],
+    )
+    def test_clone_preserves_params(self, estimator):
+        copy = clone(estimator)
+        assert type(copy) is type(estimator)
+        assert copy.get_params() == estimator.get_params()
+        assert copy is not estimator
+
+    def test_clone_is_unfitted(self):
+        X = np.array([[0.0], [1.0], [0.1], [0.9]])
+        y = np.array([0, 1, 0, 1])
+        fitted = GaussianNB().fit(X, y)
+        copy = clone(fitted)
+        from repro.exceptions import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            copy.predict(X)
+
+    def test_repr_contains_params(self):
+        text = repr(MultinomialNB(alpha=0.5))
+        assert "MultinomialNB" in text
+        assert "0.5" in text

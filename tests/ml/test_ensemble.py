@@ -1,0 +1,114 @@
+"""Tests for Ensemble Selection."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.ml.ensemble import EnsembleSelection, LibraryModel
+
+
+def make_model(name, proba_by_index):
+    """A LibraryModel backed by a fixed (n, 2) probability table."""
+    table = np.asarray(proba_by_index, dtype=np.float64)
+
+    def predict_proba(indices):
+        return table[np.asarray(indices, dtype=np.int64)]
+
+    return LibraryModel(name=name, predict_proba=predict_proba)
+
+
+def proba_from_scores(scores):
+    scores = np.asarray(scores, dtype=np.float64)
+    return np.column_stack([1 - scores, scores])
+
+
+class TestEnsembleSelection:
+    Y = np.array([1, 1, 1, 0, 0, 0, 0, 0])
+    IDX = np.arange(8)
+
+    def good(self):
+        return make_model(
+            "good", proba_from_scores([0.9, 0.8, 0.85, 0.1, 0.2, 0.15, 0.1, 0.05])
+        )
+
+    def bad(self):
+        return make_model(
+            "bad", proba_from_scores([0.1, 0.2, 0.15, 0.9, 0.8, 0.9, 0.85, 0.95])
+        )
+
+    def noisy(self):
+        rng = np.random.default_rng(0)
+        return make_model("noisy", proba_from_scores(rng.random(8)))
+
+    def test_picks_best_single_model(self):
+        selection = EnsembleSelection().fit(
+            [self.bad(), self.good(), self.noisy()], self.IDX, self.Y
+        )
+        assert "good" in selection.bag_counts
+        assert selection.bag_counts.get("good", 0) >= selection.bag_counts.get(
+            "bad", 0
+        )
+
+    def test_predictions_follow_bag(self):
+        selection = EnsembleSelection().fit([self.good()], self.IDX, self.Y)
+        preds = selection.predict(self.IDX)
+        assert (preds == self.Y).all()
+
+    def test_proba_shape_and_range(self):
+        selection = EnsembleSelection().fit(
+            [self.good(), self.noisy()], self.IDX, self.Y
+        )
+        proba = selection.predict_proba(self.IDX)
+        assert proba.shape == (8, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_ensemble_not_worse_than_best_member(self):
+        from repro.ml.metrics import auc_roc
+
+        library = [self.good(), self.bad(), self.noisy()]
+        selection = EnsembleSelection().fit(library, self.IDX, self.Y)
+        ensemble_auc = auc_roc(self.Y, selection.decision_scores(self.IDX))
+        best_single = max(
+            auc_roc(self.Y, m.predict_proba(self.IDX)[:, 1]) for m in library
+        )
+        assert ensemble_auc >= best_single - 1e-9
+
+    def test_with_replacement_can_pick_same_model_twice(self):
+        # Two complementary models; selection may add either repeatedly.
+        selection = EnsembleSelection(max_rounds=10).fit(
+            [self.good(), self.noisy()], self.IDX, self.Y
+        )
+        assert sum(selection.bag_counts.values()) >= 1
+
+    def test_empty_library_raises(self):
+        with pytest.raises(ValueError):
+            EnsembleSelection().fit([], self.IDX, self.Y)
+
+    def test_bad_proba_shape_raises(self):
+        broken = LibraryModel(
+            name="broken", predict_proba=lambda idx: np.zeros((len(idx), 3))
+        )
+        with pytest.raises(ValueError):
+            EnsembleSelection().fit([broken], self.IDX, self.Y)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            EnsembleSelection().predict_proba(self.IDX)
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            EnsembleSelection(n_init=0)
+        with pytest.raises(ValueError):
+            EnsembleSelection(max_rounds=-1)
+
+    def test_custom_metric_used(self):
+        calls = []
+
+        def metric(y_true, scores):
+            calls.append(1)
+            from repro.ml.metrics import auc_roc
+
+            return auc_roc(y_true, scores)
+
+        EnsembleSelection(metric=metric).fit([self.good()], self.IDX, self.Y)
+        assert calls

@@ -1,0 +1,86 @@
+"""Tests for logistic regression."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import NotFittedError
+from repro.ml.logistic import LogisticRegression
+
+
+def blobs(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    X0 = rng.normal(-1.5, 0.8, size=(n, 3))
+    X1 = rng.normal(1.5, 0.8, size=(n, 3))
+    return np.vstack([X0, X1]), np.array([0] * n + [1] * n)
+
+
+class TestLogisticRegression:
+    def test_learns_blobs(self):
+        X, y = blobs()
+        clf = LogisticRegression().fit(X, y)
+        assert (clf.predict(X) == y).mean() > 0.95
+
+    def test_sparse_input(self):
+        X, y = blobs()
+        clf = LogisticRegression().fit(sp.csr_matrix(X), y)
+        assert (clf.predict(sp.csr_matrix(X)) == y).mean() > 0.95
+
+    def test_probabilities_calibrated_direction(self):
+        X, y = blobs()
+        clf = LogisticRegression().fit(X, y)
+        proba = clf.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert proba[y == 1, 1].mean() > proba[y == 0, 1].mean()
+
+    def test_decision_function_is_logit(self):
+        X, y = blobs(n=30)
+        clf = LogisticRegression().fit(X, y)
+        margin = clf.decision_function(X[:5])
+        proba = clf.predict_proba(X[:5])[:, 1]
+        assert np.allclose(proba, 1.0 / (1.0 + np.exp(-margin)))
+
+    def test_balanced_weighting_on_imbalance(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack(
+            [rng.normal(-0.7, 1, (180, 4)), rng.normal(0.7, 1, (20, 4))]
+        )
+        y = np.array([0] * 180 + [1] * 20)
+        balanced = LogisticRegression(class_weight="balanced").fit(X, y)
+        plain = LogisticRegression(class_weight=None).fit(X, y)
+        rec_b = (balanced.predict(X)[y == 1] == 1).mean()
+        rec_p = (plain.predict(X)[y == 1] == 1).mean()
+        assert rec_b >= rec_p
+
+    def test_multiclass_rejected(self):
+        X = np.random.default_rng(0).normal(size=(9, 2))
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(X, [0, 1, 2] * 3)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            LogisticRegression().decision_function(np.ones((1, 2)))
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(l2=-1.0)
+        with pytest.raises(ValueError):
+            LogisticRegression(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            LogisticRegression(n_iterations=0)
+        with pytest.raises(ValueError):
+            LogisticRegression(momentum=1.0)
+        with pytest.raises(ValueError):
+            LogisticRegression(class_weight="nope")
+
+    def test_feature_mismatch_raises(self):
+        X, y = blobs(n=15)
+        clf = LogisticRegression(n_iterations=10).fit(X, y)
+        with pytest.raises(ValueError):
+            clf.decision_function(np.ones((1, 8)))
+
+    def test_deterministic(self):
+        X, y = blobs(n=20)
+        a = LogisticRegression().fit(X, y).decision_function(X)
+        b = LogisticRegression().fit(X, y).decision_function(X)
+        assert np.allclose(a, b)

@@ -1,0 +1,68 @@
+"""Tests for the multilayer perceptron."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.ml.mlp import MLPClassifier
+
+
+def blobs(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    X0 = rng.normal(-1.2, 0.6, size=(n, 3))
+    X1 = rng.normal(1.2, 0.6, size=(n, 3))
+    return np.vstack([X0, X1]), np.array([0] * n + [1] * n)
+
+
+class TestMLPClassifier:
+    def test_learns_blobs(self):
+        X, y = blobs()
+        clf = MLPClassifier(n_epochs=100, seed=0).fit(X, y)
+        assert (clf.predict(X) == y).mean() > 0.95
+
+    def test_learns_xor(self):
+        rng = np.random.default_rng(0)
+        X = rng.random((300, 2)) * 2 - 1
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        clf = MLPClassifier(hidden_units=24, n_epochs=400, seed=0).fit(X, y)
+        assert (clf.predict(X) == y).mean() > 0.9
+
+    def test_proba_rows_sum_to_one(self):
+        X, y = blobs(n=30)
+        proba = MLPClassifier(n_epochs=30, seed=0).fit(X, y).predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert (proba >= 0).all()
+
+    def test_deterministic_given_seed(self):
+        X, y = blobs(n=30)
+        a = MLPClassifier(n_epochs=20, seed=3).fit(X, y).predict_proba(X)
+        b = MLPClassifier(n_epochs=20, seed=3).fit(X, y).predict_proba(X)
+        assert np.allclose(a, b)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            MLPClassifier().predict(np.ones((1, 2)))
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(hidden_units=0)
+        with pytest.raises(ValueError):
+            MLPClassifier(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            MLPClassifier(momentum=1.0)
+        with pytest.raises(ValueError):
+            MLPClassifier(batch_size=0)
+        with pytest.raises(ValueError):
+            MLPClassifier(class_weight="nope")
+
+    def test_feature_mismatch_raises(self):
+        X, y = blobs(n=20)
+        clf = MLPClassifier(n_epochs=5).fit(X, y)
+        with pytest.raises(ValueError):
+            clf.predict(np.ones((1, 9)))
+
+    def test_decision_scores_separate_classes(self):
+        X, y = blobs()
+        clf = MLPClassifier(n_epochs=100, seed=0).fit(X, y)
+        scores = clf.decision_scores(X)
+        assert scores[y == 1].mean() > scores[y == 0].mean()

@@ -1,0 +1,131 @@
+"""Tests for Multinomial and Gaussian Naïve Bayes."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import NotFittedError
+from repro.ml.naive_bayes import GaussianNB, MultinomialNB
+
+
+def separable_counts(n=60, seed=0):
+    """Two classes with distinct dominant features."""
+    rng = np.random.default_rng(seed)
+    X0 = rng.poisson([5, 1, 0.5], size=(n, 3)).astype(float)
+    X1 = rng.poisson([0.5, 1, 5], size=(n, 3)).astype(float)
+    X = np.vstack([X0, X1])
+    y = np.array([0] * n + [1] * n)
+    return X, y
+
+
+class TestMultinomialNB:
+    def test_learns_separable_data(self):
+        X, y = separable_counts()
+        clf = MultinomialNB().fit(X, y)
+        assert (clf.predict(X) == y).mean() > 0.9
+
+    def test_sparse_input_matches_dense(self):
+        X, y = separable_counts()
+        dense = MultinomialNB().fit(X, y).predict_proba(X)
+        sparse = MultinomialNB().fit(sp.csr_matrix(X), y).predict_proba(
+            sp.csr_matrix(X)
+        )
+        assert np.allclose(dense, sparse)
+
+    def test_proba_rows_sum_to_one(self):
+        X, y = separable_counts()
+        proba = MultinomialNB().fit(X, y).predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_prior_respected_on_uninformative_input(self):
+        # 90/10 imbalance; an all-zero row should follow the prior.
+        X = np.ones((100, 2))
+        y = np.array([0] * 90 + [1] * 10)
+        clf = MultinomialNB().fit(X, y)
+        proba = clf.predict_proba(np.zeros((1, 2)))
+        assert proba[0, 0] > proba[0, 1]
+
+    def test_uniform_prior_option(self):
+        X = np.ones((100, 2))
+        y = np.array([0] * 90 + [1] * 10)
+        clf = MultinomialNB(fit_prior=False).fit(X, y)
+        proba = clf.predict_proba(np.zeros((1, 2)))
+        assert proba[0, 0] == pytest.approx(proba[0, 1])
+
+    def test_hand_computed_likelihood(self):
+        # One doc per class: class 0 = [2, 0], class 1 = [0, 2], alpha=1.
+        X = np.array([[2.0, 0.0], [0.0, 2.0]])
+        y = np.array([0, 1])
+        clf = MultinomialNB(alpha=1.0).fit(X, y)
+        # P(t0 | c0) = (2+1)/(2+2) = 3/4.
+        assert np.exp(clf._log_likelihood[0, 0]) == pytest.approx(3 / 4)
+        assert np.exp(clf._log_likelihood[0, 1]) == pytest.approx(1 / 4)
+
+    def test_negative_features_rejected(self):
+        with pytest.raises(ValueError):
+            MultinomialNB().fit(np.array([[-1.0, 1.0], [1.0, 0.0]]), [0, 1])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            MultinomialNB().predict(np.ones((1, 2)))
+
+    def test_feature_mismatch_raises(self):
+        X, y = separable_counts()
+        clf = MultinomialNB().fit(X, y)
+        with pytest.raises(ValueError):
+            clf.predict(np.ones((1, 5)))
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            MultinomialNB(alpha=0.0)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            MultinomialNB().fit(np.ones((3, 2)), [1, 1, 1])
+
+    def test_classes_preserved(self):
+        X, y = separable_counts()
+        clf = MultinomialNB().fit(X, y + 5)  # labels 5 and 6
+        assert set(clf.predict(X)) <= {5, 6}
+
+
+class TestGaussianNB:
+    def test_learns_gaussian_blobs(self):
+        rng = np.random.default_rng(0)
+        X0 = rng.normal(-2, 1, size=(80, 2))
+        X1 = rng.normal(2, 1, size=(80, 2))
+        X = np.vstack([X0, X1])
+        y = np.array([0] * 80 + [1] * 80)
+        clf = GaussianNB().fit(X, y)
+        assert (clf.predict(X) == y).mean() > 0.95
+
+    def test_decision_scores_monotone_with_position(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack(
+            [rng.normal(-1, 0.5, size=(50, 1)), rng.normal(1, 0.5, size=(50, 1))]
+        )
+        y = np.array([0] * 50 + [1] * 50)
+        clf = GaussianNB().fit(X, y)
+        scores = clf.decision_scores(np.array([[-2.0], [0.0], [2.0]]))
+        assert scores[0] < scores[1] < scores[2]
+
+    def test_proba_rows_sum_to_one(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(40, 3))
+        y = rng.integers(0, 2, 40)
+        proba = GaussianNB().fit(X, y).predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_constant_feature_does_not_crash(self):
+        X = np.array([[1.0, 0.0], [1.0, 1.0], [1.0, 0.1], [1.0, 0.9]])
+        y = np.array([0, 1, 0, 1])
+        clf = GaussianNB().fit(X, y)
+        assert clf.predict(X).shape == (4,)
+
+    def test_var_smoothing_validation(self):
+        with pytest.raises(ValueError):
+            GaussianNB(var_smoothing=-1.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            GaussianNB().predict_proba(np.ones((1, 2)))

@@ -1,0 +1,140 @@
+"""Tests for undersampling and SMOTE."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.sampling import SAMPLER_ABBREVIATIONS, SMOTE, RandomUnderSampler
+
+
+def imbalanced(n_major=90, n_minor=10, seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.vstack(
+        [rng.normal(0, 1, (n_major, 3)), rng.normal(5, 1, (n_minor, 3))]
+    )
+    y = np.array([0] * n_major + [1] * n_minor)
+    return X, y
+
+
+class TestRandomUnderSampler:
+    def test_balances_classes(self):
+        X, y = imbalanced()
+        Xr, yr = RandomUnderSampler(seed=0).fit_resample(X, y)
+        assert (yr == 0).sum() == (yr == 1).sum() == 10
+
+    def test_rows_come_from_original(self):
+        X, y = imbalanced()
+        Xr, _ = RandomUnderSampler(seed=0).fit_resample(X, y)
+        original = {tuple(row) for row in X}
+        assert all(tuple(row) in original for row in np.asarray(Xr))
+
+    def test_deterministic(self):
+        X, y = imbalanced()
+        a = RandomUnderSampler(seed=1).fit_resample(X, y)
+        b = RandomUnderSampler(seed=1).fit_resample(X, y)
+        assert np.array_equal(np.asarray(a[0]), np.asarray(b[0]))
+
+    def test_sparse_input_supported(self):
+        X, y = imbalanced()
+        Xr, yr = RandomUnderSampler(seed=0).fit_resample(sp.csr_matrix(X), y)
+        assert sp.issparse(Xr)
+        assert (yr == 0).sum() == (yr == 1).sum()
+
+    def test_already_balanced_unchanged_size(self):
+        X, y = imbalanced(n_major=10, n_minor=10)
+        Xr, yr = RandomUnderSampler().fit_resample(X, y)
+        assert len(yr) == 20
+
+
+class TestSMOTE:
+    def test_upsamples_minority_to_majority(self):
+        X, y = imbalanced()
+        Xr, yr = SMOTE(seed=0).fit_resample(X, y)
+        assert (yr == 0).sum() == (yr == 1).sum() == 90
+
+    def test_original_rows_preserved(self):
+        X, y = imbalanced()
+        Xr, yr = SMOTE(seed=0).fit_resample(X, y)
+        assert np.allclose(Xr[: len(y)], X)
+        assert np.array_equal(yr[: len(y)], y)
+
+    def test_synthetic_rows_near_minority_cluster(self):
+        X, y = imbalanced()
+        Xr, yr = SMOTE(seed=0).fit_resample(X, y)
+        synthetic = Xr[len(y):]
+        # Minority cluster is centred at 5; synthetic rows interpolate
+        # within it, so they stay close.
+        assert np.all(np.abs(synthetic.mean(axis=0) - 5.0) < 1.5)
+
+    def test_synthetic_on_segment_between_neighbours(self):
+        """SMOTE rows are convex combinations of two minority rows."""
+        X = np.array([[0.0, 0.0], [1.0, 1.0], [10.0, 10.0], [11.0, 11.0],
+                      [12.0, 12.0], [13.0, 13.0]])
+        y = np.array([1, 1, 0, 0, 0, 0])
+        Xr, yr = SMOTE(k_neighbors=1, seed=0).fit_resample(X, y)
+        synthetic = Xr[len(y):]
+        # With the two minority points on the x=y line, every
+        # interpolation stays on it.
+        assert np.allclose(synthetic[:, 0], synthetic[:, 1])
+        assert np.all(synthetic >= 0.0) and np.all(synthetic <= 1.0 + 1e-9)
+
+    def test_deterministic(self):
+        X, y = imbalanced()
+        a = SMOTE(seed=2).fit_resample(X, y)[0]
+        b = SMOTE(seed=2).fit_resample(X, y)[0]
+        assert np.allclose(a, b)
+
+    def test_single_minority_row_replicates(self):
+        X = np.vstack([np.zeros((5, 2)), np.ones((1, 2))])
+        y = np.array([0] * 5 + [1])
+        Xr, yr = SMOTE().fit_resample(X, y)
+        assert (yr == 1).sum() == 5
+        assert np.allclose(Xr[yr == 1], 1.0)
+
+    def test_sparse_input_densified(self):
+        X, y = imbalanced()
+        Xr, _ = SMOTE(seed=0).fit_resample(sp.csr_matrix(X), y)
+        assert isinstance(Xr, np.ndarray)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            SMOTE(k_neighbors=0)
+
+    def test_abbreviations_match_paper(self):
+        assert SAMPLER_ABBREVIATIONS[None] == "NO"
+        assert SAMPLER_ABBREVIATIONS["RandomUnderSampler"] == "SUB"
+        assert SAMPLER_ABBREVIATIONS["SMOTE"] == "SMOTE"
+
+
+@given(
+    n_minor=st.integers(2, 8),
+    n_major=st.integers(9, 30),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=25)
+def test_smote_output_always_balanced(n_minor, n_major, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n_minor + n_major, 3))
+    y = np.array([1] * n_minor + [0] * n_major)
+    _, yr = SMOTE(seed=seed).fit_resample(X, y)
+    assert (yr == 0).sum() == (yr == 1).sum() == n_major
+
+
+@given(
+    n_minor=st.integers(3, 10),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=25)
+def test_smote_synthetic_inside_minority_bounding_box(n_minor, seed):
+    """Interpolated points can never leave the minority bounding box."""
+    rng = np.random.default_rng(seed)
+    minority = rng.normal(size=(n_minor, 2))
+    majority = rng.normal(10.0, 1.0, size=(n_minor + 5, 2))
+    X = np.vstack([minority, majority])
+    y = np.array([1] * n_minor + [0] * (n_minor + 5))
+    Xr, yr = SMOTE(seed=seed).fit_resample(X, y)
+    synthetic = Xr[len(y):]
+    lo, hi = minority.min(axis=0), minority.max(axis=0)
+    assert np.all(synthetic >= lo - 1e-9)
+    assert np.all(synthetic <= hi + 1e-9)

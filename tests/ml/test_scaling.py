@@ -1,0 +1,35 @@
+"""Tests for StandardScaler."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.ml.scaling import StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(3.0, 2.0, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_centered_not_scaled(self):
+        X = np.column_stack([np.full(10, 7.0), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z[:, 0], 0.0)
+
+    def test_transform_uses_training_stats(self):
+        scaler = StandardScaler().fit(np.array([[0.0], [2.0]]))
+        assert scaler.transform(np.array([[1.0]]))[0, 0] == pytest.approx(0.0)
+        assert scaler.transform(np.array([[3.0]]))[0, 0] == pytest.approx(2.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.ones((1, 1)))
+
+    def test_feature_mismatch_raises(self):
+        scaler = StandardScaler().fit(np.ones((3, 2)))
+        with pytest.raises(ValueError):
+            scaler.transform(np.ones((3, 4)))

@@ -1,0 +1,93 @@
+"""Tests for the Pegasos linear SVM."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import NotFittedError
+from repro.ml.svm import LinearSVC
+
+
+def blobs(n=80, gap=2.0, seed=0):
+    rng = np.random.default_rng(seed)
+    X0 = rng.normal(-gap, 1.0, size=(n, 4))
+    X1 = rng.normal(gap, 1.0, size=(n, 4))
+    return np.vstack([X0, X1]), np.array([0] * n + [1] * n)
+
+
+class TestLinearSVC:
+    def test_separable_blobs(self):
+        X, y = blobs()
+        clf = LinearSVC(n_epochs=20).fit(X, y)
+        assert (clf.predict(X) == y).mean() > 0.97
+
+    def test_sparse_input(self):
+        X, y = blobs()
+        clf = LinearSVC(n_epochs=20).fit(sp.csr_matrix(X), y)
+        assert (clf.predict(sp.csr_matrix(X)) == y).mean() > 0.97
+
+    def test_sparse_dense_agree(self):
+        X, y = blobs(n=40)
+        dense = LinearSVC(n_epochs=5, seed=1).fit(X, y)
+        sparse = LinearSVC(n_epochs=5, seed=1).fit(sp.csr_matrix(X), y)
+        assert np.allclose(
+            dense.decision_function(X),
+            sparse.decision_function(sp.csr_matrix(X)),
+            atol=1e-8,
+        )
+
+    def test_decision_scores_are_margins(self):
+        X, y = blobs()
+        clf = LinearSVC(n_epochs=20).fit(X, y)
+        scores = clf.decision_scores(X)
+        assert scores[y == 1].mean() > scores[y == 0].mean()
+
+    def test_proba_is_sigmoid_of_margin(self):
+        X, y = blobs()
+        clf = LinearSVC(n_epochs=10).fit(X, y)
+        margin = clf.decision_function(X[:5])
+        proba = clf.predict_proba(X[:5])
+        assert np.allclose(proba[:, 1], 1.0 / (1.0 + np.exp(-margin)))
+
+    def test_balanced_weighting_helps_minority_recall(self):
+        rng = np.random.default_rng(0)
+        # 8% minority with a modest gap.
+        X0 = rng.normal(-0.8, 1.0, size=(230, 5))
+        X1 = rng.normal(0.8, 1.0, size=(20, 5))
+        X = np.vstack([X0, X1])
+        y = np.array([0] * 230 + [1] * 20)
+        balanced = LinearSVC(class_weight="balanced", n_epochs=20).fit(X, y)
+        plain = LinearSVC(class_weight=None, n_epochs=20).fit(X, y)
+        recall_balanced = (balanced.predict(X)[y == 1] == 1).mean()
+        recall_plain = (plain.predict(X)[y == 1] == 1).mean()
+        assert recall_balanced >= recall_plain
+
+    def test_deterministic_given_seed(self):
+        X, y = blobs(n=30)
+        a = LinearSVC(n_epochs=5, seed=7).fit(X, y).decision_function(X)
+        b = LinearSVC(n_epochs=5, seed=7).fit(X, y).decision_function(X)
+        assert np.allclose(a, b)
+
+    def test_multiclass_rejected(self):
+        X = np.random.default_rng(0).normal(size=(9, 2))
+        y = np.array([0, 1, 2] * 3)
+        with pytest.raises(ValueError):
+            LinearSVC().fit(X, y)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            LinearSVC().decision_function(np.ones((1, 2)))
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            LinearSVC(lam=0.0)
+        with pytest.raises(ValueError):
+            LinearSVC(n_epochs=0)
+        with pytest.raises(ValueError):
+            LinearSVC(class_weight="bogus")
+
+    def test_feature_mismatch_raises(self):
+        X, y = blobs(n=20)
+        clf = LinearSVC(n_epochs=3).fit(X, y)
+        with pytest.raises(ValueError):
+            clf.decision_function(np.ones((2, 9)))

@@ -1,0 +1,69 @@
+"""Tests for EigenTrust."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.network.eigentrust import eigentrust
+from repro.network.graph import DirectedGraph
+
+
+def trust_web():
+    g = DirectedGraph()
+    g.add_edge("p1", "p2")   # pre-trusted p1 vouches for p2
+    g.add_edge("p2", "p3")
+    g.add_edge("m1", "m2")   # malicious collective vouching for itself
+    g.add_edge("m2", "m1")
+    return g
+
+
+class TestEigenTrust:
+    def test_scores_sum_to_one(self):
+        scores = eigentrust(trust_web(), ["p1"])
+        assert sum(scores.values()) == pytest.approx(1.0)
+
+    def test_pretrusted_cluster_dominates(self):
+        scores = eigentrust(trust_web(), ["p1"])
+        good = scores["p1"] + scores["p2"] + scores["p3"]
+        bad = scores["m1"] + scores["m2"]
+        assert good > 0.9
+        assert bad < 0.1
+
+    def test_malicious_collective_starved(self):
+        """The EigenTrust guarantee: a collusion ring with no inbound
+        trust from the pre-trusted web gets (almost) no global trust."""
+        scores = eigentrust(trust_web(), ["p1"])
+        assert scores["m1"] == pytest.approx(0.0, abs=1e-9)
+        assert scores["m2"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_trust_decays_along_chain(self):
+        g = DirectedGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("c", "d")
+        scores = eigentrust(g, ["a"])
+        assert scores["b"] > scores["c"] > scores["d"]
+
+    def test_alpha_blends_toward_pretrust(self):
+        g = trust_web()
+        heavy_anchor = eigentrust(g, ["p1"], alpha=0.9)
+        light_anchor = eigentrust(g, ["p1"], alpha=0.05)
+        assert heavy_anchor["p1"] > light_anchor["p1"]
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(GraphError):
+            eigentrust(DirectedGraph(), ["x"])
+
+    def test_disjoint_pretrust_raises(self):
+        with pytest.raises(GraphError):
+            eigentrust(trust_web(), ["ghost"])
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            eigentrust(trust_web(), ["p1"], alpha=1.0)
+
+    def test_dangling_defers_to_pretrust(self):
+        g = DirectedGraph()
+        g.add_edge("seed", "sink")  # sink makes no trust statements
+        scores = eigentrust(g, ["seed"])
+        assert sum(scores.values()) == pytest.approx(1.0)
+        assert scores["seed"] > 0

@@ -1,0 +1,162 @@
+"""Tests for network feature extraction and Table 11 analysis."""
+
+import numpy as np
+import pytest
+
+from repro.network.features import NetworkFeatureExtractor, top_linked_domains
+from repro.web.page import WebPage
+from repro.web.site import Website
+
+
+def site(domain, external_urls):
+    page = WebPage(
+        url=f"https://www.{domain}/", text="x", links=tuple(external_urls)
+    )
+    return Website(domain=domain, pages=(page,))
+
+
+def small_working_set():
+    """Two trusted-linking legit sites, two cold illegit sites."""
+    return [
+        site("legit1.com", ["https://www.fda.gov/a", "https://twitter.com/x"]),
+        site("legit2.com", ["https://www.fda.gov/b"]),
+        site("bad1.net", ["https://www.wordpress.org/t"]),
+        site("bad2.net", ["https://www.wordpress.org/t"]),
+    ]
+
+
+class TestNetworkFeatureExtractor:
+    def test_feature_order_and_shape(self):
+        extractor = NetworkFeatureExtractor()
+        matrix = extractor.extract(small_working_set(), ["legit1.com"])
+        assert matrix.feature_names == (
+            "outlink_trust",
+            "trustrank",
+            "inlink_trust",
+        )
+        assert matrix.features.shape == (4, 3)
+
+    def test_outlink_trust_separates_classes(self):
+        extractor = NetworkFeatureExtractor()
+        matrix = extractor.extract(
+            small_working_set(), ["legit1.com", "legit2.com"]
+        )
+        outlink = matrix.column("outlink_trust")
+        # legit sites link to fda.gov (trusted); bad sites to wordpress.
+        assert outlink[0] > outlink[2]
+        assert outlink[1] > outlink[3]
+
+    def test_seed_nodes_have_own_trustrank(self):
+        extractor = NetworkFeatureExtractor()
+        matrix = extractor.extract(small_working_set(), ["legit1.com"])
+        own = matrix.column("trustrank")
+        assert own[0] > own[2]
+
+    def test_anti_trustrank_columns(self):
+        extractor = NetworkFeatureExtractor(include_anti_trustrank=True)
+        matrix = extractor.extract(
+            small_working_set(),
+            trusted_domains=["legit1.com"],
+            distrusted_domains=["bad1.net"],
+        )
+        assert "outlink_distrust" in matrix.feature_names
+        assert "anti_trustrank" in matrix.feature_names
+        assert matrix.features.shape == (4, 5)
+
+    def test_degree_features(self):
+        extractor = NetworkFeatureExtractor(include_degree_features=True)
+        matrix = extractor.extract(small_working_set(), ["legit1.com"])
+        out_deg = matrix.column("log_out_degree")
+        assert out_deg[0] == pytest.approx(np.log1p(2))
+
+    def test_graph_exposed_after_extract(self):
+        extractor = NetworkFeatureExtractor()
+        assert extractor.graph is None
+        extractor.extract(small_working_set(), ["legit1.com"])
+        assert extractor.graph is not None
+        assert "fda.gov" in extractor.graph
+
+
+class TestTopLinkedDomains:
+    def test_per_class_ordering(self):
+        sites = small_working_set()
+        labels = [1, 1, 0, 0]
+        ranked = top_linked_domains(sites, labels, top_k=3)
+        assert ranked[1][0][0] == "fda.gov"
+        assert ranked[0][0][0] == "wordpress.org"
+
+    def test_sites_mode_counts_each_site_once(self):
+        sites = [
+            site("a.com", ["https://www.x.com/1", "https://www.x.com/2"]),
+        ]
+        ranked = top_linked_domains(sites, [1], count_mode="sites")
+        assert ranked[1][0] == ("x.com", 1)
+
+    def test_links_mode_counts_multiplicity(self):
+        sites = [
+            site("a.com", ["https://www.x.com/1", "https://www.x.com/2"]),
+        ]
+        ranked = top_linked_domains(sites, [1], count_mode="links")
+        assert ranked[1][0] == ("x.com", 2)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            top_linked_domains(small_working_set(), [1, 0])
+
+    def test_bad_count_mode_raises(self):
+        with pytest.raises(ValueError):
+            top_linked_domains(small_working_set(), [1, 1, 0, 0], count_mode="x")
+
+    def test_top_k_truncates(self):
+        sites = [
+            site("a.com", [f"https://www.t{i}.com/" for i in range(8)]),
+        ]
+        ranked = top_linked_domains(sites, [1], top_k=3)
+        assert len(ranked[1]) == 3
+
+
+class TestInlinkTrust:
+    def test_zero_without_in_edges(self):
+        extractor = NetworkFeatureExtractor()
+        matrix = extractor.extract(small_working_set(), ["legit1.com"])
+        # Pharmacy-only graph: nothing points at pharmacies here.
+        assert np.allclose(matrix.column("inlink_trust"), 0.0)
+
+    def test_auxiliary_in_links_raise_inlink_trust(self):
+        sites = small_working_set()
+        portal = site(
+            "portal.org",
+            [
+                "https://www.legit1.com/",
+                "https://www.legit2.com/",
+                "https://www.fda.gov/",
+            ],
+        )
+        extractor = NetworkFeatureExtractor()
+        matrix = extractor.extract(
+            sites, ["legit1.com", "legit2.com"], auxiliary_sites=[portal]
+        )
+        inlink = matrix.column("inlink_trust")
+        assert inlink.shape == (4,)
+        assert np.all(inlink >= 0.0)
+        # The linked pharmacies now have an in-neighbour; the bad sites
+        # still have none, so their in-link trust stays exactly zero.
+        assert inlink[2] == 0.0
+        assert inlink[3] == 0.0
+
+    def test_bidirectional_portal_raises_test_legit_own_score(self):
+        """Trust at distance 2: seed -> portal -> unseen legit."""
+        seed = site("seed-legit.com", ["https://www.portal.org/"])
+        unseen = site("unseen-legit.com", ["https://www.fda.gov/"])
+        bad = site("bad.net", ["https://www.wordpress.org/"])
+        portal = site(
+            "portal.org",
+            ["https://www.seed-legit.com/", "https://www.unseen-legit.com/"],
+        )
+        extractor = NetworkFeatureExtractor()
+        matrix = extractor.extract(
+            [seed, unseen, bad], ["seed-legit.com"], auxiliary_sites=[portal]
+        )
+        own = matrix.column("trustrank")
+        assert own[1] > own[2]  # unseen legit beats the bad site
+        assert own[1] > 0.0

@@ -1,0 +1,101 @@
+"""Tests for PageRank / personalized PageRank."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.network.graph import DirectedGraph
+from repro.network.pagerank import pagerank, personalized_pagerank
+
+
+def cycle(n=4):
+    g = DirectedGraph()
+    names = [f"n{i}" for i in range(n)]
+    for i in range(n):
+        g.add_edge(names[i], names[(i + 1) % n])
+    return g, names
+
+
+class TestPageRank:
+    def test_scores_sum_to_one(self):
+        g, _ = cycle()
+        scores = pagerank(g)
+        assert sum(scores.values()) == pytest.approx(1.0)
+
+    def test_symmetric_cycle_uniform(self):
+        g, names = cycle(5)
+        scores = pagerank(g)
+        for name in names:
+            assert scores[name] == pytest.approx(1 / 5, abs=1e-8)
+
+    def test_hub_receives_more(self):
+        g = DirectedGraph()
+        for spoke in ("s1", "s2", "s3"):
+            g.add_edge(spoke, "hub")
+        g.add_edge("hub", "s1")
+        scores = pagerank(g)
+        assert scores["hub"] > scores["s2"]
+
+    def test_dangling_mass_redistributed(self):
+        g = DirectedGraph()
+        g.add_edge("a", "sink")  # sink has no out-links
+        scores = pagerank(g)
+        assert sum(scores.values()) == pytest.approx(1.0)
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(GraphError):
+            pagerank(DirectedGraph())
+
+    def test_damping_validation(self):
+        g, _ = cycle()
+        with pytest.raises(ValueError):
+            pagerank(g, damping=1.0)
+
+    def test_weighted_edges_bias_distribution(self):
+        g = DirectedGraph()
+        g.add_edge("src", "heavy", 9.0)
+        g.add_edge("src", "light", 1.0)
+        g.add_edge("heavy", "src")
+        g.add_edge("light", "src")
+        scores = pagerank(g)
+        assert scores["heavy"] > scores["light"]
+
+
+class TestPersonalizedPageRank:
+    def test_teleport_concentrates_mass(self):
+        g, names = cycle(4)
+        scores = personalized_pagerank(g, teleport={"n0": 1.0})
+        assert scores["n0"] == max(scores.values())
+
+    def test_teleport_normalized(self):
+        g, _ = cycle(4)
+        a = personalized_pagerank(g, teleport={"n0": 1.0})
+        b = personalized_pagerank(g, teleport={"n0": 100.0})
+        for node in a:
+            assert a[node] == pytest.approx(b[node])
+
+    def test_unknown_teleport_nodes_ignored(self):
+        g, _ = cycle(3)
+        scores = personalized_pagerank(g, teleport={"n0": 1.0, "ghost": 5.0})
+        assert "ghost" not in scores
+
+    def test_zero_mass_teleport_raises(self):
+        g, _ = cycle(3)
+        with pytest.raises(GraphError):
+            personalized_pagerank(g, teleport={"ghost": 1.0})
+
+    def test_unreachable_nodes_get_zero(self):
+        g = DirectedGraph()
+        g.add_edge("seed", "reachable")
+        g.add_node("island")
+        scores = personalized_pagerank(g, teleport={"seed": 1.0})
+        assert scores["island"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_converges_regardless_of_iterations(self):
+        # 0.85^100 ~ 9e-8, so 100 iterations land within ~1e-6 of the
+        # fixpoint on a cycle (the slowest-mixing topology).
+        g, _ = cycle(6)
+        a = personalized_pagerank(g, teleport={"n0": 1.0}, max_iterations=100)
+        b = personalized_pagerank(g, teleport={"n0": 1.0}, max_iterations=500)
+        for node in a:
+            assert a[node] == pytest.approx(b[node], abs=1e-6)

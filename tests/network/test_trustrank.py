@@ -1,0 +1,95 @@
+"""Tests for TrustRank and Anti-TrustRank."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.network.graph import DirectedGraph
+from repro.network.trustrank import anti_trustrank, reverse_graph, trustrank
+
+
+def good_bad_web():
+    """Good cluster g1->g2->g3, bad cluster b1->b2, deceptive b1->g1."""
+    g = DirectedGraph()
+    g.add_edge("g1", "g2")
+    g.add_edge("g2", "g3")
+    g.add_edge("b1", "b2")
+    g.add_edge("b1", "g1")
+    return g
+
+
+class TestTrustRank:
+    def test_seed_and_descendants_trusted(self):
+        scores = trustrank(good_bad_web(), ["g1"])
+        assert scores["g1"] > 0
+        assert scores["g2"] > 0
+        assert scores["g3"] > 0
+
+    def test_bad_cluster_untrusted(self):
+        scores = trustrank(good_bad_web(), ["g1"])
+        assert scores["b1"] == pytest.approx(0.0, abs=1e-9)
+        assert scores["b2"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_trust_attenuates_with_distance(self):
+        g = DirectedGraph()
+        g.add_edge("s", "d1")
+        g.add_edge("d1", "d2")
+        g.add_edge("d2", "d3")
+        scores = trustrank(g, ["s"])
+        assert scores["d1"] > scores["d2"] > scores["d3"]
+
+    def test_approximate_isolation_of_good_pages(self):
+        """A bad page pointing at a good one does NOT inherit trust."""
+        scores = trustrank(good_bad_web(), ["g1"])
+        assert scores["b1"] < scores["g3"]
+
+    def test_empty_seed_overlap_raises(self):
+        with pytest.raises(GraphError):
+            trustrank(good_bad_web(), ["nope"])
+
+    def test_seed_nodes_missing_from_graph_partially_ok(self):
+        scores = trustrank(good_bad_web(), ["g1", "ghost"])
+        assert scores["g1"] > 0
+
+    def test_scores_sum_to_one(self):
+        scores = trustrank(good_bad_web(), ["g1"])
+        assert sum(scores.values()) == pytest.approx(1.0)
+
+
+class TestReverseGraph:
+    def test_edges_flipped(self):
+        g = good_bad_web()
+        r = reverse_graph(g)
+        assert r.has_edge("g2", "g1")
+        assert not r.has_edge("g1", "g2")
+
+    def test_node_set_preserved(self):
+        g = good_bad_web()
+        assert set(reverse_graph(g).nodes()) == set(g.nodes())
+
+    def test_weights_preserved(self):
+        g = DirectedGraph()
+        g.add_edge("a", "b", 3.0)
+        assert reverse_graph(g).successors("b")["a"] == 3.0
+
+
+class TestAntiTrustRank:
+    def test_pages_linking_to_bad_accumulate_distrust(self):
+        g = DirectedGraph()
+        g.add_edge("spammer", "bad")
+        g.add_edge("innocent", "good")
+        scores = anti_trustrank(g, ["bad"])
+        assert scores["spammer"] > scores["innocent"]
+
+    def test_distrust_flows_backwards(self):
+        g = DirectedGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "bad")
+        scores = anti_trustrank(g, ["bad"])
+        assert scores["b"] > 0
+        assert scores["a"] > 0
+        assert scores["b"] > scores["a"]
+
+    def test_good_cluster_clean(self):
+        scores = anti_trustrank(good_bad_web(), ["b2"])
+        assert scores["g2"] == pytest.approx(0.0, abs=1e-9)
+        assert scores["g3"] == pytest.approx(0.0, abs=1e-9)

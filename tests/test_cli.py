@@ -1,0 +1,82 @@
+"""Tests for the command-line interface (end-to-end session)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def cli_artifacts(tmp_path_factory):
+    """Run generate -> train once; later tests reuse the artifacts."""
+    root = tmp_path_factory.mktemp("cli")
+    corpus_path = str(root / "corpus.jsonl")
+    model_path = str(root / "verifier.pkl")
+    assert (
+        main(
+            [
+                "generate",
+                "--legit", "6",
+                "--illegit", "44",
+                "--seed", "3",
+                "-o", corpus_path,
+            ]
+        )
+        == 0
+    )
+    assert main(["train", corpus_path, "-o", model_path]) == 0
+    return corpus_path, model_path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for command in ("generate", "train", "verify", "rank", "experiments"):
+            args = parser.parse_args(
+                {
+                    "generate": ["generate", "-o", "x"],
+                    "train": ["train", "c", "-o", "m"],
+                    "verify": ["verify", "m", "c"],
+                    "rank": ["rank", "m", "c"],
+                    "experiments": ["experiments"],
+                }[command]
+            )
+            assert args.command == command
+
+
+class TestCommands:
+    def test_generate_writes_corpus(self, cli_artifacts):
+        corpus_path, _ = cli_artifacts
+        from repro.io import import_corpus
+
+        corpus = import_corpus(corpus_path)
+        assert len(corpus) == 50
+        assert corpus.labels.sum() == 6
+
+    def test_train_writes_model(self, cli_artifacts):
+        _, model_path = cli_artifacts
+        from repro.io import load_model
+
+        verifier = load_model(model_path)
+        assert verifier.is_fitted
+
+    def test_verify_prints_table(self, cli_artifacts, capsys):
+        corpus_path, model_path = cli_artifacts
+        assert main(["verify", model_path, corpus_path, "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict" in out
+        assert "pharmacies verified" in out
+
+    def test_rank_prints_pairord(self, cli_artifacts, capsys):
+        corpus_path, model_path = cli_artifacts
+        assert main(["rank", model_path, corpus_path, "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "pairwise orderedness" in out
+
+    def test_experiments_delegates(self, capsys):
+        assert main(["experiments", "figure3", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "FIGURE3" in out

@@ -1,0 +1,72 @@
+"""End-to-end integration tests across all subsystems.
+
+These exercise the whole chain the paper describes: synthetic web →
+crawl → summarize → classify (text, network, ensemble) → rank, on the
+shared tiny corpus.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import cross_validate_pipeline
+from repro.core.ranking import analyze_outliers
+from repro.core.text_pipeline import TfidfTextPipeline
+from repro.core.verifier import PharmacyVerifier
+from repro.ml.naive_bayes import MultinomialNB
+
+
+class TestEndToEnd:
+    def test_text_cv_reaches_paper_band(self, tiny_corpus, tiny_documents):
+        """TF-IDF + NBM 3-fold CV should land in the paper's band
+        (accuracy >= 0.95, AUC >= 0.97 at 1000 terms)."""
+        agg = cross_validate_pipeline(
+            lambda: TfidfTextPipeline(MultinomialNB()),
+            tiny_documents,
+            tiny_corpus.labels,
+            n_folds=3,
+        )
+        assert agg.accuracy.mean >= 0.95
+        assert agg.auc_roc.mean >= 0.97
+
+    def test_confidence_intervals_small(self, tiny_corpus, tiny_documents):
+        """Paper Section 6.3: fold results are stable (CI < a few %)."""
+        agg = cross_validate_pipeline(
+            lambda: TfidfTextPipeline(MultinomialNB()),
+            tiny_documents,
+            tiny_corpus.labels,
+            n_folds=3,
+        )
+        assert agg.accuracy.ci_half_width < 0.1
+
+    def test_verifier_cross_dataset(self, tiny_corpus, tiny_corpus2):
+        """Train on Dataset 1, verify Dataset 2 (the paper's temporal
+        robustness scenario)."""
+        verifier = PharmacyVerifier(seed=0).fit(tiny_corpus)
+        reports = verifier.verify_sites(list(tiny_corpus2.sites))
+        predictions = np.array([r.predicted_label for r in reports])
+        accuracy = (predictions == tiny_corpus2.labels).mean()
+        assert accuracy > 0.85
+
+    def test_full_ranking_with_outlier_analysis(self, tiny_corpus):
+        verifier = PharmacyVerifier(seed=0).fit(tiny_corpus)
+        result = verifier.rank_sites(
+            list(tiny_corpus.sites), tiny_corpus.labels
+        )
+        assert result.pairord > 0.9
+        outliers = analyze_outliers(result, top_k=3)
+        assert len(outliers.illegitimate_outliers) == 3
+        assert all(
+            e.oracle_label == 0 for e in outliers.illegitimate_outliers
+        )
+
+    def test_crawler_respects_paper_page_cap(self, tiny_snapshot_pair):
+        from repro.web.crawler import Crawler
+
+        snap1, _ = tiny_snapshot_pair
+        crawler = Crawler(snap1.host, max_pages=2)
+        site = crawler.crawl_site(f"https://www.{snap1.domains[0]}/")
+        assert site.n_pages == 2
+
+    def test_corpus_oracle_consistent_with_labels(self, tiny_corpus):
+        for domain, label in zip(tiny_corpus.domains, tiny_corpus.labels):
+            assert tiny_corpus.oracle(domain) == label

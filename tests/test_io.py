@@ -1,0 +1,107 @@
+"""Tests for model and corpus persistence."""
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    PersistenceError,
+    export_corpus,
+    import_corpus,
+    load_model,
+    save_model,
+)
+
+
+class TestModelPersistence:
+    def test_roundtrip_classifier(self, tmp_path):
+        from repro.ml.naive_bayes import GaussianNB
+
+        X = np.array([[0.0], [1.0], [0.1], [0.9]])
+        y = np.array([0, 1, 0, 1])
+        model = GaussianNB().fit(X, y)
+        path = tmp_path / "model.pkl"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert np.array_equal(loaded.predict(X), model.predict(X))
+
+    def test_roundtrip_verifier(self, tmp_path, tiny_corpus):
+        from repro.core.verifier import PharmacyVerifier
+
+        verifier = PharmacyVerifier(seed=0).fit(tiny_corpus)
+        path = tmp_path / "verifier.pkl"
+        save_model(verifier, path)
+        loaded = load_model(path)
+        original = verifier.verify_site(tiny_corpus.sites[0])
+        restored = loaded.verify_site(tiny_corpus.sites[0])
+        assert restored.predicted_label == original.predicted_label
+        assert restored.rank_score == pytest.approx(original.rank_score)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_model(tmp_path / "nope.pkl")
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.pkl"
+        path.write_bytes(b"not a pickle at all")
+        with pytest.raises(PersistenceError):
+            load_model(path)
+
+    def test_wrong_payload(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "other.pkl"
+        path.write_bytes(pickle.dumps({"something": "else"}))
+        with pytest.raises(PersistenceError):
+            load_model(path)
+
+
+class TestCorpusPersistence:
+    def test_roundtrip(self, tmp_path, tiny_corpus):
+        path = tmp_path / "corpus.jsonl"
+        export_corpus(tiny_corpus, path)
+        loaded = import_corpus(path)
+        assert loaded.name == tiny_corpus.name
+        assert loaded.domains == tiny_corpus.domains
+        assert np.array_equal(loaded.labels, tiny_corpus.labels)
+        # Page content survives byte-for-byte.
+        assert (
+            loaded.sites[0].merged_text() == tiny_corpus.sites[0].merged_text()
+        )
+        # Ground-truth flags survive.
+        assert [r.is_outlier for r in loaded.records] == [
+            r.is_outlier for r in tiny_corpus.records
+        ]
+
+    def test_links_preserved(self, tmp_path, tiny_corpus):
+        path = tmp_path / "corpus.jsonl"
+        export_corpus(tiny_corpus, path)
+        loaded = import_corpus(path)
+        assert (
+            loaded.sites[3].outbound_endpoints()
+            == tiny_corpus.sites[3].outbound_endpoints()
+        )
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            import_corpus(tmp_path / "nope.jsonl")
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": "something-else", "version": 9}\n')
+        with pytest.raises(PersistenceError):
+            import_corpus(path)
+
+    def test_malformed_row(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"format": "repro-corpus", "version": 1, "name": "x"}\n'
+            "this is not json\n"
+        )
+        with pytest.raises(PersistenceError):
+            import_corpus(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(PersistenceError):
+            import_corpus(path)

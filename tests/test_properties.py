@@ -1,0 +1,139 @@
+"""Cross-module property-based tests (hypothesis).
+
+These verify structural invariants that must hold for *any* input, not
+just the fixtures: probability simplexes, score conservation, label
+closure, and subsampling bounds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.graph import DirectedGraph
+from repro.network.pagerank import pagerank
+from repro.network.trustrank import trustrank
+
+
+# -- random graph strategy ---------------------------------------------------
+
+_node = st.sampled_from([f"n{i}" for i in range(8)])
+_edges = st.lists(
+    st.tuples(_node, _node).filter(lambda e: e[0] != e[1]),
+    min_size=1,
+    max_size=24,
+)
+
+
+def _build(edges):
+    graph = DirectedGraph()
+    for src, dst in edges:
+        graph.add_edge(src, dst)
+    return graph
+
+
+class TestGraphScoreProperties:
+    @given(edges=_edges)
+    @settings(max_examples=40)
+    def test_pagerank_is_a_distribution(self, edges):
+        scores = pagerank(_build(edges))
+        values = np.array(list(scores.values()))
+        assert np.all(values >= -1e-12)
+        assert values.sum() == pytest.approx(1.0, abs=1e-6)
+
+    @given(edges=_edges)
+    @settings(max_examples=40)
+    def test_trustrank_is_a_distribution(self, edges):
+        graph = _build(edges)
+        seed = next(iter(graph.nodes()))
+        scores = trustrank(graph, [seed])
+        values = np.array(list(scores.values()))
+        assert np.all(values >= -1e-12)
+        assert values.sum() == pytest.approx(1.0, abs=1e-6)
+
+    @given(edges=_edges)
+    @settings(max_examples=40)
+    def test_trustrank_seed_has_positive_trust(self, edges):
+        graph = _build(edges)
+        seed = next(iter(graph.nodes()))
+        scores = trustrank(graph, [seed])
+        assert scores[seed] > 0.0
+
+
+# -- classifier output properties ---------------------------------------------
+
+_dataset = st.integers(0, 10_000)
+
+
+def _random_dataset(seed, n=40, d=3):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    y = rng.integers(0, 2, n)
+    if y.sum() in (0, n):  # force both classes
+        y[0] = 1 - y[0]
+    return X, y
+
+
+class TestClassifierProperties:
+    @given(seed=_dataset)
+    @settings(max_examples=20, deadline=None)
+    def test_gaussian_nb_probability_simplex(self, seed):
+        from repro.ml.naive_bayes import GaussianNB
+
+        X, y = _random_dataset(seed)
+        proba = GaussianNB().fit(X, y).predict_proba(X)
+        assert np.all(proba >= 0)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    @given(seed=_dataset)
+    @settings(max_examples=15, deadline=None)
+    def test_tree_predictions_within_label_set(self, seed):
+        from repro.ml.tree import C45Tree
+
+        X, y = _random_dataset(seed)
+        predictions = C45Tree(max_depth=4).fit(X, y + 3).predict(X)
+        assert set(predictions) <= {3, 4}
+
+    @given(seed=_dataset)
+    @settings(max_examples=15, deadline=None)
+    def test_svm_margin_sign_matches_prediction(self, seed):
+        from repro.ml.svm import LinearSVC
+
+        X, y = _random_dataset(seed)
+        clf = LinearSVC(n_epochs=3).fit(X, y)
+        margins = clf.decision_function(X)
+        predictions = clf.predict(X)
+        assert np.array_equal(predictions, (margins > 0).astype(np.int64))
+
+
+# -- summarization properties ---------------------------------------------------
+
+_words = st.lists(
+    st.sampled_from(["alpha", "beta", "gamma", "delta", "pills", "care"]),
+    min_size=1,
+    max_size=120,
+)
+
+
+class TestSummarizerProperties:
+    @given(words=_words, max_terms=st.integers(1, 40), seed=st.integers(0, 99))
+    @settings(max_examples=40)
+    def test_subsample_never_exceeds_budget(self, words, max_terms, seed):
+        from repro.text.summarization import Summarizer
+
+        doc = Summarizer(max_terms=max_terms, seed=seed).summarize_text(
+            "x.com", " ".join(words)
+        )
+        assert len(doc) <= max_terms
+        assert len(doc) <= doc.n_source_terms
+
+    @given(words=_words, max_terms=st.integers(1, 40))
+    @settings(max_examples=40)
+    def test_subsample_tokens_come_from_source(self, words, max_terms):
+        from repro.text.preprocessing import TextPreprocessor
+        from repro.text.summarization import Summarizer
+
+        source = set(TextPreprocessor().preprocess(" ".join(words)))
+        doc = Summarizer(max_terms=max_terms).summarize_text(
+            "x.com", " ".join(words)
+        )
+        assert set(doc.tokens) <= source

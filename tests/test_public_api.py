@@ -1,0 +1,39 @@
+"""Public-API surface tests."""
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_key_entry_points(self):
+        assert callable(repro.make_dataset)
+        assert callable(repro.make_dataset_pair)
+        assert callable(repro.rank_pharmacies)
+        assert callable(repro.trustrank)
+
+    def test_error_hierarchy(self):
+        from repro.exceptions import (
+            ConfigurationError,
+            CrawlError,
+            DataGenerationError,
+            GraphError,
+            InvalidURLError,
+            NotFittedError,
+            ReproError,
+        )
+
+        for exc in (
+            ConfigurationError,
+            CrawlError,
+            DataGenerationError,
+            GraphError,
+            InvalidURLError,
+            NotFittedError,
+        ):
+            assert issubclass(exc, ReproError)

@@ -1,0 +1,78 @@
+"""Tests for the Character N-Gram baseline vectorizer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.text.char_ngrams import CharNGramVectorizer
+
+
+TEXTS = [
+    "cheap viagra pills",
+    "cheap cialis pills",
+    "licensed pharmacy",
+]
+
+
+class TestCharNGramVectorizer:
+    def test_shapes(self):
+        X = CharNGramVectorizer(n=3).fit_transform(TEXTS)
+        assert X.shape[0] == 3
+        assert X.shape[1] > 0
+
+    def test_shared_ngrams_give_nonzero_similarity(self):
+        X = CharNGramVectorizer(n=3).fit_transform(TEXTS)
+        dense = X.toarray()
+        sim_01 = dense[0] @ dense[1]  # both "cheap ... pills"
+        sim_02 = dense[0] @ dense[2]
+        assert sim_01 > sim_02
+
+    def test_rows_l2_normalized(self):
+        X = CharNGramVectorizer(n=3).fit_transform(TEXTS)
+        norms = np.sqrt(np.asarray(X.multiply(X).sum(axis=1))).ravel()
+        assert np.allclose(norms, 1.0)
+
+    def test_normalize_off(self):
+        X = CharNGramVectorizer(n=3, normalize=False).fit_transform(TEXTS)
+        norms = np.sqrt(np.asarray(X.multiply(X).sum(axis=1))).ravel()
+        assert not np.allclose(norms, 1.0)
+
+    def test_oov_ngrams_dropped(self):
+        vec = CharNGramVectorizer(n=3).fit(TEXTS)
+        X = vec.transform(["zzzzzz"])
+        assert X.nnz == 0
+
+    def test_min_df(self):
+        vec_all = CharNGramVectorizer(n=3, min_df=1).fit(TEXTS)
+        vec_common = CharNGramVectorizer(n=3, min_df=2).fit(TEXTS)
+        assert len(vec_common._index) < len(vec_all._index)
+
+    def test_max_features(self):
+        vec = CharNGramVectorizer(n=3, max_features=5).fit(TEXTS)
+        assert len(vec._index) == 5
+
+    def test_short_text_single_gram(self):
+        vec = CharNGramVectorizer(n=4).fit(["ab", "abcd"])
+        X = vec.transform(["ab"])
+        assert X.shape[1] >= 1
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            CharNGramVectorizer().transform(["x"])
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(ValueError):
+            CharNGramVectorizer().fit([])
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            CharNGramVectorizer(n=0)
+        with pytest.raises(ValueError):
+            CharNGramVectorizer(min_df=0)
+        with pytest.raises(ValueError):
+            CharNGramVectorizer(max_features=0)
+
+    def test_deterministic_columns(self):
+        a = CharNGramVectorizer(n=3).fit(TEXTS)._index
+        b = CharNGramVectorizer(n=3).fit(TEXTS)._index
+        assert a == b

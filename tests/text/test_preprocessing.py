@@ -1,0 +1,69 @@
+"""Tests for preprocessing and stop-word lists."""
+
+import pytest
+
+from repro.text.preprocessing import TextPreprocessor
+from repro.text.stopwords import (
+    EXTENDED_ENGLISH_STOP_WORDS,
+    LUCENE_ENGLISH_STOP_WORDS,
+    default_stop_words,
+)
+
+
+class TestStopWordLists:
+    def test_lucene_list_has_33_words(self):
+        assert len(LUCENE_ENGLISH_STOP_WORDS) == 33
+
+    def test_extended_is_superset(self):
+        assert LUCENE_ENGLISH_STOP_WORDS <= EXTENDED_ENGLISH_STOP_WORDS
+
+    def test_default_is_lucene(self):
+        assert default_stop_words() == LUCENE_ENGLISH_STOP_WORDS
+
+    def test_known_members(self):
+        for word in ("the", "a", "and", "no", "not"):
+            assert word in LUCENE_ENGLISH_STOP_WORDS
+
+
+class TestTextPreprocessor:
+    def test_removes_stop_words(self):
+        pre = TextPreprocessor()
+        assert pre.preprocess("the pharmacy is open") == ["pharmacy", "open"]
+
+    def test_no_stemming(self):
+        """The paper explicitly avoids stemming (trademarks survive)."""
+        pre = TextPreprocessor()
+        assert pre.preprocess("running medications") == [
+            "running",
+            "medications",
+        ]
+
+    def test_custom_stop_words(self):
+        pre = TextPreprocessor(stop_words={"pharmacy"})
+        assert pre.preprocess("the pharmacy") == ["the"]
+
+    def test_empty_stop_words_disables_removal(self):
+        pre = TextPreprocessor(stop_words=())
+        assert pre.preprocess("the end") == ["the", "end"]
+
+    def test_stop_words_case_insensitive(self):
+        pre = TextPreprocessor(stop_words={"The"})
+        assert pre.preprocess("THE end") == ["end"]
+
+    def test_min_token_length(self):
+        pre = TextPreprocessor(stop_words=(), min_token_length=3)
+        assert pre.preprocess("a an the word") == ["the", "word"]
+
+    def test_min_token_length_validation(self):
+        with pytest.raises(ValueError):
+            TextPreprocessor(min_token_length=0)
+
+    def test_preprocess_to_text(self):
+        pre = TextPreprocessor()
+        assert pre.preprocess_to_text("the cheap pills") == "cheap pills"
+
+    def test_no_prescription_survives(self):
+        """'no' is a Lucene stop word but 'prescription' must survive —
+        the strongest illegitimate marker in the paper."""
+        pre = TextPreprocessor()
+        assert "prescription" in pre.preprocess("no prescription needed")

@@ -1,0 +1,78 @@
+"""Tests for summarization (merge + term subsampling)."""
+
+import pytest
+
+from repro.text.summarization import Summarizer, TERM_SUBSET_SIZES
+from repro.web.page import WebPage
+from repro.web.site import Website
+
+
+def make_site(texts, domain="pharm.com"):
+    pages = tuple(
+        WebPage(
+            url=f"https://www.{domain}/" if i == 0 else f"https://www.{domain}/p{i}",
+            text=text,
+        )
+        for i, text in enumerate(texts)
+    )
+    return Website(domain=domain, pages=pages)
+
+
+class TestSummarizer:
+    def test_merges_all_pages(self):
+        site = make_site(["alpha bravo", "charlie delta"])
+        doc = Summarizer().summarize_site(site)
+        assert set(doc.tokens) == {"alpha", "bravo", "charlie", "delta"}
+
+    def test_stop_words_removed(self):
+        site = make_site(["the alpha and bravo"])
+        doc = Summarizer().summarize_site(site)
+        assert "the" not in doc.tokens
+        assert "and" not in doc.tokens
+
+    def test_subsample_size(self):
+        site = make_site(["word%d " % i for i in range(50)])
+        doc = Summarizer(max_terms=10).summarize_site(site)
+        assert len(doc) == 10
+        assert doc.n_source_terms == 50
+
+    def test_no_subsample_when_short(self):
+        site = make_site(["one two three"])
+        doc = Summarizer(max_terms=100).summarize_site(site)
+        assert len(doc) == 3
+
+    def test_subsample_preserves_order(self):
+        tokens = [f"w{i:03d}" for i in range(100)]
+        site = make_site([" ".join(tokens)])
+        doc = Summarizer(max_terms=20).summarize_site(site)
+        positions = [tokens.index(t) for t in doc.tokens]
+        assert positions == sorted(positions)
+
+    def test_deterministic_per_domain(self):
+        site = make_site([" ".join(f"w{i}" for i in range(100))])
+        doc_a = Summarizer(max_terms=10, seed=1).summarize_site(site)
+        doc_b = Summarizer(max_terms=10, seed=1).summarize_site(site)
+        assert doc_a.tokens == doc_b.tokens
+
+    def test_different_seeds_differ(self):
+        site = make_site([" ".join(f"w{i}" for i in range(200))])
+        doc_a = Summarizer(max_terms=10, seed=1).summarize_site(site)
+        doc_b = Summarizer(max_terms=10, seed=2).summarize_site(site)
+        assert doc_a.tokens != doc_b.tokens
+
+    def test_different_domains_get_different_subsamples(self):
+        text = " ".join(f"w{i}" for i in range(200))
+        doc_a = Summarizer(max_terms=10).summarize_text("a.com", text)
+        doc_b = Summarizer(max_terms=10).summarize_text("b.com", text)
+        assert doc_a.tokens != doc_b.tokens
+
+    def test_text_property_joins_tokens(self):
+        doc = Summarizer().summarize_text("a.com", "alpha bravo")
+        assert doc.text == "alpha bravo"
+
+    def test_invalid_max_terms(self):
+        with pytest.raises(ValueError):
+            Summarizer(max_terms=0)
+
+    def test_paper_subset_sizes(self):
+        assert TERM_SUBSET_SIZES == (100, 250, 1000, 2000, None)

@@ -1,0 +1,138 @@
+"""Tests for the Term Vector (TF-IDF) model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import NotFittedError
+from repro.text.term_vector import TfidfVectorizer, Vocabulary
+
+
+class TestVocabulary:
+    def test_add_assigns_sequential_indices(self):
+        vocab = Vocabulary()
+        assert vocab.add("a") == 0
+        assert vocab.add("b") == 1
+        assert vocab.add("a") == 0  # idempotent
+
+    def test_index_of_unknown_is_none(self):
+        assert Vocabulary().index_of("x") is None
+
+    def test_terms_in_column_order(self):
+        vocab = Vocabulary(["b", "a", "c"])
+        assert vocab.terms() == ("b", "a", "c")
+
+    def test_contains_and_len(self):
+        vocab = Vocabulary(["a"])
+        assert "a" in vocab
+        assert "b" not in vocab
+        assert len(vocab) == 1
+
+
+class TestTfidfVectorizer:
+    DOCS = [
+        ["apple", "banana", "apple"],
+        ["banana", "cherry"],
+        ["apple", "cherry", "cherry"],
+    ]
+
+    def test_shapes(self):
+        X = TfidfVectorizer().fit_transform(self.DOCS)
+        assert X.shape == (3, 3)
+
+    def test_idf_formula(self):
+        vec = TfidfVectorizer().fit(self.DOCS)
+        vocab = vec.vocabulary
+        # apple appears in 2 of 3 docs.
+        idx = vocab.index_of("apple")
+        expected = np.log((1 + 3) / (1 + 2)) + 1.0
+        assert vec.idf[idx] == pytest.approx(expected)
+
+    def test_rows_l2_normalized(self):
+        X = TfidfVectorizer().fit_transform(self.DOCS)
+        norms = np.sqrt(np.asarray(X.multiply(X).sum(axis=1))).ravel()
+        assert np.allclose(norms, 1.0)
+
+    def test_normalize_off(self):
+        X = TfidfVectorizer(normalize=False).fit_transform([["a", "a"], ["b"]])
+        # tf counts preserved (scaled by idf).
+        assert X[0].toarray().max() > X[1].toarray().max()
+
+    def test_oov_terms_dropped(self):
+        vec = TfidfVectorizer().fit(self.DOCS)
+        X = vec.transform([["durian", "elderberry"]])
+        assert X.nnz == 0
+
+    def test_min_df_filters_rare_terms(self):
+        vec = TfidfVectorizer(min_df=2).fit(self.DOCS + [["zzz"]])
+        assert "zzz" not in vec.vocabulary
+
+    def test_max_features_keeps_most_frequent(self):
+        vec = TfidfVectorizer(max_features=2).fit(self.DOCS)
+        kept = set(vec.vocabulary.terms())
+        assert len(kept) == 2
+        # apple and cherry each appear in 2 docs; banana also in 2 —
+        # ties broken alphabetically, so the kept set is deterministic.
+        vec2 = TfidfVectorizer(max_features=2).fit(self.DOCS)
+        assert kept == set(vec2.vocabulary.terms())
+
+    def test_sublinear_tf(self):
+        plain = TfidfVectorizer(normalize=False).fit_transform([["a", "a", "a", "b"]])
+        sub = TfidfVectorizer(normalize=False, sublinear_tf=True).fit_transform(
+            [["a", "a", "a", "b"]]
+        )
+        assert sub.toarray()[0, 0] < plain.toarray()[0, 0]
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            TfidfVectorizer().transform([["a"]])
+
+    def test_fit_empty_corpus_raises(self):
+        with pytest.raises(ValueError):
+            TfidfVectorizer().fit([])
+
+    def test_empty_document_gives_zero_row(self):
+        vec = TfidfVectorizer().fit(self.DOCS)
+        X = vec.transform([[]])
+        assert X.nnz == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            TfidfVectorizer(min_df=0)
+        with pytest.raises(ValueError):
+            TfidfVectorizer(max_features=0)
+
+    def test_deterministic_column_order(self):
+        a = TfidfVectorizer().fit(self.DOCS).vocabulary.terms()
+        b = TfidfVectorizer().fit(self.DOCS).vocabulary.terms()
+        assert a == b == tuple(sorted(a))
+
+
+@given(
+    docs=st.lists(
+        st.lists(st.sampled_from("abcdef"), min_size=0, max_size=12),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_tfidf_rows_have_unit_or_zero_norm(docs):
+    """Property: every row norm is 1 (non-empty doc) or 0 (empty doc)."""
+    X = TfidfVectorizer().fit_transform(docs)
+    norms = np.sqrt(np.asarray(X.multiply(X).sum(axis=1))).ravel()
+    for doc, norm in zip(docs, norms):
+        if doc:
+            assert norm == pytest.approx(1.0)
+        else:
+            assert norm == pytest.approx(0.0)
+
+
+@given(
+    docs=st.lists(
+        st.lists(st.sampled_from("abcdef"), min_size=1, max_size=12),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_tfidf_values_nonnegative(docs):
+    X = TfidfVectorizer().fit_transform(docs)
+    assert (X.toarray() >= 0).all()

@@ -1,0 +1,49 @@
+"""Tests for the tokenizer."""
+
+from hypothesis import given, strategies as st
+
+from repro.text.tokenization import iter_tokens, tokenize
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Hello WORLD") == ["hello", "world"]
+
+    def test_punctuation_split(self):
+        assert tokenize("a,b.c!d") == ["a", "b", "c", "d"]
+
+    def test_keeps_internal_hyphen(self):
+        assert tokenize("FDA-Approved drugs") == ["fda-approved", "drugs"]
+
+    def test_keeps_internal_apostrophe(self):
+        assert tokenize("don't stop") == ["don't", "stop"]
+
+    def test_numbers_kept(self):
+        assert tokenize("take 20 mg") == ["take", "20", "mg"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize("  \n\t ") == []
+
+    def test_leading_trailing_hyphen_stripped(self):
+        assert tokenize("-start end-") == ["start", "end"]
+
+    def test_iter_matches_list(self):
+        text = "Buy cheap-pills now, no prescription!"
+        assert list(iter_tokens(text)) == tokenize(text)
+
+
+@given(st.text(max_size=200))
+def test_tokens_always_lowercase_and_nonempty(text):
+    for token in tokenize(text):
+        assert token
+        assert token == token.lower()
+
+
+@given(st.text(max_size=200))
+def test_tokenize_idempotent_on_joined_output(text):
+    """Re-tokenizing the joined token stream is a fixpoint."""
+    tokens = tokenize(text)
+    assert tokenize(" ".join(tokens)) == tokens

@@ -1,0 +1,85 @@
+"""Failure-injection tests: the crawler against unreliable hosts."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CrawlError
+from repro.web.crawler import Crawler
+from repro.web.host import InMemoryWebHost
+from repro.web.page import WebPage
+
+
+class FlakyHost:
+    """Wraps a host; every fetch fails with probability ``failure_rate``
+    (deterministic given the seed), except an optional always-up set."""
+
+    def __init__(self, inner, failure_rate=0.3, seed=0, always_up=()):
+        self._inner = inner
+        self._failure_rate = failure_rate
+        self._rng = np.random.default_rng(seed)
+        self._always_up = set(always_up)
+
+    def fetch(self, url):
+        if url not in self._always_up and self._rng.random() < self._failure_rate:
+            return None
+        return self._inner.fetch(url)
+
+
+def star_host(n_leaves=10):
+    """Front page linking to n leaf pages."""
+    root_links = tuple(f"https://www.a.com/p{i}" for i in range(n_leaves))
+    pages = [WebPage(url="https://www.a.com/", text="root", links=root_links)]
+    pages.extend(
+        WebPage(url=f"https://www.a.com/p{i}", text=f"leaf {i}")
+        for i in range(n_leaves)
+    )
+    return InMemoryWebHost(pages)
+
+
+class TestFlakyHost:
+    def test_crawl_survives_partial_failures(self):
+        host = FlakyHost(
+            star_host(), failure_rate=0.4, seed=1,
+            always_up=("https://www.a.com/",),
+        )
+        crawler = Crawler(host)
+        site = crawler.crawl_site("https://www.a.com/")
+        # Some leaves fail, but the crawl completes with what it got.
+        assert 1 <= site.n_pages <= 11
+        assert crawler.last_stats.fetch_failures >= 1
+
+    def test_all_leaves_down_leaves_front_page(self):
+        host = FlakyHost(
+            star_host(), failure_rate=1.0, seed=0,
+            always_up=("https://www.a.com/",),
+        )
+        site = Crawler(host).crawl_site("https://www.a.com/")
+        assert site.n_pages == 1
+
+    def test_dead_seed_raises(self):
+        host = FlakyHost(star_host(), failure_rate=1.0, seed=0)
+        with pytest.raises(CrawlError):
+            Crawler(host).crawl_site("https://www.a.com/")
+
+    def test_failed_pages_do_not_corrupt_site(self):
+        host = FlakyHost(
+            star_host(), failure_rate=0.5, seed=3,
+            always_up=("https://www.a.com/",),
+        )
+        site = Crawler(host).crawl_site("https://www.a.com/")
+        assert all(page.domain == "a.com" for page in site.pages)
+        assert site.merged_text()  # the crawl yielded usable text
+
+    def test_pipeline_tolerates_thin_crawls(self):
+        """A site reduced to its front page still flows through
+        summarization and classification without errors."""
+        from repro.text import Summarizer
+
+        host = FlakyHost(
+            star_host(), failure_rate=1.0, seed=0,
+            always_up=("https://www.a.com/",),
+        )
+        site = Crawler(host).crawl_site("https://www.a.com/")
+        document = Summarizer(max_terms=100).summarize_site(site)
+        assert document.domain == "a.com"
+        assert len(document) >= 1

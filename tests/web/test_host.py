@@ -1,0 +1,54 @@
+"""Tests for the in-memory web host."""
+
+from repro.web.host import InMemoryWebHost, WebHost
+from repro.web.page import WebPage
+
+
+def page(url, text="x"):
+    return WebPage(url=url, text=text)
+
+
+class TestInMemoryWebHost:
+    def test_add_and_fetch(self):
+        host = InMemoryWebHost()
+        host.add(page("https://www.a.com/"))
+        fetched = host.fetch("https://www.a.com/")
+        assert fetched is not None
+        assert fetched.url == "https://www.a.com/"
+
+    def test_fetch_missing_returns_none(self):
+        assert InMemoryWebHost().fetch("https://www.a.com/") is None
+
+    def test_fetch_malformed_returns_none(self):
+        assert InMemoryWebHost().fetch("garbage") is None
+
+    def test_trailing_slash_normalized(self):
+        host = InMemoryWebHost([page("https://www.a.com/p")])
+        assert host.fetch("https://www.a.com/p/") is not None
+
+    def test_query_and_fragment_ignored_on_lookup(self):
+        host = InMemoryWebHost([page("https://www.a.com/p")])
+        assert host.fetch("https://www.a.com/p?x=1#frag") is not None
+
+    def test_scheme_irrelevant_for_lookup(self):
+        host = InMemoryWebHost([page("https://www.a.com/p")])
+        assert host.fetch("http://www.a.com/p") is not None
+
+    def test_later_add_wins(self):
+        host = InMemoryWebHost()
+        host.add(page("https://www.a.com/", "old"))
+        host.add(page("https://www.a.com/", "new"))
+        assert host.fetch("https://www.a.com/").text == "new"
+
+    def test_len_and_contains(self):
+        host = InMemoryWebHost([page("https://www.a.com/"), page("https://www.b.com/")])
+        assert len(host) == 2
+        assert "https://www.a.com/" in host
+        assert "https://www.c.com/" not in host
+
+    def test_urls_listing(self):
+        host = InMemoryWebHost([page("https://www.a.com/")])
+        assert host.urls() == ("https://www.a.com/",)
+
+    def test_satisfies_webhost_protocol(self):
+        assert isinstance(InMemoryWebHost(), WebHost)

@@ -1,0 +1,102 @@
+"""Tests for the WebPage model."""
+
+import pytest
+
+from repro.exceptions import InvalidURLError
+from repro.web.page import WebPage
+
+
+def make_page(**kwargs):
+    defaults = dict(
+        url="https://www.pharm.com/",
+        text="hello",
+        links=(
+            "https://www.pharm.com/about",
+            "https://www.pharm.com/products",
+            "https://www.fda.gov/info",
+            "https://twitter.com/pharm",
+        ),
+    )
+    defaults.update(kwargs)
+    return WebPage(**defaults)
+
+
+class TestWebPage:
+    def test_domain(self):
+        assert make_page().domain == "pharm.com"
+
+    def test_invalid_url_rejected_eagerly(self):
+        with pytest.raises(InvalidURLError):
+            WebPage(url="not a url", text="x")
+
+    def test_internal_links(self):
+        internal = make_page().internal_links()
+        assert internal == (
+            "https://www.pharm.com/about",
+            "https://www.pharm.com/products",
+        )
+
+    def test_external_links(self):
+        external = make_page().external_links()
+        assert external == (
+            "https://www.fda.gov/info",
+            "https://twitter.com/pharm",
+        )
+
+    def test_subdomain_counts_as_internal(self):
+        page = make_page(links=("https://shop.pharm.com/cart",))
+        assert page.internal_links() == ("https://shop.pharm.com/cart",)
+        assert page.external_links() == ()
+
+    def test_unresolvable_links_ignored(self):
+        page = make_page(links=("mailto:x@y.com", "javascript:void(0)", "tel:911"))
+        assert page.internal_links() == ()
+        assert page.external_links() == ()
+
+    def test_bare_token_treated_as_relative_path(self):
+        page = make_page(links=("not-a-url",))
+        assert page.internal_links() == ("https://www.pharm.com/not-a-url",)
+
+    def test_no_links(self):
+        page = make_page(links=())
+        assert page.internal_links() == ()
+        assert page.external_links() == ()
+
+    def test_frozen(self):
+        page = make_page()
+        with pytest.raises(AttributeError):
+            page.text = "other"  # type: ignore[misc]
+
+    def test_default_links_empty(self):
+        page = WebPage(url="https://www.pharm.com/", text="x")
+        assert page.links == ()
+
+
+class TestRelativeLinks:
+    def test_relative_links_resolved_as_internal(self):
+        page = WebPage(
+            url="https://www.pharm.com/shop/item",
+            text="x",
+            links=("/cart", "reviews", "../about"),
+        )
+        assert page.internal_links() == (
+            "https://www.pharm.com/cart",
+            "https://www.pharm.com/shop/reviews",
+            "https://www.pharm.com/about",
+        )
+
+    def test_protocol_relative_external(self):
+        page = WebPage(
+            url="https://www.pharm.com/",
+            text="x",
+            links=("//cdn.net/script.js",),
+        )
+        assert page.external_links() == ("https://cdn.net/script.js",)
+
+    def test_resolved_links_drops_garbage(self):
+        page = WebPage(
+            url="https://www.pharm.com/",
+            text="x",
+            links=("mailto:a@b.com", "javascript:void(0)", "/ok"),
+        )
+        assert page.resolved_links() == ("https://www.pharm.com/ok",)

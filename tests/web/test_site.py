@@ -1,0 +1,65 @@
+"""Tests for the Website model."""
+
+import pytest
+
+from repro.exceptions import DataGenerationError
+from repro.web.page import WebPage
+from repro.web.site import Website
+
+
+def make_site():
+    pages = (
+        WebPage(
+            url="https://www.pharm.com/",
+            text="front page content",
+            links=(
+                "https://www.pharm.com/p1",
+                "https://www.fda.gov/a",
+                "https://www.fda.gov/b",
+            ),
+        ),
+        WebPage(
+            url="https://www.pharm.com/p1",
+            text="product page content",
+            links=("https://twitter.com/x", "https://www.fda.gov/c"),
+        ),
+    )
+    return Website(domain="pharm.com", pages=pages)
+
+
+class TestWebsite:
+    def test_n_pages(self):
+        assert make_site().n_pages == 2
+
+    def test_merged_text_joins_all_pages(self):
+        merged = make_site().merged_text()
+        assert "front page content" in merged
+        assert "product page content" in merged
+
+    def test_outbound_endpoints_deduplicated_in_order(self):
+        assert make_site().outbound_endpoints() == ("fda.gov", "twitter.com")
+
+    def test_outbound_endpoint_counts(self):
+        counts = make_site().outbound_endpoint_counts()
+        assert counts["fda.gov"] == 3
+        assert counts["twitter.com"] == 1
+
+    def test_internal_links_not_in_endpoints(self):
+        assert "pharm.com" not in make_site().outbound_endpoints()
+
+    def test_front_page(self):
+        assert make_site().front_page().url == "https://www.pharm.com/"
+
+    def test_front_page_empty_site(self):
+        assert Website(domain="pharm.com").front_page() is None
+
+    def test_wrong_domain_page_rejected(self):
+        page = WebPage(url="https://www.other.com/", text="x")
+        with pytest.raises(DataGenerationError):
+            Website(domain="pharm.com", pages=(page,))
+
+    def test_empty_site_merged_text(self):
+        assert Website(domain="pharm.com").merged_text() == ""
+
+    def test_empty_site_endpoints(self):
+        assert Website(domain="pharm.com").outbound_endpoints() == ()

@@ -1,0 +1,220 @@
+"""Tests for URL parsing and endpoint extraction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import InvalidURLError
+from repro.web.url import ParsedURL, endpoint, parse_url, same_domain
+
+
+class TestParseURL:
+    def test_basic_http(self):
+        parsed = parse_url("http://example.com/path")
+        assert parsed.scheme == "http"
+        assert parsed.host == "example.com"
+        assert parsed.path == "/path"
+
+    def test_https(self):
+        assert parse_url("https://example.com/").scheme == "https"
+
+    def test_host_lowercased(self):
+        assert parse_url("http://Example.COM/x").host == "example.com"
+
+    def test_no_path_defaults_to_slash(self):
+        assert parse_url("http://example.com").path == "/"
+
+    def test_query_stripped(self):
+        assert parse_url("http://example.com/a?b=c").path == "/a"
+
+    def test_fragment_stripped(self):
+        assert parse_url("http://example.com/a#frag").path == "/a"
+
+    def test_port_dropped(self):
+        assert parse_url("http://example.com:8080/a").host == "example.com"
+
+    def test_str_roundtrip(self):
+        parsed = parse_url("https://www.example.com/a/b")
+        assert str(parsed) == "https://www.example.com/a/b"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "example.com/path",  # no scheme
+            "ftp://example.com/",  # unsupported scheme
+            "http:///path",  # empty host
+            "http://host..dots/",  # empty label
+            "http://localhost/",  # no dot
+        ],
+    )
+    def test_invalid_urls_raise(self, bad):
+        with pytest.raises(InvalidURLError):
+            parse_url(bad)
+
+    def test_non_string_raises(self):
+        with pytest.raises(InvalidURLError):
+            parse_url(None)  # type: ignore[arg-type]
+
+
+class TestEndpoint:
+    def test_plain_domain(self):
+        assert endpoint("http://example.com/") == "example.com"
+
+    def test_www_stripped_to_sld(self):
+        assert endpoint("http://www.fda.gov/consumers/page.htm") == "fda.gov"
+
+    def test_deep_subdomain(self):
+        assert endpoint("https://a.b.c.example.com/") == "example.com"
+
+    def test_multi_part_suffix(self):
+        assert endpoint("http://shop.example.co.uk/x") == "example.co.uk"
+
+    def test_paper_examples(self):
+        assert (
+            endpoint("http://www.medicalnewstoday.com/articles/238663.php")
+            == "medicalnewstoday.com"
+        )
+        assert (
+            endpoint(
+                "http://www.fda.gov/forconsumers/consumerupdates/ucm149202.htm"
+            )
+            == "fda.gov"
+        )
+
+    def test_bare_multi_part_suffix_raises(self):
+        with pytest.raises(InvalidURLError):
+            endpoint("http://co.uk/")
+
+    def test_hyphenated_domain(self):
+        assert (
+            endpoint("https://www.securebilling-page.com/pay")
+            == "securebilling-page.com"
+        )
+
+
+class TestSameDomain:
+    def test_same(self):
+        assert same_domain("http://a.x.com/1", "https://b.x.com/2")
+
+    def test_different(self):
+        assert not same_domain("http://x.com/", "http://y.com/")
+
+
+class TestRegisteredDomainProperty:
+    def test_parsed_url_exposes_registered_domain(self):
+        assert (
+            parse_url("https://news.example.com/x").registered_domain
+            == "example.com"
+        )
+
+    def test_frozen(self):
+        parsed = parse_url("http://example.com/")
+        with pytest.raises(AttributeError):
+            parsed.host = "other.com"  # type: ignore[misc]
+
+
+_label = st.text(
+    alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz0123456789"),
+    min_size=1,
+    max_size=8,
+)
+
+
+@given(sub=_label, dom=_label, tld=st.sampled_from(["com", "net", "org", "gov"]))
+def test_endpoint_drops_any_subdomain(sub, dom, tld):
+    """Property: endpoint(sub.dom.tld) == dom.tld for plain TLDs."""
+    assert endpoint(f"http://{sub}.{dom}.{tld}/p") == f"{dom}.{tld}"
+
+
+@given(dom=_label, tld=st.sampled_from(["com", "net", "org"]))
+def test_endpoint_idempotent(dom, tld):
+    """Property: applying endpoint to an endpoint-URL is a fixpoint."""
+    first = endpoint(f"https://{dom}.{tld}/")
+    assert endpoint(f"https://{first}/") == first
+
+
+class TestResolveURL:
+    def test_absolute_passthrough(self):
+        from repro.web.url import resolve_url
+
+        assert (
+            resolve_url("https://www.a.com/x", "http://b.com/y")
+            == "http://b.com/y"
+        )
+
+    def test_root_relative(self):
+        from repro.web.url import resolve_url
+
+        assert (
+            resolve_url("https://www.a.com/deep/page", "/cart")
+            == "https://www.a.com/cart"
+        )
+
+    def test_path_relative(self):
+        from repro.web.url import resolve_url
+
+        assert (
+            resolve_url("https://www.a.com/shop/item", "reviews")
+            == "https://www.a.com/shop/reviews"
+        )
+
+    def test_parent_traversal(self):
+        from repro.web.url import resolve_url
+
+        assert (
+            resolve_url("https://www.a.com/a/b/c", "../../d")
+            == "https://www.a.com/d"
+        )
+
+    def test_parent_traversal_beyond_root_clamped(self):
+        from repro.web.url import resolve_url
+
+        assert (
+            resolve_url("https://www.a.com/a", "../../../x")
+            == "https://www.a.com/x"
+        )
+
+    def test_protocol_relative(self):
+        from repro.web.url import resolve_url
+
+        assert (
+            resolve_url("https://www.a.com/", "//cdn.net/lib.js")
+            == "https://cdn.net/lib.js"
+        )
+
+    def test_fragment_only_resolves_to_page(self):
+        from repro.web.url import resolve_url
+
+        assert (
+            resolve_url("https://www.a.com/page", "#top")
+            == "https://www.a.com/page"
+        )
+
+    def test_query_stripped(self):
+        from repro.web.url import resolve_url
+
+        assert (
+            resolve_url("https://www.a.com/x", "/search?q=1")
+            == "https://www.a.com/search"
+        )
+
+    def test_trailing_slash_kept(self):
+        from repro.web.url import resolve_url
+
+        assert (
+            resolve_url("https://www.a.com/x", "/dir/")
+            == "https://www.a.com/dir/"
+        )
+
+    def test_mailto_rejected(self):
+        from repro.web.url import resolve_url
+
+        with pytest.raises(InvalidURLError):
+            resolve_url("https://www.a.com/", "mailto:x@y.com")
+
+    def test_empty_rejected(self):
+        from repro.web.url import resolve_url
+
+        with pytest.raises(InvalidURLError):
+            resolve_url("https://www.a.com/", "   ")
