@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.core.network_pipeline import NetworkClassificationPipeline
 from repro.data.corpus import PharmacyCorpus
-from repro.exceptions import NotFittedError
+from repro.exceptions import NotFittedError, ValidationError
 from repro.ml.base import BaseClassifier, clone, ensure_dense
 from repro.ml.ensemble import EnsembleSelection, LibraryModel
 from repro.ml.mlp import MLPClassifier
@@ -65,7 +65,7 @@ class EnsembleClassificationPipeline:
         include_ngg_member: bool = True,
     ) -> None:
         if len(documents) != len(corpus):
-            raise ValueError(
+            raise ValidationError(
                 f"documents/corpus length mismatch: {len(documents)} vs {len(corpus)}"
             )
         self._corpus = corpus

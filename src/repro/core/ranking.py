@@ -20,6 +20,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.devtools.contracts import check_score_range
+from repro.exceptions import ValidationError
 from repro.ml.metrics import pairwise_orderedness
 
 __all__ = [
@@ -57,9 +59,11 @@ class RankingResult:
 
     @property
     def domains(self) -> tuple[str, ...]:
+        """Domains in ranking order (most legitimate first)."""
         return tuple(entry.domain for entry in self.entries)
 
 
+@check_score_range(0.0, 1.0, getter=lambda result: result.pairord, allow_nan=True)
 def rank_pharmacies(
     domains: Sequence[str],
     text_ranks: Sequence[float],
@@ -79,7 +83,7 @@ def rank_pharmacies(
         deterministic tie-breaking on domain name.
     """
     if not (len(domains) == len(text_ranks) == len(network_ranks)):
-        raise ValueError("domains/text_ranks/network_ranks length mismatch")
+        raise ValidationError("domains/text_ranks/network_ranks length mismatch")
     text = np.asarray(text_ranks, dtype=np.float64)
     network = np.asarray(network_ranks, dtype=np.float64)
     scores = text + network
@@ -133,7 +137,7 @@ def analyze_outliers(result: RankingResult, top_k: int = 5) -> OutlierReport:
         ValueError: when the ranking has no oracle labels.
     """
     if any(entry.oracle_label is None for entry in result.entries):
-        raise ValueError("outlier analysis requires oracle labels")
+        raise ValidationError("outlier analysis requires oracle labels")
     illegit_high = [e for e in result.entries if e.oracle_label == 0][:top_k]
     legit_low = [e for e in reversed(result.entries) if e.oracle_label == 1][
         :top_k

@@ -23,6 +23,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.ranking import RankingResult
+from repro.exceptions import ValidationError
 
 __all__ = [
     "ReviewQueue",
@@ -43,7 +44,7 @@ class ReviewQueue:
 
     def __init__(self, ranking: RankingResult) -> None:
         if any(entry.oracle_label is None for entry in ranking.entries):
-            raise ValueError("review simulation requires oracle labels")
+            raise ValidationError("review simulation requires oracle labels")
         # Most suspicious first: ascending rank score.
         self._entries = tuple(reversed(ranking.entries))
         self._cursor = 0
@@ -58,7 +59,7 @@ class ReviewQueue:
     def next_batch(self, batch_size: int):
         """Pop the next ``batch_size`` entries (fewer at the end)."""
         if batch_size < 1:
-            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+            raise ValidationError(f"batch_size must be >= 1, got {batch_size}")
         batch = self._entries[self._cursor : self._cursor + batch_size]
         self._cursor += len(batch)
         return batch
@@ -139,11 +140,11 @@ def effort_to_find_fraction(
         Number of reviews (queue positions consumed).
     """
     if not 0.0 < fraction <= 1.0:
-        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        raise ValidationError(f"fraction must be in (0, 1], got {fraction}")
     scores = np.asarray(ranks, dtype=np.float64)
     labels = np.asarray(oracle_labels, dtype=np.int64)
     if scores.shape != labels.shape:
-        raise ValueError("ranks and oracle_labels disagree in shape")
+        raise ValidationError("ranks and oracle_labels disagree in shape")
     n_target = int(np.sum(labels == target_label))
     if n_target == 0:
         return 0

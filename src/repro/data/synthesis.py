@@ -35,7 +35,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.data import lexicon
-from repro.exceptions import DataGenerationError
+from repro.exceptions import DataGenerationError, MissingKeyError
 from repro.web.host import InMemoryWebHost
 from repro.web.page import WebPage
 
@@ -311,7 +311,7 @@ class WebSnapshot:
         for record in self.records:
             if record.domain == domain:
                 return record
-        raise KeyError(domain)
+        raise MissingKeyError(domain)
 
 
 class SyntheticWebGenerator:

@@ -1,0 +1,20 @@
+"""Project-specific developer tooling.
+
+Two companion halves guard the numeric kernels of the reproduction:
+
+* :mod:`repro.devtools.lint` — an AST-based static-analysis pass with
+  rules tailored to this codebase (exception hygiene, seeded
+  randomness, import layering, float-comparison safety, API
+  documentation).  Run it as ``python -m repro.devtools.lint src/repro``.
+* :mod:`repro.devtools.contracts` — runtime numeric-contract
+  decorators (probability vectors, row-stochastic matrices, bounded
+  scores) that are active under pytest or ``REPRO_CONTRACTS=1`` and
+  compile to no-ops otherwise.
+
+See ``docs/devtools.md`` for the rule catalogue and workflows.
+"""
+
+from repro.devtools.findings import Finding
+from repro.devtools.rules import RULES, Rule
+
+__all__ = ["Finding", "Rule", "RULES"]

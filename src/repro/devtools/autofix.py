@@ -1,0 +1,115 @@
+"""Autofixes for cheap-to-rewrite rules (currently R001).
+
+The R001 fix swaps a banned builtin exception for its
+:mod:`repro.exceptions` replacement on the ``raise`` line and ensures
+the replacement is imported, merging into an existing
+``from repro.exceptions import ...`` statement when the module already
+has one.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Sequence
+
+from repro.devtools.findings import Finding
+from repro.devtools.rules import R001_FIX_MAP
+
+__all__ = ["apply_r001_fixes"]
+
+_EXCEPTIONS_MODULE = "repro.exceptions"
+_MAX_LINE = 79
+
+
+def _render_import(names: Sequence[str]) -> list[str]:
+    """Render a ``from repro.exceptions import ...`` statement."""
+    ordered = sorted(set(names))
+    single = f"from {_EXCEPTIONS_MODULE} import {', '.join(ordered)}"
+    if len(single) <= _MAX_LINE:
+        return [single]
+    lines = [f"from {_EXCEPTIONS_MODULE} import ("]
+    lines.extend(f"    {name}," for name in ordered)
+    lines.append(")")
+    return lines
+
+
+def _locate_exceptions_import(
+    tree: ast.Module,
+) -> tuple[int, int, list[str]] | None:
+    """Find the top-level exceptions import: (start, end, names), 1-based."""
+    for node in tree.body:
+        if (
+            isinstance(node, ast.ImportFrom)
+            and node.level == 0
+            and node.module == _EXCEPTIONS_MODULE
+        ):
+            names = [alias.name for alias in node.names]
+            return node.lineno, node.end_lineno or node.lineno, names
+    return None
+
+
+def _import_insertion_line(tree: ast.Module) -> int:
+    """1-based line *after which* a fresh import should be inserted."""
+    last = 0
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            last = node.end_lineno or node.lineno
+        elif last == 0 and isinstance(node, ast.Expr) and isinstance(
+            node.value, ast.Constant
+        ):
+            # Module docstring: insert below it if no imports exist.
+            last = node.end_lineno or node.lineno
+    return last
+
+
+def apply_r001_fixes(source: str, findings: Sequence[Finding]) -> str:
+    """Rewrite ``source`` fixing the given R001 findings.
+
+    Only findings whose offending line still matches
+    ``raise <BannedName>`` are rewritten; the replacement class is then
+    added to the module's ``repro.exceptions`` import.
+
+    Returns:
+        The fixed source (unchanged when nothing was fixable).
+    """
+    lines = source.splitlines()
+    trailing_newline = source.endswith("\n")
+    needed: set[str] = set()
+    for finding in findings:
+        if finding.rule != "R001" or not finding.fixable:
+            continue
+        idx = finding.line - 1
+        if not 0 <= idx < len(lines):
+            continue
+        for banned, replacement in R001_FIX_MAP.items():
+            pattern = re.compile(rf"(\braise\s+){banned}\b")
+            new_line, count = pattern.subn(rf"\g<1>{replacement}", lines[idx])
+            if count:
+                lines[idx] = new_line
+                needed.add(replacement)
+                break
+    if not needed:
+        return source
+
+    tree = ast.parse(source)
+    located = _locate_exceptions_import(tree)
+    if located is not None:
+        start, end, names = located
+        if needed.issubset(names):
+            rendered = None
+        else:
+            rendered = _render_import(list(names) + sorted(needed))
+        if rendered is not None:
+            lines[start - 1 : end] = rendered
+    else:
+        after = _import_insertion_line(tree)
+        rendered = _render_import(sorted(needed))
+        if after == 0:
+            lines[0:0] = rendered
+        else:
+            lines[after:after] = rendered
+    result = "\n".join(lines)
+    if trailing_newline and not result.endswith("\n"):
+        result += "\n"
+    return result

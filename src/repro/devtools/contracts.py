@@ -1,0 +1,206 @@
+"""Runtime numeric-contract decorators for the kernels.
+
+The power-iteration kernels (TrustRank, personalized PageRank,
+EigenTrust), the calibration layer, and the ranking combiner promise
+numeric invariants — probability vectors sum to 1, calibrated
+probabilities live in [0, 1], pairwise orderedness lives in [0, 1].
+These decorators verify the promises on every call **when checking is
+enabled** and compile to literal no-ops otherwise, so production code
+pays nothing.
+
+Checking is enabled when, at decoration (import) time:
+
+* the environment variable ``REPRO_CONTRACTS`` is ``1``/``true``/
+  ``on``, or
+* pytest is already imported (the normal test-suite path) and
+  ``REPRO_CONTRACTS`` is not explicitly ``0``/``false``/``off``.
+
+Violations raise :class:`repro.exceptions.ContractViolationError`.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+import os
+import sys
+from typing import Any, Callable, Iterable, Mapping, TypeVar
+
+from repro.exceptions import ContractViolationError
+
+__all__ = [
+    "contracts_enabled",
+    "check_probability_vector",
+    "check_row_stochastic",
+    "check_score_range",
+]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+_TRUTHY = ("1", "true", "on", "yes")
+_FALSY = ("0", "false", "off", "no")
+
+
+def contracts_enabled() -> bool:
+    """Whether contract decorators should instrument functions.
+
+    The decision is made when a decorated module is imported, so flip
+    ``REPRO_CONTRACTS`` *before* importing :mod:`repro` (or reload the
+    instrumented module) to change it.
+    """
+    flag = os.environ.get("REPRO_CONTRACTS", "").strip().lower()
+    if flag in _TRUTHY:
+        return True
+    if flag in _FALSY:
+        return False
+    return "pytest" in sys.modules
+
+
+def _values(result: Any) -> Iterable[float]:
+    if isinstance(result, Mapping):
+        return result.values()
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        return result
+    arr = np.asarray(result, dtype=np.float64)
+    return arr.ravel().tolist()
+
+
+def _fail(func: Callable[..., Any], detail: str) -> None:
+    raise ContractViolationError(
+        f"numeric contract violated in {func.__module__}.{func.__qualname__}: "
+        f"{detail}"
+    )
+
+
+def check_probability_vector(
+    tolerance: float = 1e-6,
+    getter: Callable[[Any], Any] | None = None,
+) -> Callable[[F], F]:
+    """Require the return value to be a probability distribution.
+
+    The checked values (mapping values, or a flattened array) must all
+    be finite, within ``[-tolerance, 1 + tolerance]``, and sum to 1
+    within ``tolerance``.  An empty result is rejected.
+
+    Args:
+        tolerance: absolute slack for the bounds and the total.
+        getter: optional projection applied to the return value before
+            checking (for functions returning wrapper objects).
+    """
+
+    def decorate(func: F) -> F:
+        if not contracts_enabled():
+            return func
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            result = func(*args, **kwargs)
+            payload = getter(result) if getter is not None else result
+            total = 0.0
+            count = 0
+            for value in _values(payload):
+                v = float(value)
+                if not math.isfinite(v):
+                    _fail(func, f"non-finite entry {v!r}")
+                if v < -tolerance or v > 1.0 + tolerance:
+                    _fail(func, f"entry {v!r} outside [0, 1]")
+                total += v
+                count += 1
+            if count == 0:
+                _fail(func, "empty probability vector")
+            if abs(total - 1.0) > max(tolerance, tolerance * count):
+                _fail(func, f"mass sums to {total!r}, expected 1.0")
+            return result
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def check_row_stochastic(
+    tolerance: float = 1e-6,
+    getter: Callable[[Any], Any] | None = None,
+) -> Callable[[F], F]:
+    """Require the return value to be a row-stochastic 2-D matrix.
+
+    Every entry must be finite and in ``[0, 1]`` (within ``tolerance``)
+    and every row must sum to 1 within ``tolerance`` — the shape of
+    ``predict_proba`` outputs.
+    """
+
+    def decorate(func: F) -> F:
+        if not contracts_enabled():
+            return func
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            result = func(*args, **kwargs)
+            payload = getter(result) if getter is not None else result
+            import numpy as np
+
+            matrix = np.asarray(payload, dtype=np.float64)
+            if matrix.ndim != 2:
+                _fail(func, f"expected a 2-D matrix, got ndim={matrix.ndim}")
+            if not np.all(np.isfinite(matrix)):
+                _fail(func, "matrix contains non-finite entries")
+            if np.any(matrix < -tolerance) or np.any(matrix > 1.0 + tolerance):
+                _fail(func, "matrix entries outside [0, 1]")
+            row_sums = matrix.sum(axis=1)
+            worst = float(np.max(np.abs(row_sums - 1.0))) if row_sums.size else 0.0
+            if worst > tolerance:
+                _fail(func, f"row sums deviate from 1.0 by up to {worst!r}")
+            return result
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def check_score_range(
+    low: float,
+    high: float,
+    tolerance: float = 1e-9,
+    getter: Callable[[Any], Any] | None = None,
+    allow_nan: bool = False,
+) -> Callable[[F], F]:
+    """Require every returned score to lie in ``[low, high]``.
+
+    Args:
+        low: inclusive lower bound.
+        high: inclusive upper bound.
+        tolerance: absolute slack on both bounds.
+        getter: optional projection applied to the return value before
+            checking (e.g. extract one field of a result object).
+        allow_nan: accept NaN entries (used for "metric undefined"
+            sentinels such as pairord without oracle labels).
+    """
+
+    def decorate(func: F) -> F:
+        if not contracts_enabled():
+            return func
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            result = func(*args, **kwargs)
+            payload = getter(result) if getter is not None else result
+            values = (
+                [float(payload)]
+                if isinstance(payload, (int, float))
+                else [float(v) for v in _values(payload)]
+            )
+            for v in values:
+                if math.isnan(v):
+                    if allow_nan:
+                        continue
+                    _fail(func, "NaN score")
+                if not math.isfinite(v):
+                    _fail(func, f"non-finite score {v!r}")
+                if v < low - tolerance or v > high + tolerance:
+                    _fail(func, f"score {v!r} outside [{low}, {high}]")
+            return result
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

@@ -1,0 +1,265 @@
+"""repro-lint: the project's static-analysis entry point.
+
+Usage::
+
+    python -m repro.devtools.lint [paths ...]
+        [--baseline PATH] [--no-baseline] [--write-baseline]
+        [--fix] [--format text|json] [--list-rules]
+
+With no paths, ``src/repro`` is linted.  Exit status: 0 when no new
+findings (baselined findings do not fail the run), 1 when new findings
+exist, 2 on usage errors or unreadable inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from repro.devtools.autofix import apply_r001_fixes
+from repro.devtools.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.devtools.findings import Finding
+from repro.devtools.rules import RULES, ModuleInfo, parse_module
+
+__all__ = ["main", "lint_paths", "discover_files"]
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist"}
+
+
+def discover_files(paths: Sequence[str]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    files.add(candidate)
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def _assign_occurrences(findings: list[Finding]) -> list[Finding]:
+    """Stamp occurrence indexes so repeated identical lines fingerprint
+    uniquely (findings must be in source order per file)."""
+    counter: Counter[tuple[str, str, str, str]] = Counter()
+    stamped = []
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.symbol, finding.source_line)
+        stamped.append(
+            Finding(
+                rule=finding.rule,
+                path=finding.path,
+                line=finding.line,
+                column=finding.column,
+                message=finding.message,
+                symbol=finding.symbol,
+                source_line=finding.source_line,
+                fixable=finding.fixable,
+                occurrence=counter[key],
+            )
+        )
+        counter[key] += 1
+    return stamped
+
+
+def _lint_module(module: ModuleInfo) -> list[Finding]:
+    findings: list[Finding] = []
+    for rule in RULES:
+        findings.extend(rule.run(module))
+    findings.sort(key=lambda f: (f.line, f.column, f.rule))
+    return findings
+
+
+def lint_paths(paths: Sequence[str], fix: bool = False) -> list[Finding]:
+    """Lint every python file under ``paths``; optionally autofix.
+
+    Args:
+        paths: files or directories to lint.
+        fix: apply cheap autofixes (R001) in place, then re-lint the
+            fixed source so the report reflects the post-fix tree.
+
+    Returns:
+        All findings in (path, line) order, occurrence-stamped.
+    """
+    all_findings: list[Finding] = []
+    for file_path in discover_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            all_findings.append(
+                Finding(
+                    rule="E000",
+                    path=str(file_path),
+                    line=1,
+                    column=0,
+                    message=f"cannot read file: {exc}",
+                )
+            )
+            continue
+        try:
+            module = parse_module(str(file_path), source)
+        except SyntaxError as exc:
+            all_findings.append(
+                Finding(
+                    rule="E000",
+                    path=str(file_path),
+                    line=exc.lineno or 1,
+                    column=(exc.offset or 1) - 1,
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        findings = _lint_module(module)
+        if fix and any(f.fixable for f in findings):
+            fixed = apply_r001_fixes(source, findings)
+            if fixed != source:
+                file_path.write_text(fixed, encoding="utf-8")
+                module = parse_module(str(file_path), fixed)
+                findings = _lint_module(module)
+        all_findings.extend(findings)
+    return _assign_occurrences(all_findings)
+
+
+def _render_text(
+    new: list[Finding], grandfathered: list[Finding], stale: list[str]
+) -> str:
+    out = [finding.render() for finding in new]
+    if grandfathered:
+        out.append(f"({len(grandfathered)} baselined finding(s) suppressed)")
+    if stale:
+        out.append(
+            f"warning: {len(stale)} stale baseline entr(y/ies) no longer "
+            "observed; refresh with --write-baseline"
+        )
+    if new:
+        out.append(f"found {len(new)} new finding(s)")
+    else:
+        out.append("clean")
+    return "\n".join(out)
+
+
+def _render_json(
+    new: list[Finding], grandfathered: list[Finding], stale: list[str]
+) -> str:
+    def encode(finding: Finding) -> dict[str, object]:
+        return {
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "column": finding.column,
+            "message": finding.message,
+            "symbol": finding.symbol,
+            "fingerprint": finding.fingerprint(),
+            "fixable": finding.fixable,
+        }
+
+    return json.dumps(
+        {
+            "new": [encode(f) for f in new],
+            "baselined": len(grandfathered),
+            "stale_baseline_entries": stale,
+        },
+        indent=2,
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="Project-specific static analysis for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: ./{DEFAULT_BASELINE_NAME} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="grandfather all current findings into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--justification",
+        default="",
+        help="note recorded on every entry written by --write-baseline",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply cheap autofixes in place (currently R001)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            sys.stdout.write(f"{rule.rule_id}  {rule.summary}\n")
+        return 0
+
+    missing = [raw for raw in args.paths if not Path(raw).exists()]
+    if missing:
+        sys.stderr.write(f"error: no such path(s): {', '.join(missing)}\n")
+        return 2
+
+    findings = lint_paths(args.paths, fix=args.fix)
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE_NAME)
+    if args.write_baseline:
+        Baseline.from_findings(findings, justification=args.justification).save(
+            baseline_path
+        )
+        sys.stdout.write(
+            f"wrote {len(findings)} finding(s) to {baseline_path}\n"
+        )
+        return 0
+
+    if args.no_baseline:
+        baseline = Baseline()
+    else:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except Exception as exc:  # noqa: BLE001 - CLI boundary
+            sys.stderr.write(f"error: {exc}\n")
+            return 2
+    new, grandfathered = baseline.filter(findings)
+    stale = baseline.stale_fingerprints(findings)
+
+    renderer = _render_json if args.format == "json" else _render_text
+    sys.stdout.write(renderer(new, grandfathered, stale) + "\n")
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

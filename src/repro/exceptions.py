@@ -33,3 +33,25 @@ class ConfigurationError(ReproError):
 
 class GraphError(ReproError):
     """Raised for invalid graph operations (missing nodes, bad weights)."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised when caller-supplied values fail validation.
+
+    Subclasses :class:`ValueError` so call sites that predate the
+    library-specific hierarchy (``except ValueError``) keep working.
+    """
+
+
+class MissingKeyError(ReproError, KeyError):
+    """Raised for lookups of unknown keys (domains, table rows, ids).
+
+    Subclasses :class:`KeyError` so mapping-protocol consumers (``in``
+    checks via ``__getitem__``, ``dict.get``-style fallbacks) behave.
+    """
+
+
+class ContractViolationError(ReproError, AssertionError):
+    """Raised by :mod:`repro.devtools.contracts` when a numeric
+    contract (probability vector, row-stochastic matrix, score range)
+    is violated at runtime under the checked build."""

@@ -118,7 +118,7 @@ def main(argv: list[str] | None = None) -> int:
     start = time.time()
     report = generate_report(config, include_ablations=not args.no_ablations)
     Path(args.output).write_text(report)
-    print(f"wrote {args.output} in {time.time() - start:.0f}s")
+    print(f"wrote {args.output} in {time.time() - start:.0f}s")  # repro-lint: disable=R005 (CLI entry point)
     return 0
 
 

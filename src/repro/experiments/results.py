@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Sequence
+from repro.exceptions import MissingKeyError
 
 __all__ = ["TableResult", "format_value", "term_subset_header"]
 
@@ -46,7 +47,7 @@ class TableResult:
         for row in self.rows:
             if str(row[0]) == row_label:
                 return row[col_idx]
-        raise KeyError(f"no row labelled {row_label!r} in {self.table_id}")
+        raise MissingKeyError(f"no row labelled {row_label!r} in {self.table_id}")
 
     def column_values(self, column: str) -> list[object]:
         idx = self.columns.index(column)

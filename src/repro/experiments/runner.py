@@ -17,6 +17,7 @@ from typing import Callable
 
 from repro.core.config import ExperimentConfig
 from repro.experiments import figures, tables
+from repro.exceptions import MissingKeyError
 
 __all__ = ["main", "run_experiment", "EXPERIMENT_IDS"]
 
@@ -51,7 +52,7 @@ def run_experiment(experiment_id: str, config: ExperimentConfig) -> str:
         return figures.figure2_pipeline_trace().render()
     if experiment_id == "figure3":
         return figures.figure3_trustrank_demo().render(precision=4)
-    raise KeyError(
+    raise MissingKeyError(
         f"unknown experiment {experiment_id!r}; choose from {EXPERIMENT_IDS}"
     )
 
@@ -80,8 +81,8 @@ def main(argv: list[str] | None = None) -> int:
         start = time.time()
         output = run_experiment(experiment_id, config)
         elapsed = time.time() - start
-        print(output)
-        print(f"[{experiment_id} done in {elapsed:.1f}s]\n")
+        print(output)  # repro-lint: disable=R005 (CLI entry point)
+        print(f"[{experiment_id} done in {elapsed:.1f}s]\n")  # repro-lint: disable=R005 (CLI entry point)
     return 0
 
 

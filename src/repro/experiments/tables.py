@@ -42,6 +42,7 @@ from repro.ml.tree import C45Tree
 from repro.text.ngram_graph import ClassGraphModel, NGramGraph
 from repro.text.summarization import Summarizer, SummaryDocument
 from repro.text.term_vector import TfidfVectorizer
+from repro.exceptions import ValidationError
 
 logger = logging.getLogger(__name__)
 
@@ -379,7 +380,7 @@ def _corpus_by_name(config: ExperimentConfig, name: str) -> PharmacyCorpus:
         return corpus1
     if name == "dataset2":
         return corpus2
-    raise ValueError(f"unknown corpus name {name!r}")
+    raise ValidationError(f"unknown corpus name {name!r}")
 
 
 # ---------------------------------------------------------------------------

@@ -24,7 +24,7 @@ from typing import Any, Mapping
 import numpy as np
 import scipy.sparse as sp
 
-from repro.exceptions import NotFittedError
+from repro.exceptions import NotFittedError, ValidationError
 
 __all__ = [
     "BaseClassifier",
@@ -43,7 +43,7 @@ def ensure_dense(X: Any) -> np.ndarray:
     if arr.ndim == 1:
         arr = arr.reshape(-1, 1)
     if arr.ndim != 2:
-        raise ValueError(f"X must be 2-D, got shape {arr.shape}")
+        raise ValidationError(f"X must be 2-D, got shape {arr.shape}")
     return arr
 
 
@@ -61,14 +61,14 @@ def check_X_y(X: Any, y: Any, allow_sparse: bool = True) -> tuple[Any, np.ndarra
     X = check_X(X, allow_sparse=allow_sparse)
     y_arr = np.asarray(y)
     if y_arr.ndim != 1:
-        raise ValueError(f"y must be 1-D, got shape {y_arr.shape}")
+        raise ValidationError(f"y must be 1-D, got shape {y_arr.shape}")
     n_samples = X.shape[0]
     if y_arr.shape[0] != n_samples:
-        raise ValueError(
+        raise ValidationError(
             f"X and y disagree in length: {n_samples} vs {y_arr.shape[0]}"
         )
     if n_samples == 0:
-        raise ValueError("cannot fit on an empty dataset")
+        raise ValidationError("cannot fit on an empty dataset")
     return X, y_arr.astype(np.int64)
 
 
@@ -131,7 +131,7 @@ class BaseClassifier(abc.ABC):
         """Record sorted unique labels; return y re-encoded to 0..k-1."""
         classes, encoded = np.unique(y, return_inverse=True)
         if classes.shape[0] < 2:
-            raise ValueError(
+            raise ValidationError(
                 f"need at least 2 classes to fit, got {classes.tolist()}"
             )
         self.classes_ = classes

@@ -17,8 +17,10 @@ from __future__ import annotations
 from typing import Any
 
 import numpy as np
+from numpy.typing import ArrayLike
 
-from repro.exceptions import NotFittedError
+from repro.devtools.contracts import check_row_stochastic, check_score_range
+from repro.exceptions import NotFittedError, ValidationError
 from repro.ml.base import BaseClassifier
 
 __all__ = ["PlattScaler", "CalibratedClassifier"]
@@ -45,7 +47,7 @@ class PlattScaler:
             raise NotFittedError("PlattScaler has not been fitted")
         return self._a, self._b
 
-    def fit(self, scores, y) -> "PlattScaler":
+    def fit(self, scores: ArrayLike, y: ArrayLike) -> "PlattScaler":
         """Fit on held-out (score, binary-label) pairs.
 
         Uses Platt's smoothed targets ``(n_pos + 1) / (n_pos + 2)`` and
@@ -55,13 +57,13 @@ class PlattScaler:
         s = np.asarray(scores, dtype=np.float64).ravel()
         labels = np.asarray(y, dtype=np.int64).ravel()
         if s.shape != labels.shape:
-            raise ValueError("scores and y disagree in shape")
+            raise ValidationError("scores and y disagree in shape")
         if s.size == 0:
-            raise ValueError("cannot calibrate on an empty set")
+            raise ValidationError("cannot calibrate on an empty set")
         n_pos = float(np.sum(labels == 1))
         n_neg = float(labels.size - n_pos)
         if n_pos == 0 or n_neg == 0:
-            raise ValueError("calibration needs both classes present")
+            raise ValidationError("calibration needs both classes present")
         hi = (n_pos + 1.0) / (n_pos + 2.0)
         lo = 1.0 / (n_neg + 2.0)
         target = np.where(labels == 1, hi, lo)
@@ -91,14 +93,16 @@ class PlattScaler:
         self._a, self._b = a, b
         return self
 
-    def transform(self, scores) -> np.ndarray:
+    @check_score_range(0.0, 1.0)
+    def transform(self, scores: ArrayLike) -> np.ndarray:
         """Map scores to calibrated P(y = 1)."""
         a, b = self.coefficients
         s = np.asarray(scores, dtype=np.float64).ravel()
         z = np.clip(a * s + b, -50.0, 50.0)
         return 1.0 / (1.0 + np.exp(z))
 
-    def fit_transform(self, scores, y) -> np.ndarray:
+    def fit_transform(self, scores: ArrayLike, y: ArrayLike) -> np.ndarray:
+        """``fit(scores, y).transform(scores)``."""
         return self.fit(scores, y).transform(scores)
 
 
@@ -111,21 +115,28 @@ class CalibratedClassifier:
         y: held-out labels aligned with ``scores``.
     """
 
-    def __init__(self, classifier: BaseClassifier, scores, y) -> None:
+    def __init__(
+        self, classifier: BaseClassifier, scores: ArrayLike, y: ArrayLike
+    ) -> None:
         self._classifier = classifier
         self._scaler = PlattScaler().fit(scores, y)
 
     @property
-    def classes_(self):
+    def classes_(self) -> np.ndarray | None:
+        """Class labels of the wrapped classifier."""
         return self._classifier.classes_
 
+    @check_row_stochastic()
     def predict_proba(self, X: Any) -> np.ndarray:
+        """Calibrated class probabilities, columns ``[P(0), P(1)]``."""
         pos = self._scaler.transform(self._classifier.decision_scores(X))
         return np.column_stack([1.0 - pos, pos])
 
     def predict(self, X: Any) -> np.ndarray:
+        """Labels from thresholding the calibrated probability at 0.5."""
         classes = self._classifier._fitted_classes()
         return classes[(self.predict_proba(X)[:, 1] >= 0.5).astype(np.int64)]
 
     def decision_scores(self, X: Any) -> np.ndarray:
+        """Calibrated positive-class probability (for ROC curves)."""
         return self.predict_proba(X)[:, 1]

@@ -27,7 +27,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.exceptions import NotFittedError
+from repro.exceptions import NotFittedError, ValidationError
 from repro.ml.metrics import auc_roc
 
 __all__ = ["LibraryModel", "EnsembleSelection"]
@@ -69,9 +69,9 @@ class EnsembleSelection:
         tolerance: float = 1e-6,
     ) -> None:
         if n_init < 1:
-            raise ValueError(f"n_init must be >= 1, got {n_init}")
+            raise ValidationError(f"n_init must be >= 1, got {n_init}")
         if max_rounds < 0:
-            raise ValueError(f"max_rounds must be >= 0, got {max_rounds}")
+            raise ValidationError(f"max_rounds must be >= 0, got {max_rounds}")
         self._metric = metric or auc_roc
         self._n_init = n_init
         self._max_rounds = max_rounds
@@ -101,7 +101,7 @@ class EnsembleSelection:
             y_hillclimb: labels of the hill-climbing set.
         """
         if not library:
-            raise ValueError("model library is empty")
+            raise ValidationError("model library is empty")
         y = np.asarray(y_hillclimb).ravel()
         predictions = {
             model.name: np.asarray(model.predict_proba(hillclimb_indices))
@@ -109,7 +109,7 @@ class EnsembleSelection:
         }
         for name, proba in predictions.items():
             if proba.shape != (y.shape[0], 2):
-                raise ValueError(
+                raise ValidationError(
                     f"model {name!r} returned probability shape {proba.shape}, "
                     f"expected {(y.shape[0], 2)}"
                 )

@@ -14,7 +14,7 @@ from typing import Any
 import numpy as np
 import scipy.sparse as sp
 
-from repro.exceptions import NotFittedError
+from repro.exceptions import NotFittedError, ValidationError
 from repro.ml.base import BaseClassifier, check_X, check_X_y
 
 __all__ = ["LogisticRegression"]
@@ -47,15 +47,15 @@ class LogisticRegression(BaseClassifier):
     ) -> None:
         super().__init__()
         if l2 < 0:
-            raise ValueError(f"l2 must be >= 0, got {l2}")
+            raise ValidationError(f"l2 must be >= 0, got {l2}")
         if learning_rate <= 0:
-            raise ValueError(f"learning_rate must be > 0, got {learning_rate}")
+            raise ValidationError(f"learning_rate must be > 0, got {learning_rate}")
         if n_iterations < 1:
-            raise ValueError(f"n_iterations must be >= 1, got {n_iterations}")
+            raise ValidationError(f"n_iterations must be >= 1, got {n_iterations}")
         if not 0.0 <= momentum < 1.0:
-            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+            raise ValidationError(f"momentum must be in [0, 1), got {momentum}")
         if class_weight not in (None, "balanced"):
-            raise ValueError(f"unsupported class_weight: {class_weight!r}")
+            raise ValidationError(f"unsupported class_weight: {class_weight!r}")
         self._l2 = l2
         self._learning_rate = learning_rate
         self._n_iterations = n_iterations
@@ -69,14 +69,14 @@ class LogisticRegression(BaseClassifier):
         X, y = check_X_y(X, y, allow_sparse=True)
         encoded = self._store_classes(y)
         if len(self._fitted_classes()) != 2:
-            raise ValueError("LogisticRegression is binary; got > 2 classes")
+            raise ValidationError("LogisticRegression is binary; got > 2 classes")
         target = encoded.astype(np.float64)
         n_samples, n_features = X.shape
         if self._class_weight == "balanced":
             n_pos = float(target.sum())
             n_neg = float(n_samples - n_pos)
             weight = np.where(
-                target == 1.0,
+                target == 1.0,  # repro-lint: disable=R006 (exact 0/1 label match)
                 n_samples / (2.0 * max(n_pos, 1.0)),
                 n_samples / (2.0 * max(n_neg, 1.0)),
             )
@@ -115,7 +115,7 @@ class LogisticRegression(BaseClassifier):
             raise NotFittedError("LogisticRegression has not been fitted")
         X = check_X(X, allow_sparse=True)
         if X.shape[1] != self._w.shape[0]:
-            raise ValueError(
+            raise ValidationError(
                 f"feature-count mismatch: fitted on {self._w.shape[0]}, "
                 f"got {X.shape[1]}"
             )

@@ -16,6 +16,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from numpy.typing import ArrayLike
+
+from repro.devtools.contracts import check_score_range
+from repro.exceptions import ValidationError
+
 __all__ = [
     "confusion_counts",
     "accuracy",
@@ -34,18 +39,20 @@ __all__ = [
 ]
 
 
-def _as_label_arrays(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+def _as_label_arrays(
+    y_true: ArrayLike, y_pred: ArrayLike
+) -> tuple[np.ndarray, np.ndarray]:
     yt = np.asarray(y_true).ravel()
     yp = np.asarray(y_pred).ravel()
     if yt.shape != yp.shape:
-        raise ValueError(f"shape mismatch: {yt.shape} vs {yp.shape}")
+        raise ValidationError(f"shape mismatch: {yt.shape} vs {yp.shape}")
     if yt.size == 0:
-        raise ValueError("empty label arrays")
+        raise ValidationError("empty label arrays")
     return yt, yp
 
 
 def confusion_counts(
-    y_true, y_pred, positive_label: int = 1
+    y_true: ArrayLike, y_pred: ArrayLike, positive_label: int = 1
 ) -> tuple[int, int, int, int]:
     """Return ``(tp, fp, tn, fn)`` with respect to ``positive_label``."""
     yt, yp = _as_label_arrays(y_true, y_pred)
@@ -58,13 +65,16 @@ def confusion_counts(
     return tp, fp, tn, fn
 
 
-def accuracy(y_true, y_pred) -> float:
+@check_score_range(0.0, 1.0)
+def accuracy(y_true: ArrayLike, y_pred: ArrayLike) -> float:
     """Overall accuracy: fraction of correctly classified instances."""
     yt, yp = _as_label_arrays(y_true, y_pred)
     return float(np.mean(yt == yp))
 
 
-def precision(y_true, y_pred, positive_label: int = 1) -> float:
+def precision(
+    y_true: ArrayLike, y_pred: ArrayLike, positive_label: int = 1
+) -> float:
     """Precision for ``positive_label``; 0.0 when nothing was predicted
     positive (convention for the degenerate case)."""
     tp, fp, _, _ = confusion_counts(y_true, y_pred, positive_label)
@@ -72,14 +82,18 @@ def precision(y_true, y_pred, positive_label: int = 1) -> float:
     return tp / denom if denom else 0.0
 
 
-def recall(y_true, y_pred, positive_label: int = 1) -> float:
+def recall(
+    y_true: ArrayLike, y_pred: ArrayLike, positive_label: int = 1
+) -> float:
     """Recall for ``positive_label``; 0.0 when the class is absent."""
     tp, _, _, fn = confusion_counts(y_true, y_pred, positive_label)
     denom = tp + fn
     return tp / denom if denom else 0.0
 
 
-def f1_score(y_true, y_pred, positive_label: int = 1) -> float:
+def f1_score(
+    y_true: ArrayLike, y_pred: ArrayLike, positive_label: int = 1
+) -> float:
     """Harmonic mean of precision and recall for ``positive_label``."""
     p = precision(y_true, y_pred, positive_label)
     r = recall(y_true, y_pred, positive_label)
@@ -87,7 +101,7 @@ def f1_score(y_true, y_pred, positive_label: int = 1) -> float:
 
 
 def roc_curve(
-    y_true, scores, positive_label: int = 1
+    y_true: ArrayLike, scores: ArrayLike, positive_label: int = 1
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Compute the ROC curve.
 
@@ -103,12 +117,12 @@ def roc_curve(
     yt = np.asarray(y_true).ravel()
     sc = np.asarray(scores, dtype=np.float64).ravel()
     if yt.shape != sc.shape:
-        raise ValueError(f"shape mismatch: {yt.shape} vs {sc.shape}")
+        raise ValidationError(f"shape mismatch: {yt.shape} vs {sc.shape}")
     pos = yt == positive_label
     n_pos = int(np.sum(pos))
     n_neg = int(yt.size - n_pos)
     if n_pos == 0 or n_neg == 0:
-        raise ValueError("ROC requires both positive and negative examples")
+        raise ValidationError("ROC requires both positive and negative examples")
     order = np.argsort(-sc, kind="stable")
     sorted_scores = sc[order]
     sorted_pos = pos[order].astype(np.float64)
@@ -123,14 +137,17 @@ def roc_curve(
     return fpr, tpr, thresholds
 
 
-def auc_roc(y_true, scores, positive_label: int = 1) -> float:
+@check_score_range(0.0, 1.0)
+def auc_roc(
+    y_true: ArrayLike, scores: ArrayLike, positive_label: int = 1
+) -> float:
     """Area under the ROC curve (trapezoidal rule over the exact curve)."""
     fpr, tpr, _ = roc_curve(y_true, scores, positive_label)
     return float(np.trapezoid(tpr, fpr))
 
 
 def precision_recall_curve(
-    y_true, scores, positive_label: int = 1
+    y_true: ArrayLike, scores: ArrayLike, positive_label: int = 1
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Precision-recall pairs at every distinct score threshold.
 
@@ -142,11 +159,11 @@ def precision_recall_curve(
     yt = np.asarray(y_true).ravel()
     sc = np.asarray(scores, dtype=np.float64).ravel()
     if yt.shape != sc.shape:
-        raise ValueError(f"shape mismatch: {yt.shape} vs {sc.shape}")
+        raise ValidationError(f"shape mismatch: {yt.shape} vs {sc.shape}")
     pos = yt == positive_label
     n_pos = int(np.sum(pos))
     if n_pos == 0:
-        raise ValueError("precision-recall requires positive examples")
+        raise ValidationError("precision-recall requires positive examples")
     order = np.argsort(-sc, kind="stable")
     sorted_scores = sc[order]
     sorted_pos = pos[order].astype(np.float64)
@@ -160,14 +177,19 @@ def precision_recall_curve(
     return prec, rec, thresholds
 
 
-def average_precision(y_true, scores, positive_label: int = 1) -> float:
+def average_precision(
+    y_true: ArrayLike, scores: ArrayLike, positive_label: int = 1
+) -> float:
     """Average precision (area under the PR curve, step interpolation)."""
     prec, rec, _ = precision_recall_curve(y_true, scores, positive_label)
     return float(np.sum(np.diff(rec) * prec[1:]))
 
 
 def threshold_for_precision(
-    y_true, scores, min_precision: float, positive_label: int = 1
+    y_true: ArrayLike,
+    scores: ArrayLike,
+    min_precision: float,
+    positive_label: int = 1,
 ) -> float | None:
     """Smallest score threshold achieving at least ``min_precision``.
 
@@ -180,7 +202,7 @@ def threshold_for_precision(
         when no threshold achieves it.
     """
     if not 0.0 < min_precision <= 1.0:
-        raise ValueError(f"min_precision must be in (0, 1], got {min_precision}")
+        raise ValidationError(f"min_precision must be in (0, 1], got {min_precision}")
     prec, rec, thresholds = precision_recall_curve(
         y_true, scores, positive_label
     )
@@ -192,7 +214,7 @@ def threshold_for_precision(
 
 
 def mean_confidence_interval(
-    values, confidence: float = 0.95
+    values: ArrayLike, confidence: float = 0.95
 ) -> tuple[float, float]:
     """Mean and half-width of a normal-approximation confidence interval.
 
@@ -204,7 +226,7 @@ def mean_confidence_interval(
     """
     arr = np.asarray(values, dtype=np.float64).ravel()
     if arr.size == 0:
-        raise ValueError("no values to aggregate")
+        raise ValidationError("no values to aggregate")
     mean = float(np.mean(arr))
     if arr.size == 1:
         return mean, 0.0
@@ -215,7 +237,8 @@ def mean_confidence_interval(
     return mean, t_crit * sem
 
 
-def pairwise_orderedness(ranks, oracle_labels) -> float:
+@check_score_range(0.0, 1.0)
+def pairwise_orderedness(ranks: ArrayLike, oracle_labels: ArrayLike) -> float:
     """Pairwise orderedness of a legitimacy ranking (Section 6.2).
 
     A pair (p, q) is a *violation* when an illegitimate pharmacy
@@ -235,12 +258,12 @@ def pairwise_orderedness(ranks, oracle_labels) -> float:
     r = np.asarray(ranks, dtype=np.float64).ravel()
     y = np.asarray(oracle_labels).ravel()
     if r.shape != y.shape:
-        raise ValueError(f"shape mismatch: {r.shape} vs {y.shape}")
+        raise ValidationError(f"shape mismatch: {r.shape} vs {y.shape}")
     legit_scores = r[y == 1]
     illegit_scores = r[y == 0]
     n_pairs = legit_scores.size * illegit_scores.size
     if n_pairs == 0:
-        raise ValueError("pairwise orderedness needs both classes present")
+        raise ValidationError("pairwise orderedness needs both classes present")
     # Violation: rank(illegit) >= rank(legit).  Count via sorting:
     # for each legit score, how many illegit scores are >= it.
     sorted_illegit = np.sort(illegit_scores)
@@ -262,6 +285,7 @@ class BinaryClassificationReport:
     auc_roc: float
 
     def as_dict(self) -> dict[str, float]:
+        """The report as a measure-name -> value mapping."""
         return {
             "accuracy": self.accuracy,
             "legitimate_precision": self.legitimate_precision,
@@ -273,7 +297,11 @@ class BinaryClassificationReport:
 
 
 def classification_report(
-    y_true, y_pred, scores, positive_label: int = 1, negative_label: int = 0
+    y_true: ArrayLike,
+    y_pred: ArrayLike,
+    scores: ArrayLike,
+    positive_label: int = 1,
+    negative_label: int = 0,
 ) -> BinaryClassificationReport:
     """Build the full report the paper's tables are drawn from.
 

@@ -17,7 +17,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.exceptions import NotFittedError
+from repro.exceptions import NotFittedError, ValidationError
 from repro.ml.base import BaseClassifier, check_X_y, ensure_dense
 
 __all__ = ["MLPClassifier"]
@@ -61,17 +61,17 @@ class MLPClassifier(BaseClassifier):
     ) -> None:
         super().__init__()
         if hidden_units < 1:
-            raise ValueError(f"hidden_units must be >= 1, got {hidden_units}")
+            raise ValidationError(f"hidden_units must be >= 1, got {hidden_units}")
         if learning_rate <= 0:
-            raise ValueError(f"learning_rate must be > 0, got {learning_rate}")
+            raise ValidationError(f"learning_rate must be > 0, got {learning_rate}")
         if not 0.0 <= momentum < 1.0:
-            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+            raise ValidationError(f"momentum must be in [0, 1), got {momentum}")
         if n_epochs < 1:
-            raise ValueError(f"n_epochs must be >= 1, got {n_epochs}")
+            raise ValidationError(f"n_epochs must be >= 1, got {n_epochs}")
         if batch_size < 1:
-            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+            raise ValidationError(f"batch_size must be >= 1, got {batch_size}")
         if class_weight not in (None, "balanced"):
-            raise ValueError(f"unsupported class_weight: {class_weight!r}")
+            raise ValidationError(f"unsupported class_weight: {class_weight!r}")
         self._hidden_units = hidden_units
         self._learning_rate = learning_rate
         self._momentum = momentum
@@ -148,7 +148,7 @@ class MLPClassifier(BaseClassifier):
             raise NotFittedError("MLPClassifier has not been fitted")
         X = ensure_dense(X)
         if X.shape[1] != self._w1.shape[0]:
-            raise ValueError(
+            raise ValidationError(
                 f"feature-count mismatch: fitted on {self._w1.shape[0]}, "
                 f"got {X.shape[1]}"
             )

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
+from repro.exceptions import ValidationError
 
 __all__ = ["StratifiedKFold", "train_test_split", "cross_val_predictions"]
 
@@ -26,7 +27,7 @@ class StratifiedKFold:
 
     def __init__(self, n_splits: int = 3, shuffle: bool = True, seed: int = 0) -> None:
         if n_splits < 2:
-            raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+            raise ValidationError(f"n_splits must be >= 2, got {n_splits}")
         self._n_splits = n_splits
         self._shuffle = shuffle
         self._seed = seed
@@ -48,7 +49,7 @@ class StratifiedKFold:
         for label in np.unique(labels):
             idx = np.flatnonzero(labels == label)
             if idx.size < self._n_splits:
-                raise ValueError(
+                raise ValidationError(
                     f"class {label} has {idx.size} rows < n_splits={self._n_splits}"
                 )
             if self._shuffle:
@@ -66,7 +67,7 @@ def train_test_split(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Stratified single split; returns (train_indices, test_indices)."""
     if not 0.0 < test_fraction < 1.0:
-        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+        raise ValidationError(f"test_fraction must be in (0, 1), got {test_fraction}")
     labels = np.asarray(y).ravel()
     rng = np.random.default_rng(seed)
     train_parts: list[np.ndarray] = []

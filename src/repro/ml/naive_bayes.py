@@ -17,7 +17,7 @@ from typing import Any
 import numpy as np
 import scipy.sparse as sp
 
-from repro.exceptions import NotFittedError
+from repro.exceptions import NotFittedError, ValidationError
 from repro.ml.base import BaseClassifier, check_X, check_X_y, ensure_dense
 
 __all__ = ["MultinomialNB", "GaussianNB"]
@@ -35,7 +35,7 @@ class MultinomialNB(BaseClassifier):
     def __init__(self, alpha: float = 1.0, fit_prior: bool = True) -> None:
         super().__init__()
         if alpha <= 0.0:
-            raise ValueError(f"alpha must be > 0, got {alpha}")
+            raise ValidationError(f"alpha must be > 0, got {alpha}")
         self._alpha = alpha
         self._fit_prior = fit_prior
         self._log_prior: np.ndarray | None = None
@@ -57,7 +57,7 @@ class MultinomialNB(BaseClassifier):
             else:
                 counts[k] = block.sum(axis=0)
         if np.any(counts < 0):
-            raise ValueError("MultinomialNB requires non-negative features")
+            raise ValidationError("MultinomialNB requires non-negative features")
         smoothed = counts + self._alpha
         self._log_likelihood = np.log(smoothed) - np.log(
             smoothed.sum(axis=1, keepdims=True)
@@ -73,7 +73,7 @@ class MultinomialNB(BaseClassifier):
             raise NotFittedError("MultinomialNB has not been fitted")
         X = check_X(X, allow_sparse=True)
         if X.shape[1] != self._log_likelihood.shape[1]:
-            raise ValueError(
+            raise ValidationError(
                 f"feature-count mismatch: fitted on "
                 f"{self._log_likelihood.shape[1]}, got {X.shape[1]}"
             )
@@ -101,7 +101,7 @@ class GaussianNB(BaseClassifier):
     def __init__(self, var_smoothing: float = 1e-9) -> None:
         super().__init__()
         if var_smoothing < 0.0:
-            raise ValueError(f"var_smoothing must be >= 0, got {var_smoothing}")
+            raise ValidationError(f"var_smoothing must be >= 0, got {var_smoothing}")
         self._var_smoothing = var_smoothing
         self._theta: np.ndarray | None = None  # per-class means
         self._var: np.ndarray | None = None  # per-class variances
@@ -132,7 +132,7 @@ class GaussianNB(BaseClassifier):
             raise NotFittedError("GaussianNB has not been fitted")
         X = ensure_dense(X)
         if X.shape[1] != self._theta.shape[1]:
-            raise ValueError(
+            raise ValidationError(
                 f"feature-count mismatch: fitted on "
                 f"{self._theta.shape[1]}, got {X.shape[1]}"
             )

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Callable, Sequence
 
 import numpy as np
+from repro.exceptions import ValidationError
 
 __all__ = ["inject_label_noise", "noise_robustness_curve"]
 
@@ -43,9 +44,9 @@ def inject_label_noise(
         The noisy label vector (original is untouched).
     """
     if not 0.0 <= noise_rate <= 1.0:
-        raise ValueError(f"noise_rate must be in [0, 1], got {noise_rate}")
+        raise ValidationError(f"noise_rate must be in [0, 1], got {noise_rate}")
     if direction not in ("both", "legit_to_illegit", "illegit_to_legit"):
-        raise ValueError(f"unknown direction: {direction!r}")
+        raise ValidationError(f"unknown direction: {direction!r}")
     labels = np.asarray(y, dtype=np.int64).copy()
     rng = np.random.default_rng(seed)
     if direction == "both":

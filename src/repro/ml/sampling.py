@@ -25,6 +25,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.ml.base import check_X_y, ensure_dense
+from repro.exceptions import ValidationError
 
 __all__ = ["RandomUnderSampler", "SMOTE", "SAMPLER_ABBREVIATIONS"]
 
@@ -81,7 +82,7 @@ class SMOTE:
 
     def __init__(self, k_neighbors: int = 5, seed: int = 0) -> None:
         if k_neighbors < 1:
-            raise ValueError(f"k_neighbors must be >= 1, got {k_neighbors}")
+            raise ValidationError(f"k_neighbors must be >= 1, got {k_neighbors}")
         self._k_neighbors = k_neighbors
         self._seed = seed
 

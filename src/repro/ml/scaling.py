@@ -6,7 +6,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.exceptions import NotFittedError
+from repro.exceptions import NotFittedError, ValidationError
 from repro.ml.base import ensure_dense
 
 __all__ = ["StandardScaler"]
@@ -26,7 +26,7 @@ class StandardScaler:
         X = ensure_dense(X)
         self._mean = X.mean(axis=0)
         std = X.std(axis=0)
-        std[std == 0.0] = 1.0
+        std[std == 0.0] = 1.0  # repro-lint: disable=R006 (exact zero-division guard)
         self._scale = std
         return self
 
@@ -35,7 +35,7 @@ class StandardScaler:
             raise NotFittedError("StandardScaler has not been fitted")
         X = ensure_dense(X)
         if X.shape[1] != self._mean.shape[0]:
-            raise ValueError(
+            raise ValidationError(
                 f"feature-count mismatch: fitted on {self._mean.shape[0]}, "
                 f"got {X.shape[1]}"
             )

@@ -23,7 +23,7 @@ from typing import Any
 import numpy as np
 import scipy.sparse as sp
 
-from repro.exceptions import NotFittedError
+from repro.exceptions import NotFittedError, ValidationError
 from repro.ml.base import BaseClassifier, check_X, check_X_y
 
 __all__ = ["LinearSVC"]
@@ -48,11 +48,11 @@ class LinearSVC(BaseClassifier):
     ) -> None:
         super().__init__()
         if lam <= 0.0:
-            raise ValueError(f"lam must be > 0, got {lam}")
+            raise ValidationError(f"lam must be > 0, got {lam}")
         if n_epochs < 1:
-            raise ValueError(f"n_epochs must be >= 1, got {n_epochs}")
+            raise ValidationError(f"n_epochs must be >= 1, got {n_epochs}")
         if class_weight not in (None, "balanced"):
-            raise ValueError(f"unsupported class_weight: {class_weight!r}")
+            raise ValidationError(f"unsupported class_weight: {class_weight!r}")
         self._lam = lam
         self._n_epochs = n_epochs
         self._class_weight = class_weight
@@ -64,7 +64,7 @@ class LinearSVC(BaseClassifier):
         X, y = check_X_y(X, y, allow_sparse=True)
         encoded = self._store_classes(y)
         if len(self._fitted_classes()) != 2:
-            raise ValueError("LinearSVC is binary; got more than 2 classes")
+            raise ValidationError("LinearSVC is binary; got more than 2 classes")
         # Map to {-1, +1}; +1 is the larger label (legitimate).
         signs = np.where(encoded == 1, 1.0, -1.0)
         n_samples, n_features = X.shape
@@ -113,7 +113,7 @@ class LinearSVC(BaseClassifier):
             raise NotFittedError("LinearSVC has not been fitted")
         X = check_X(X, allow_sparse=True)
         if X.shape[1] != self._w.shape[0]:
-            raise ValueError(
+            raise ValidationError(
                 f"feature-count mismatch: fitted on {self._w.shape[0]}, "
                 f"got {X.shape[1]}"
             )

@@ -22,7 +22,7 @@ from typing import Any
 import numpy as np
 from scipy import stats
 
-from repro.exceptions import NotFittedError
+from repro.exceptions import NotFittedError, ValidationError
 from repro.ml.base import BaseClassifier, check_X_y, ensure_dense
 
 __all__ = ["C45Tree"]
@@ -105,13 +105,13 @@ class C45Tree(BaseClassifier):
     ) -> None:
         super().__init__()
         if max_depth is not None and max_depth < 1:
-            raise ValueError(f"max_depth must be >= 1 or None, got {max_depth}")
+            raise ValidationError(f"max_depth must be >= 1 or None, got {max_depth}")
         if min_samples_split < 2:
-            raise ValueError(
+            raise ValidationError(
                 f"min_samples_split must be >= 2, got {min_samples_split}"
             )
         if min_samples_leaf < 1:
-            raise ValueError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
+            raise ValidationError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
         self._max_depth = max_depth
         self._min_samples_split = min_samples_split
         self._min_samples_leaf = min_samples_leaf
@@ -254,7 +254,7 @@ class C45Tree(BaseClassifier):
             raise NotFittedError("C45Tree has not been fitted")
         X = ensure_dense(X)
         if X.shape[1] != self._n_features:
-            raise ValueError(
+            raise ValidationError(
                 f"feature-count mismatch: fitted on {self._n_features}, "
                 f"got {X.shape[1]}"
             )

@@ -24,12 +24,14 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.exceptions import GraphError
+from repro.devtools.contracts import check_probability_vector
+from repro.exceptions import GraphError, ValidationError
 from repro.network.graph import DirectedGraph
 
 __all__ = ["eigentrust"]
 
 
+@check_probability_vector()
 def eigentrust(
     graph: DirectedGraph,
     pretrusted: Iterable[str],
@@ -56,7 +58,7 @@ def eigentrust(
     if graph.n_nodes == 0:
         raise GraphError("cannot compute EigenTrust on an empty graph")
     if not 0.0 < alpha < 1.0:
-        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        raise ValidationError(f"alpha must be in (0, 1), got {alpha}")
 
     nodes = list(graph.nodes())
     index = {node: i for i, node in enumerate(nodes)}
@@ -88,7 +90,7 @@ def eigentrust(
         propagated = np.zeros(n)
         for i in range(n):
             mass = t[i]
-            if mass == 0.0:
+            if mass == 0.0:  # repro-lint: disable=R006 (exact sparsity skip)
                 continue
             if dangling[i]:
                 # A peer with no trust statements defers to pre-trust.

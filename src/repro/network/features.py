@@ -23,6 +23,7 @@ from repro.network.construction import build_pharmacy_graph
 from repro.network.graph import DirectedGraph
 from repro.network.trustrank import anti_trustrank, trustrank
 from repro.web.site import Website
+from repro.exceptions import ValidationError
 
 __all__ = [
     "NetworkFeatureExtractor",
@@ -228,11 +229,11 @@ def top_linked_domains(
         alphabetically for determinism.
     """
     if len(sites) != len(labels):
-        raise ValueError(
+        raise ValidationError(
             f"sites and labels disagree in length: {len(sites)} vs {len(labels)}"
         )
     if count_mode not in ("links", "sites"):
-        raise ValueError(f"unknown count_mode: {count_mode!r}")
+        raise ValidationError(f"unknown count_mode: {count_mode!r}")
     per_class: dict[int, Counter[str]] = {}
     for site, label in zip(sites, labels):
         counter = per_class.setdefault(int(label), Counter())

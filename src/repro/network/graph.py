@@ -54,10 +54,12 @@ class DirectedGraph:
 
     @property
     def n_nodes(self) -> int:
+        """Number of nodes."""
         return len(self._succ)
 
     @property
     def n_edges(self) -> int:
+        """Number of directed edges."""
         return sum(len(out) for out in self._succ.values())
 
     def nodes(self) -> Iterator[str]:
@@ -81,14 +83,17 @@ class DirectedGraph:
         return dict(self._pred[node])
 
     def out_degree(self, node: str) -> int:
+        """Number of outgoing edges of ``node``."""
         self._require(node)
         return len(self._succ[node])
 
     def in_degree(self, node: str) -> int:
+        """Number of incoming edges of ``node``."""
         self._require(node)
         return len(self._pred[node])
 
     def has_edge(self, src: str, dst: str) -> bool:
+        """Whether the edge ``src -> dst`` exists."""
         return src in self._succ and dst in self._succ[src]
 
     def subgraph(self, nodes: Iterable[str]) -> "DirectedGraph":

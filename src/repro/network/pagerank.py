@@ -13,12 +13,14 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.exceptions import GraphError
+from repro.devtools.contracts import check_probability_vector
+from repro.exceptions import GraphError, ValidationError
 from repro.network.graph import DirectedGraph
 
 __all__ = ["pagerank", "personalized_pagerank"]
 
 
+@check_probability_vector()
 def personalized_pagerank(
     graph: DirectedGraph,
     teleport: Mapping[str, float] | None = None,
@@ -49,7 +51,7 @@ def personalized_pagerank(
     if graph.n_nodes == 0:
         raise GraphError("cannot rank an empty graph")
     if not 0.0 < damping < 1.0:
-        raise ValueError(f"damping must be in (0, 1), got {damping}")
+        raise ValidationError(f"damping must be in (0, 1), got {damping}")
 
     nodes = list(graph.nodes())
     index = {node: i for i, node in enumerate(nodes)}
@@ -89,7 +91,7 @@ def personalized_pagerank(
         new_rank = np.zeros(n)
         for i in range(n):
             mass = rank[i]
-            if mass == 0.0:
+            if mass == 0.0:  # repro-lint: disable=R006 (exact sparsity skip)
                 continue
             if dangling[i]:
                 new_rank += mass * t

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.devtools.contracts import check_probability_vector
 from repro.exceptions import GraphError
 from repro.network.graph import DirectedGraph
 from repro.network.pagerank import personalized_pagerank
@@ -25,6 +26,7 @@ from repro.network.pagerank import personalized_pagerank
 __all__ = ["trustrank", "anti_trustrank", "reverse_graph"]
 
 
+@check_probability_vector()
 def trustrank(
     graph: DirectedGraph,
     trusted_seed: Iterable[str],
@@ -72,6 +74,7 @@ def reverse_graph(graph: DirectedGraph) -> DirectedGraph:
     return reversed_g
 
 
+@check_probability_vector()
 def anti_trustrank(
     graph: DirectedGraph,
     distrusted_seed: Iterable[str],

@@ -19,7 +19,7 @@ from typing import Sequence
 import numpy as np
 import scipy.sparse as sp
 
-from repro.exceptions import NotFittedError
+from repro.exceptions import NotFittedError, ValidationError
 
 __all__ = ["CharNGramVectorizer"]
 
@@ -42,11 +42,11 @@ class CharNGramVectorizer:
         normalize: bool = True,
     ) -> None:
         if n < 1:
-            raise ValueError(f"n must be >= 1, got {n}")
+            raise ValidationError(f"n must be >= 1, got {n}")
         if min_df < 1:
-            raise ValueError(f"min_df must be >= 1, got {min_df}")
+            raise ValidationError(f"min_df must be >= 1, got {min_df}")
         if max_features is not None and max_features < 1:
-            raise ValueError(f"max_features must be >= 1, got {max_features}")
+            raise ValidationError(f"max_features must be >= 1, got {max_features}")
         self._n = n
         self._min_df = min_df
         self._max_features = max_features
@@ -66,7 +66,7 @@ class CharNGramVectorizer:
     def fit(self, texts: Sequence[str]) -> "CharNGramVectorizer":
         """Learn the n-gram vocabulary and IDF weights."""
         if not texts:
-            raise ValueError("cannot fit CharNGramVectorizer on an empty corpus")
+            raise ValidationError("cannot fit CharNGramVectorizer on an empty corpus")
         doc_freq: Counter[str] = Counter()
         for text in texts:
             doc_freq.update(set(self._ngrams(text)))
@@ -106,7 +106,7 @@ class CharNGramVectorizer:
         )
         if self._normalize:
             norms = np.sqrt(np.asarray(matrix.multiply(matrix).sum(axis=1))).ravel()
-            norms[norms == 0.0] = 1.0
+            norms[norms == 0.0] = 1.0  # repro-lint: disable=R006 (exact zero-division guard)
             matrix = (sp.diags(1.0 / norms) @ matrix).tocsr()
         return matrix
 

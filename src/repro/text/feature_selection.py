@@ -21,6 +21,7 @@ from collections import Counter
 from typing import Sequence
 
 import numpy as np
+from repro.exceptions import ValidationError
 
 __all__ = [
     "information_gain_scores",
@@ -67,7 +68,7 @@ def information_gain_scores(
     """
     labels = np.asarray(y, dtype=np.int64)
     if len(documents) != labels.shape[0]:
-        raise ValueError("documents and y disagree in length")
+        raise ValidationError("documents and y disagree in length")
     n = labels.shape[0]
     if n == 0:
         return {}
@@ -95,7 +96,7 @@ def chi2_scores(
     """Chi-squared statistic of each term's presence vs the class."""
     labels = np.asarray(y, dtype=np.int64)
     if len(documents) != labels.shape[0]:
-        raise ValueError("documents and y disagree in length")
+        raise ValidationError("documents and y disagree in length")
     n = labels.shape[0]
     if n == 0:
         return {}
@@ -131,13 +132,13 @@ def select_terms(
         The selected term set (ties broken alphabetically).
     """
     if k < 1:
-        raise ValueError(f"k must be >= 1, got {k}")
+        raise ValidationError(f"k must be >= 1, got {k}")
     if method == "information_gain":
         scores = information_gain_scores(documents, y)
     elif method == "chi2":
         scores = chi2_scores(documents, y)
     else:
-        raise ValueError(f"unknown method: {method!r}")
+        raise ValidationError(f"unknown method: {method!r}")
     ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
     return frozenset(term for term, _ in ranked[:k])
 

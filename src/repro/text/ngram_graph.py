@@ -28,7 +28,7 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.exceptions import NotFittedError
+from repro.exceptions import NotFittedError, ValidationError
 
 __all__ = [
     "NGramGraph",
@@ -51,6 +51,7 @@ class GraphSimilarities:
     nvs: float
 
     def as_tuple(self) -> tuple[float, float, float, float]:
+        """The four similarities as ``(cs, ss, vs, nvs)``."""
         return (self.cs, self.ss, self.vs, self.nvs)
 
 
@@ -68,9 +69,9 @@ class NGramGraph:
 
     def __init__(self, n: int = 4, window: int = 4) -> None:
         if n < 1:
-            raise ValueError(f"n-gram rank must be >= 1, got {n}")
+            raise ValidationError(f"n-gram rank must be >= 1, got {n}")
         if window < 1:
-            raise ValueError(f"window must be >= 1, got {window}")
+            raise ValidationError(f"window must be >= 1, got {window}")
         self._n = n
         self._window = window
         self._edges: dict[tuple[str, str], float] = {}
@@ -108,10 +109,12 @@ class NGramGraph:
 
     @property
     def n(self) -> int:
+        """The n-gram length."""
         return self._n
 
     @property
     def window(self) -> int:
+        """The neighbourhood window Dwin."""
         return self._window
 
     @property
@@ -145,12 +148,12 @@ class NGramGraph:
             learning_rate: blending factor in (0, 1].
         """
         if (other.n, other.window) != (self._n, self._window):
-            raise ValueError(
+            raise ValidationError(
                 "cannot merge graphs with different (n, window): "
                 f"{(self._n, self._window)} vs {(other.n, other.window)}"
             )
         if not 0.0 < learning_rate <= 1.0:
-            raise ValueError(f"learning_rate must be in (0, 1], got {learning_rate}")
+            raise ValidationError(f"learning_rate must be in (0, 1], got {learning_rate}")
         for key, w_other in other._edges.items():
             w_self = self._edges.get(key)
             if w_self is None:
@@ -206,7 +209,7 @@ class NGramGraph:
     def normalized_value_similarity(self, other: "NGramGraph") -> float:
         """NVS = VS / SS (0 when SS is 0)."""
         ss = self.size_similarity(other)
-        if ss == 0.0:
+        if ss == 0.0:  # repro-lint: disable=R006 (exact zero-division guard)
             return 0.0
         return self.value_similarity(other) / ss
 
@@ -263,7 +266,7 @@ class ClassGraphModel:
         seed: int = 0,
     ) -> None:
         if not 0.0 < class_sample_fraction <= 1.0:
-            raise ValueError(
+            raise ValidationError(
                 f"class_sample_fraction must be in (0, 1], got {class_sample_fraction}"
             )
         self._n = n
@@ -275,6 +278,7 @@ class ClassGraphModel:
 
     @property
     def class_graphs(self) -> dict[int, NGramGraph]:
+        """Fitted label -> merged class graph mapping."""
         if self._class_graphs is None:
             raise NotFittedError("ClassGraphModel has not been fitted")
         return self._class_graphs
@@ -313,11 +317,11 @@ class ClassGraphModel:
         document's graph exactly once.
         """
         if len(graphs) != len(labels):
-            raise ValueError(
+            raise ValidationError(
                 f"graphs and labels disagree in length: {len(graphs)} vs {len(labels)}"
             )
         if not graphs:
-            raise ValueError("cannot fit ClassGraphModel on an empty corpus")
+            raise ValidationError("cannot fit ClassGraphModel on an empty corpus")
         rng = np.random.default_rng(self._seed)
         by_class: dict[int, list[int]] = {}
         for i, label in enumerate(labels):

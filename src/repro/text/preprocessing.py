@@ -12,6 +12,7 @@ from typing import Iterable
 
 from repro.text.stopwords import default_stop_words
 from repro.text.tokenization import iter_tokens
+from repro.exceptions import ValidationError
 
 __all__ = ["TextPreprocessor"]
 
@@ -33,7 +34,7 @@ class TextPreprocessor:
         min_token_length: int = 1,
     ) -> None:
         if min_token_length < 1:
-            raise ValueError(f"min_token_length must be >= 1, got {min_token_length}")
+            raise ValidationError(f"min_token_length must be >= 1, got {min_token_length}")
         self._stop_words = (
             frozenset(w.lower() for w in stop_words)
             if stop_words is not None

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.text.preprocessing import TextPreprocessor
 from repro.web.site import Website
+from repro.exceptions import ValidationError
 
 __all__ = ["Summarizer", "SummaryDocument", "TERM_SUBSET_SIZES"]
 
@@ -69,7 +70,7 @@ class Summarizer:
         seed: int = 0,
     ) -> None:
         if max_terms is not None and max_terms < 1:
-            raise ValueError(f"max_terms must be >= 1 or None, got {max_terms}")
+            raise ValidationError(f"max_terms must be >= 1 or None, got {max_terms}")
         self._preprocessor = preprocessor or TextPreprocessor()
         self._max_terms = max_terms
         self._seed = seed

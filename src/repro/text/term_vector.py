@@ -22,7 +22,7 @@ from typing import Iterable, Sequence
 import numpy as np
 import scipy.sparse as sp
 
-from repro.exceptions import NotFittedError
+from repro.exceptions import NotFittedError, ValidationError
 
 __all__ = ["Vocabulary", "TfidfVectorizer"]
 
@@ -79,9 +79,9 @@ class TfidfVectorizer:
         normalize: bool = True,
     ) -> None:
         if min_df < 1:
-            raise ValueError(f"min_df must be >= 1, got {min_df}")
+            raise ValidationError(f"min_df must be >= 1, got {min_df}")
         if max_features is not None and max_features < 1:
-            raise ValueError(f"max_features must be >= 1, got {max_features}")
+            raise ValidationError(f"max_features must be >= 1, got {max_features}")
         self._min_df = min_df
         self._max_features = max_features
         self._sublinear_tf = sublinear_tf
@@ -104,7 +104,7 @@ class TfidfVectorizer:
     def fit(self, documents: Sequence[Sequence[str]]) -> "TfidfVectorizer":
         """Learn vocabulary and IDF weights from tokenized documents."""
         if not documents:
-            raise ValueError("cannot fit TfidfVectorizer on an empty corpus")
+            raise ValidationError("cannot fit TfidfVectorizer on an empty corpus")
         doc_freq: Counter[str] = Counter()
         for doc in documents:
             doc_freq.update(set(doc))
@@ -161,6 +161,6 @@ class TfidfVectorizer:
 def _l2_normalize_rows(matrix: sp.csr_matrix) -> sp.csr_matrix:
     """Row-wise L2 normalization; zero rows stay zero."""
     norms = np.sqrt(np.asarray(matrix.multiply(matrix).sum(axis=1))).ravel()
-    norms[norms == 0.0] = 1.0
+    norms[norms == 0.0] = 1.0  # repro-lint: disable=R006 (exact zero-division guard)
     inv = sp.diags(1.0 / norms)
     return (inv @ matrix).tocsr()

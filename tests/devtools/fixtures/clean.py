@@ -1,0 +1,32 @@
+"""A module that satisfies every repro-lint rule (negative fixture)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+EPS = 1e-9
+
+
+def well_behaved(values: list[float], seed: int = 7) -> float:
+    """Sum ``values`` after a seeded shuffle, validating the input."""
+    if not values:
+        raise ValidationError("values must be non-empty")
+    rng = np.random.default_rng(seed)
+    shuffled = rng.permutation(np.asarray(values, dtype=np.float64))
+    total = float(shuffled.sum())
+    if abs(total - 1.0) < EPS:
+        total = 1.0
+    return total
+
+
+class Accumulator:
+    """Accumulate floats without mutable-default footguns."""
+
+    def __init__(self, initial: tuple[float, ...] = ()) -> None:
+        self._items = list(initial)
+
+    def add(self, value: float) -> None:
+        """Append ``value``."""
+        self._items.append(value)

@@ -1,0 +1,9 @@
+"""Seeded R001 violation: raises a builtin exception."""
+
+from __future__ import annotations
+
+
+def reject(value: int) -> None:
+    """Raise for negative input (the wrong way)."""
+    if value < 0:
+        raise ValueError(f"negative value {value}")

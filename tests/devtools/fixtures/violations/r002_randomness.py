@@ -1,0 +1,10 @@
+"""Seeded R002 violation: unseeded global randomness."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def noisy_sample(n: int) -> "np.ndarray":
+    """Draw from the unseeded global RandomState."""
+    return np.random.rand(n)

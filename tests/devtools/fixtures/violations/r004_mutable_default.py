@@ -1,0 +1,9 @@
+"""Seeded R004 violation: mutable default argument."""
+
+from __future__ import annotations
+
+
+def collect(item: str, bucket: list[str] = []) -> list[str]:
+    """Append to a shared default list (the classic footgun)."""
+    bucket.append(item)
+    return bucket

@@ -1,0 +1,8 @@
+"""Seeded R005 violation: print() in library code."""
+
+from __future__ import annotations
+
+
+def report_progress(step: int) -> None:
+    """Log progress the wrong way."""
+    print(f"step {step} done")

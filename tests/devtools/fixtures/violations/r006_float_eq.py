@@ -1,0 +1,8 @@
+"""Seeded R006 violation: exact float equality on a probability."""
+
+from __future__ import annotations
+
+
+def is_certain(probability: float) -> bool:
+    """Compare a probability exactly (the wrong way)."""
+    return probability == 1.0

@@ -1,0 +1,7 @@
+"""Seeded R007 violation: public function without hints or docstring."""
+
+from __future__ import annotations
+
+
+def combine(a, b):
+    return a + b

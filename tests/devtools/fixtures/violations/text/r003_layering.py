@@ -1,0 +1,7 @@
+"""Seeded R003 violation: a `text`-layer module importing `core`."""
+
+from __future__ import annotations
+
+from repro.core.config import ExperimentConfig
+
+__all__ = ["ExperimentConfig"]

@@ -1,0 +1,180 @@
+"""End-to-end tests of the lint CLI: exit codes, baseline, autofix."""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.baseline import Baseline
+from repro.devtools.lint import discover_files, lint_paths, main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+VIOLATIONS = FIXTURES / "violations"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestExitCodes:
+    def test_violation_tree_fails_with_every_rule(self, capsys):
+        status = main([str(VIOLATIONS), "--no-baseline"])
+        out = capsys.readouterr().out
+        assert status == 1
+        for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006", "R007"):
+            assert rule_id in out
+
+    def test_clean_file_passes(self, capsys):
+        assert main([str(FIXTURES / "clean.py"), "--no-baseline"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_syntax_error_reported_as_finding(self, tmp_path, capsys):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        assert main([str(bad), "--no-baseline"]) == 1
+        assert "E000" in capsys.readouterr().out
+
+    def test_nonexistent_path_is_usage_error(self, capsys):
+        assert main(["does/not/exist", "--no-baseline"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_repo_tree_is_clean_under_committed_baseline(self, capsys, monkeypatch):
+        # Fingerprints record repo-relative paths, so lint from the root
+        # exactly the way CI invokes it.
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["src/repro"]) == 0
+
+
+class TestJsonFormat:
+    def test_json_payload_shape(self, capsys):
+        status = main(
+            [str(VIOLATIONS / "r001_exceptions.py"), "--no-baseline", "--format", "json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert status == 1
+        assert payload["baselined"] == 0
+        (finding,) = payload["new"]
+        assert finding["rule"] == "R001"
+        assert finding["fixable"] is True
+        assert finding["fingerprint"].startswith("R001|")
+
+
+class TestBaselineWorkflow:
+    def test_round_trip(self, tmp_path, capsys):
+        baseline_path = tmp_path / "baseline.json"
+        write_status = main(
+            [
+                str(VIOLATIONS),
+                "--baseline",
+                str(baseline_path),
+                "--write-baseline",
+                "--justification",
+                "fixture debt",
+            ]
+        )
+        assert write_status == 0
+        assert baseline_path.exists()
+
+        capsys.readouterr()
+        rerun_status = main([str(VIOLATIONS), "--baseline", str(baseline_path)])
+        out = capsys.readouterr().out
+        assert rerun_status == 0
+        assert "baselined" in out
+
+    def test_new_violation_still_fails(self, tmp_path, capsys):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        shutil.copy(VIOLATIONS / "r001_exceptions.py", tree / "old.py")
+        baseline_path = tmp_path / "baseline.json"
+        main([str(tree), "--baseline", str(baseline_path), "--write-baseline"])
+
+        shutil.copy(VIOLATIONS / "r005_print.py", tree / "new.py")
+        capsys.readouterr()
+        assert main([str(tree), "--baseline", str(baseline_path)]) == 1
+        assert "R005" in capsys.readouterr().out
+
+    def test_stale_entries_warn(self, tmp_path, capsys):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        shutil.copy(VIOLATIONS / "r001_exceptions.py", tree / "old.py")
+        baseline_path = tmp_path / "baseline.json"
+        main([str(tree), "--baseline", str(baseline_path), "--write-baseline"])
+
+        (tree / "old.py").write_text('"""Now clean."""\n')
+        capsys.readouterr()
+        assert main([str(tree), "--baseline", str(baseline_path)]) == 0
+        assert "stale" in capsys.readouterr().out
+
+    def test_corrupt_baseline_is_usage_error(self, tmp_path, capsys):
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text("{not json")
+        status = main(
+            [str(FIXTURES / "clean.py"), "--baseline", str(baseline_path)]
+        )
+        assert status == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_fingerprint_survives_line_shift(self, tmp_path):
+        original = (VIOLATIONS / "r001_exceptions.py").read_text()
+        target = tmp_path / "mod.py"
+        target.write_text(original)
+        baseline = Baseline.from_findings(lint_paths([str(target)]))
+
+        shifted = original.replace(
+            '"""Seeded R001 violation: raises a builtin exception."""',
+            '"""Seeded R001 violation: raises a builtin exception."""\n\nPADDING = 1',
+        )
+        target.write_text(shifted)
+        new, grandfathered = baseline.filter(lint_paths([str(target)]))
+        assert new == []
+        assert len(grandfathered) == 1
+
+
+class TestAutofix:
+    def test_fix_rewrites_raise_and_adds_import(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text((VIOLATIONS / "r001_exceptions.py").read_text())
+        findings = lint_paths([str(target)], fix=True)
+        fixed = target.read_text()
+        assert "raise ValidationError(" in fixed
+        assert "from repro.exceptions import ValidationError" in fixed
+        assert all(f.rule != "R001" for f in findings)
+
+    def test_fix_merges_existing_exceptions_import(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            '"""Doc."""\n\n'
+            "from repro.exceptions import GraphError\n\n\n"
+            "def f(flag: bool) -> None:\n"
+            '    """Doc."""\n'
+            "    if flag:\n"
+            "        raise GraphError('g')\n"
+            "    raise KeyError('k')\n"
+        )
+        lint_paths([str(target)], fix=True)
+        fixed = target.read_text()
+        assert "from repro.exceptions import GraphError, MissingKeyError" in fixed
+        assert "raise MissingKeyError('k')" in fixed
+
+    def test_fix_is_idempotent(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text((VIOLATIONS / "r001_exceptions.py").read_text())
+        lint_paths([str(target)], fix=True)
+        once = target.read_text()
+        lint_paths([str(target)], fix=True)
+        assert target.read_text() == once
+
+
+class TestDiscovery:
+    def test_skips_pycache(self, tmp_path):
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "junk.py").write_text("x = 1\n")
+        (tmp_path / "real.py").write_text("x = 1\n")
+        found = discover_files([str(tmp_path)])
+        assert [p.name for p in found] == ["real.py"]
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "R001" in out and "R007" in out
