@@ -108,11 +108,11 @@ class Baseline:
             entries.append(entry)
         return cls(entries)
 
-    def save(self, path: Path) -> None:
+    def save(self, path: Path, tool: str = "repro-lint") -> None:
         """Write the baseline as deterministic, diff-friendly JSON."""
         payload = {
             "version": _FORMAT_VERSION,
-            "tool": "repro-lint",
+            "tool": tool,
             "findings": self._entries,
         }
         path.write_text(

@@ -10,9 +10,10 @@ occurrence index when a symbol repeats the same line).
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 
-__all__ = ["Finding"]
+__all__ = ["Finding", "assign_occurrences"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -59,3 +60,27 @@ class Finding:
     def render(self) -> str:
         """One-line ``path:line:col: RULE message`` report form."""
         return f"{self.path}:{self.line}:{self.column + 1}: {self.rule} {self.message}"
+
+
+def assign_occurrences(findings: list[Finding]) -> list[Finding]:
+    """Stamp occurrence indexes so repeated identical lines fingerprint
+    uniquely (findings must be in source order per file)."""
+    counter: Counter[tuple[str, str, str, str]] = Counter()
+    stamped = []
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.symbol, finding.source_line)
+        stamped.append(
+            Finding(
+                rule=finding.rule,
+                path=finding.path,
+                line=finding.line,
+                column=finding.column,
+                message=finding.message,
+                symbol=finding.symbol,
+                source_line=finding.source_line,
+                fixable=finding.fixable,
+                occurrence=counter[key],
+            )
+        )
+        counter[key] += 1
+    return stamped

@@ -1,0 +1,20 @@
+"""repro-flow: interprocedural taint + determinism dataflow analysis.
+
+Run as ``python -m repro.devtools.flow``.  See
+:mod:`repro.devtools.flow.registry` for the rule catalogue and
+:mod:`repro.devtools.flow.cli` for the command-line interface.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["main"]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Lazy alias for :func:`repro.devtools.flow.cli.main` (keeps the
+    package importable without pulling in the full analyzer)."""
+    from repro.devtools.flow.cli import main as _main
+
+    return _main(argv)

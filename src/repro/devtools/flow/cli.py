@@ -1,0 +1,212 @@
+"""repro-flow: interprocedural taint + determinism analysis CLI.
+
+Usage::
+
+    python -m repro.devtools.flow [package-dirs ...]
+        [--baseline PATH] [--no-baseline] [--write-baseline]
+        [--justification TEXT] [--entry QUALNAME ...]
+        [--format text|json|sarif|github] [--list-rules]
+
+With no paths, ``src/repro`` is analyzed.  Exit status mirrors
+repro-lint: 0 when no new findings (baselined findings do not fail the
+run), 1 when new findings exist, 2 on usage errors.
+
+The default baseline file is ``.repro-flow-baseline.json`` so flow and
+lint baselines never collide.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.devtools.baseline import Baseline
+from repro.devtools.emit import render_github, render_sarif
+from repro.devtools.findings import Finding, assign_occurrences
+from repro.devtools.flow.callgraph import build_call_graph
+from repro.devtools.flow.determinism import determinism_findings
+from repro.devtools.flow.interp import run_analysis
+from repro.devtools.flow.project import load_project
+from repro.devtools.flow.registry import FLOW_RULES
+
+__all__ = ["main", "analyze_paths", "DEFAULT_FLOW_BASELINE_NAME"]
+
+DEFAULT_FLOW_BASELINE_NAME = ".repro-flow-baseline.json"
+
+_TOOL_NAME = "repro-flow"
+
+
+def analyze_paths(
+    paths: Sequence[str], entrypoints: Sequence[str] = ()
+) -> tuple[list[Finding], list[tuple[str, int, str]]]:
+    """Run both flow analyses over package directories.
+
+    Returns (findings, load_errors); findings are occurrence-stamped
+    and sorted in report order.
+    """
+    project = load_project(paths)
+    result = run_analysis(project)
+    graph = build_call_graph(project, result)
+    findings = list(result.taint_findings)
+    findings.extend(determinism_findings(project, result, graph, entrypoints))
+    findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
+    return assign_occurrences(findings), project.errors
+
+
+def _render_text(
+    new: list[Finding], grandfathered: list[Finding], stale: list[str]
+) -> str:
+    out = [finding.render() for finding in new]
+    if grandfathered:
+        out.append(f"({len(grandfathered)} baselined finding(s) suppressed)")
+    if stale:
+        out.append(
+            f"warning: {len(stale)} stale baseline entr(y/ies) no longer "
+            "observed; refresh with --write-baseline"
+        )
+    if new:
+        out.append(f"found {len(new)} new finding(s)")
+    else:
+        out.append("clean")
+    return "\n".join(out)
+
+
+def _render_json(
+    new: list[Finding], grandfathered: list[Finding], stale: list[str]
+) -> str:
+    return json.dumps(
+        {
+            "new": [
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "line": f.line,
+                    "column": f.column,
+                    "message": f.message,
+                    "symbol": f.symbol,
+                    "fingerprint": f.fingerprint(),
+                }
+                for f in new
+            ],
+            "baselined": len(grandfathered),
+            "stale_baseline_entries": stale,
+        },
+        indent=2,
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.flow",
+        description=(
+            "Interprocedural taint + determinism dataflow analysis for the "
+            "repro codebase."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="package directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: ./{DEFAULT_FLOW_BASELINE_NAME} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="grandfather all current findings into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--justification",
+        default="",
+        help="note recorded on every entry written by --write-baseline",
+    )
+    parser.add_argument(
+        "--entry",
+        action="append",
+        default=[],
+        metavar="QUALNAME",
+        help=(
+            "extra determinism entrypoint (fully qualified function name); "
+            "repeatable"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif", "github"),
+        default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, summary in FLOW_RULES.items():
+            sys.stdout.write(f"{rule_id}  {summary}\n")
+        return 0
+
+    missing = [raw for raw in args.paths if not Path(raw).is_dir()]
+    if missing:
+        sys.stderr.write(
+            f"error: not a package directory: {', '.join(missing)}\n"
+        )
+        return 2
+
+    findings, load_errors = analyze_paths(args.paths, entrypoints=args.entry)
+    for path, line, message in load_errors:
+        sys.stderr.write(f"warning: {path}:{line}: {message}\n")
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else Path(DEFAULT_FLOW_BASELINE_NAME)
+    )
+    if args.write_baseline:
+        Baseline.from_findings(findings, justification=args.justification).save(
+            baseline_path, tool=_TOOL_NAME
+        )
+        sys.stdout.write(f"wrote {len(findings)} finding(s) to {baseline_path}\n")
+        return 0
+
+    if args.no_baseline:
+        baseline = Baseline()
+    else:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except Exception as exc:  # noqa: BLE001 - CLI boundary
+            sys.stderr.write(f"error: {exc}\n")
+            return 2
+    new, grandfathered = baseline.filter(findings)
+    stale = baseline.stale_fingerprints(findings)
+
+    if args.format == "sarif":
+        sys.stdout.write(render_sarif(_TOOL_NAME, new, FLOW_RULES) + "\n")
+    elif args.format == "github":
+        sys.stdout.write(render_github(new) + "\n")
+    elif args.format == "json":
+        sys.stdout.write(_render_json(new, grandfathered, stale) + "\n")
+    else:
+        sys.stdout.write(_render_text(new, grandfathered, stale) + "\n")
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

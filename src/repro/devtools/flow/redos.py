@@ -1,0 +1,98 @@
+"""Heuristic detector for catastrophic-backtracking regex literals.
+
+Adversarial pharmacy pages control the text our regexes run over, so a
+pattern with super-linear backtracking is a denial-of-service vector
+(ReDoS).  The classic shape is a quantified group whose body is itself
+a single quantified atom — ``(a+)+``, ``(\\w*)*``, ``(.+)+`` — where one
+input character can be consumed at two nesting levels, giving the
+matcher exponentially many ways to fail.
+
+The heuristic is deliberately narrow to stay precise: it only flags a
+quantifier applied to a group whose body *ends* in a quantified atom
+**and** contains nothing before that atom.  Patterns like
+``(?:[-'][a-z0-9]+)*`` (tokenizer idiom: a required separator before
+the inner quantifier makes the split points unambiguous) are left
+alone.  Overlapping quantified alternations (``(a|aa)+``) are also
+flagged when both branches are single atoms sharing a first character.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["is_catastrophic", "explain"]
+
+# A single regex "atom": char class, escape, dot, or literal char.
+_ATOM = r"(?:\[[^\]]*\]|\\.|[^\\()\[\]|?*+])"
+_QUANT = r"(?:[*+]|\{\d+,(?:\d+)?\})"
+
+#: Group whose entire body is one quantified atom, itself quantified:
+#: ``(x+)*`` / ``(?:\w*)+`` / ``(a{2,})+``.
+_NESTED_QUANT_RE = re.compile(
+    rf"\((?:\?:)?\s*(?P<atom>{_ATOM})(?:{_QUANT})\s*\)(?:{_QUANT})"
+)
+
+#: Quantified two-branch alternation of single atoms: ``(a|b)+``.
+_ALTERNATION_RE = re.compile(
+    rf"\((?:\?:)?(?P<left>{_ATOM}+?)\|(?P<right>{_ATOM}+?)\)(?:{_QUANT})"
+)
+
+
+def _first_char_set(atom_sequence: str) -> set[str]:
+    """Crude first-character set of an atom sequence (for overlap)."""
+    if not atom_sequence:
+        return set()
+    if atom_sequence.startswith("["):
+        end = atom_sequence.find("]")
+        body = atom_sequence[1:end] if end > 0 else ""
+        chars: set[str] = set()
+        i = 0
+        while i < len(body):
+            if i + 2 < len(body) and body[i + 1] == "-":
+                chars.update(chr(c) for c in range(ord(body[i]), ord(body[i + 2]) + 1))
+                i += 3
+            else:
+                chars.add(body[i])
+                i += 1
+        return chars
+    if atom_sequence.startswith("\\"):
+        escape = atom_sequence[:2]
+        expansions = {
+            "\\d": set("0123456789"),
+            "\\w": set("abcdefghijklmnopqrstuvwxyz0123456789_"),
+            "\\s": set(" \t\n"),
+        }
+        return expansions.get(escape, {escape})
+    if atom_sequence[0] == ".":
+        return {chr(c) for c in range(33, 127)}
+    return {atom_sequence[0]}
+
+
+def is_catastrophic(pattern: str) -> bool:
+    """Whether ``pattern`` matches a known catastrophic-backtracking
+    shape (see module docstring for the exact heuristic)."""
+    if _NESTED_QUANT_RE.search(pattern):
+        return True
+    for match in _ALTERNATION_RE.finditer(pattern):
+        left = _first_char_set(match.group("left"))
+        right = _first_char_set(match.group("right"))
+        if left & right:
+            return True
+    return False
+
+
+def explain(pattern: str) -> str:
+    """A short human-readable description of why ``pattern`` is flagged."""
+    match = _NESTED_QUANT_RE.search(pattern)
+    if match:
+        return (
+            f"nested quantifier {match.group(0)!r}: one character can be "
+            "consumed at two repetition levels (exponential backtracking)"
+        )
+    match = _ALTERNATION_RE.search(pattern)
+    if match:
+        return (
+            f"quantified alternation {match.group(0)!r} with overlapping "
+            "branches (ambiguous split points)"
+        )
+    return "catastrophic backtracking shape"

@@ -4,11 +4,12 @@ Usage::
 
     python -m repro.devtools.lint [paths ...]
         [--baseline PATH] [--no-baseline] [--write-baseline]
-        [--fix] [--format text|json] [--list-rules]
+        [--fix] [--format text|json|sarif|github] [--list-rules]
 
 With no paths, ``src/repro`` is linted.  Exit status: 0 when no new
 findings (baselined findings do not fail the run), 1 when new findings
-exist, 2 on usage errors or unreadable inputs.
+exist **or** when ``--fix`` rewrote any file (so CI catches uncommitted
+fixes), 2 on usage errors or unreadable inputs.
 """
 
 from __future__ import annotations
@@ -16,13 +17,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from collections import Counter
 from pathlib import Path
 from typing import Sequence
 
 from repro.devtools.autofix import apply_r001_fixes
 from repro.devtools.baseline import DEFAULT_BASELINE_NAME, Baseline
-from repro.devtools.findings import Finding
+from repro.devtools.emit import render_github, render_sarif
+from repro.devtools.findings import Finding, assign_occurrences
 from repro.devtools.rules import RULES, ModuleInfo, parse_module
 
 __all__ = ["main", "lint_paths", "discover_files"]
@@ -44,30 +45,6 @@ def discover_files(paths: Sequence[str]) -> list[Path]:
     return sorted(files)
 
 
-def _assign_occurrences(findings: list[Finding]) -> list[Finding]:
-    """Stamp occurrence indexes so repeated identical lines fingerprint
-    uniquely (findings must be in source order per file)."""
-    counter: Counter[tuple[str, str, str, str]] = Counter()
-    stamped = []
-    for finding in findings:
-        key = (finding.rule, finding.path, finding.symbol, finding.source_line)
-        stamped.append(
-            Finding(
-                rule=finding.rule,
-                path=finding.path,
-                line=finding.line,
-                column=finding.column,
-                message=finding.message,
-                symbol=finding.symbol,
-                source_line=finding.source_line,
-                fixable=finding.fixable,
-                occurrence=counter[key],
-            )
-        )
-        counter[key] += 1
-    return stamped
-
-
 def _lint_module(module: ModuleInfo) -> list[Finding]:
     findings: list[Finding] = []
     for rule in RULES:
@@ -76,13 +53,19 @@ def _lint_module(module: ModuleInfo) -> list[Finding]:
     return findings
 
 
-def lint_paths(paths: Sequence[str], fix: bool = False) -> list[Finding]:
+def lint_paths(
+    paths: Sequence[str],
+    fix: bool = False,
+    fixed_files: list[str] | None = None,
+) -> list[Finding]:
     """Lint every python file under ``paths``; optionally autofix.
 
     Args:
         paths: files or directories to lint.
         fix: apply cheap autofixes (R001) in place, then re-lint the
             fixed source so the report reflects the post-fix tree.
+        fixed_files: when given, paths of files ``--fix`` rewrote are
+            appended (lets the CLI exit non-zero on applied fixes).
 
     Returns:
         All findings in (path, line) order, occurrence-stamped.
@@ -120,10 +103,12 @@ def lint_paths(paths: Sequence[str], fix: bool = False) -> list[Finding]:
             fixed = apply_r001_fixes(source, findings)
             if fixed != source:
                 file_path.write_text(fixed, encoding="utf-8")
+                if fixed_files is not None:
+                    fixed_files.append(str(file_path))
                 module = parse_module(str(file_path), fixed)
                 findings = _lint_module(module)
         all_findings.extend(findings)
-    return _assign_occurrences(all_findings)
+    return assign_occurrences(all_findings)
 
 
 def _render_text(
@@ -207,7 +192,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif", "github"),
         default="text",
         help="report format",
     )
@@ -233,7 +218,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         sys.stderr.write(f"error: no such path(s): {', '.join(missing)}\n")
         return 2
 
-    findings = lint_paths(args.paths, fix=args.fix)
+    fixed_files: list[str] = []
+    findings = lint_paths(args.paths, fix=args.fix, fixed_files=fixed_files)
 
     baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE_NAME)
     if args.write_baseline:
@@ -256,8 +242,22 @@ def main(argv: Sequence[str] | None = None) -> int:
     new, grandfathered = baseline.filter(findings)
     stale = baseline.stale_fingerprints(findings)
 
-    renderer = _render_json if args.format == "json" else _render_text
-    sys.stdout.write(renderer(new, grandfathered, stale) + "\n")
+    if args.format == "sarif":
+        catalog = {rule.rule_id: rule.summary for rule in RULES}
+        sys.stdout.write(render_sarif("repro-lint", new, catalog) + "\n")
+    elif args.format == "github":
+        sys.stdout.write(render_github(new) + "\n")
+    elif args.format == "json":
+        sys.stdout.write(_render_json(new, grandfathered, stale) + "\n")
+    else:
+        sys.stdout.write(_render_text(new, grandfathered, stale) + "\n")
+
+    if fixed_files:
+        sys.stderr.write(
+            f"note: --fix rewrote {len(fixed_files)} file(s); review and "
+            "commit the changes\n"
+        )
+        return 1
     return 1 if new else 0
 
 

@@ -36,7 +36,14 @@ from typing import Callable, Iterator, Sequence
 
 from repro.devtools.findings import Finding
 
-__all__ = ["ModuleInfo", "Rule", "RULES", "parse_module", "R001_FIX_MAP"]
+__all__ = [
+    "ModuleInfo",
+    "Rule",
+    "RULES",
+    "parse_module",
+    "parse_suppressions",
+    "R001_FIX_MAP",
+]
 
 # --------------------------------------------------------------------------
 # Shared configuration
@@ -118,14 +125,16 @@ SCORE_TOKENS = (
     "accuracy",
 )
 
-_SUPPRESS_RE = re.compile(
-    r"#\s*repro-lint:\s*disable=(?P<ids>[A-Za-z0-9, ]+)"
-)
-_SUPPRESS_FILE_RE = re.compile(
-    r"#\s*repro-lint:\s*disable-file=(?P<ids>[A-Za-z0-9, ]+)"
-)
 #: File-wide suppressions must appear within the first N lines.
 _FILE_SUPPRESS_WINDOW = 12
+
+
+def _suppress_patterns(marker: str) -> tuple[re.Pattern[str], re.Pattern[str]]:
+    escaped = re.escape(marker)
+    return (
+        re.compile(rf"#\s*{escaped}:\s*disable=(?P<ids>[A-Za-z0-9, ]+)"),
+        re.compile(rf"#\s*{escaped}:\s*disable-file=(?P<ids>[A-Za-z0-9, ]+)"),
+    )
 
 
 # --------------------------------------------------------------------------
@@ -167,21 +176,33 @@ class ModuleInfo:
         return rule_id in ids or "all" in ids
 
 
-def _parse_suppressions(
-    lines: Sequence[str],
+def parse_suppressions(
+    lines: Sequence[str], marker: str = "repro-lint"
 ) -> tuple[dict[int, frozenset[str]], frozenset[str]]:
+    """Parse ``# <marker>: disable=...`` comments out of ``lines``.
+
+    Shared by the linter (``repro-lint``) and the flow analyzer
+    (``repro-flow``); the two tools deliberately use distinct markers so
+    suppressing one never silences the other.
+
+    Returns:
+        ``(per_line, file_wide)``: 1-based line number -> disabled rule
+        ids, and the rule ids disabled for the whole file (only honored
+        within the first :data:`_FILE_SUPPRESS_WINDOW` lines).
+    """
+    line_re, file_re = _suppress_patterns(marker)
     per_line: dict[int, frozenset[str]] = {}
     file_wide: set[str] = set()
     for lineno, text in enumerate(lines, start=1):
-        if "repro-lint" not in text:
+        if marker not in text:
             continue
-        match = _SUPPRESS_RE.search(text)
+        match = line_re.search(text)
         if match:
             ids = frozenset(
                 part.strip() for part in match.group("ids").split(",") if part.strip()
             )
             per_line[lineno] = ids
-        match = _SUPPRESS_FILE_RE.search(text)
+        match = file_re.search(text)
         if match and lineno <= _FILE_SUPPRESS_WINDOW:
             file_wide.update(
                 part.strip() for part in match.group("ids").split(",") if part.strip()
@@ -214,7 +235,7 @@ def parse_module(path: str, source: str) -> ModuleInfo:
     """
     tree = ast.parse(source, filename=path)
     lines = source.splitlines()
-    per_line, file_wide = _parse_suppressions(lines)
+    per_line, file_wide = parse_suppressions(lines)
     return ModuleInfo(
         path=path.replace("\\", "/"),
         tree=tree,

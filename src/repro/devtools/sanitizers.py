@@ -1,0 +1,86 @@
+"""Runtime registry of taint *sanitizers* for the flow analyzer.
+
+The interprocedural taint analysis (:mod:`repro.devtools.flow`) treats
+every value derived from untrusted web content as tainted until it
+passes through a function explicitly declared to neutralize a class of
+sink.  That declaration is the :func:`sanitizes` decorator::
+
+    from repro.devtools.sanitizers import sanitizes
+
+    @sanitizes("path", "regex", "report")
+    def parse_url(url: str) -> ParsedURL: ...
+
+The decorator is intentionally a no-op at call time — it only records
+the function in a registry (for runtime introspection and the docs) and
+is *read statically* by the analyzer, which looks for the decorator in
+the AST.  Declaring sanitization is therefore an auditable, reviewable
+act rather than an implicit property of a helper's name.
+
+Categories match the taint sink rules:
+
+==========  ==========================================================
+``path``    filesystem path construction / ``open()``          (T001)
+``regex``   ``re.compile``/``re.search`` pattern position       (T002)
+``ssrf``    outbound fetch URLs (registrable-domain pinning)    (T004)
+``report``  report/log string interpolation                     (T005)
+``*``       clears every category (full sanitization)
+==========  ==========================================================
+
+This module is imported by library layers (``web``, ``text``,
+``experiments``), so it must not import anything beyond the stdlib.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, TypeVar
+
+__all__ = ["sanitizes", "SANITIZER_CATEGORIES", "registered_sanitizers"]
+
+#: The recognized sink categories (plus the ``"*"`` wildcard).
+SANITIZER_CATEGORIES = frozenset({"path", "regex", "ssrf", "report", "*"})
+
+_REGISTRY: dict[str, frozenset[str]] = {}
+
+_F = TypeVar("_F", bound=Callable[..., object])
+
+
+def sanitizes(*categories: str) -> Callable[[_F], _F]:
+    """Declare that the decorated function's return value is safe for
+    the given sink ``categories``.
+
+    Args:
+        categories: one or more of :data:`SANITIZER_CATEGORIES`
+            (``"*"`` clears everything).
+
+    Returns:
+        A decorator that registers the function and returns it
+        unchanged (zero call overhead).
+    """
+    from repro.exceptions import ValidationError
+
+    kinds = frozenset(categories)
+    if not kinds:
+        raise ValidationError("sanitizes() requires at least one category")
+    unknown = kinds - SANITIZER_CATEGORIES
+    if unknown:
+        raise ValidationError(
+            f"unknown sanitizer categories {sorted(unknown)}; "
+            f"choose from {sorted(SANITIZER_CATEGORIES)}"
+        )
+
+    def decorate(fn: _F) -> _F:
+        qualname = f"{getattr(fn, '__module__', '?')}.{getattr(fn, '__qualname__', '?')}"
+        _REGISTRY[qualname] = kinds
+        return fn
+
+    return decorate
+
+
+def registered_sanitizers() -> Mapping[str, frozenset[str]]:
+    """A read-only snapshot of every registered sanitizer.
+
+    Maps ``module.qualname`` to the categories it clears.  Intended for
+    documentation tooling and tests; the static analyzer does not use
+    this (it reads decorators from source).
+    """
+    return dict(_REGISTRY)

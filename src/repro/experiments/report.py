@@ -17,6 +17,7 @@ import time
 from pathlib import Path
 
 from repro.core.config import ExperimentConfig
+from repro.devtools.sanitizers import sanitizes
 from repro.experiments import ablations, figures, tables
 from repro.experiments.results import TableResult
 
@@ -57,13 +58,27 @@ _ABLATIONS: tuple[tuple[str, str], ...] = (
 )
 
 
+@sanitizes("report")
+def _escape_cell(text: str) -> str:
+    """Escape markdown table syntax in a cell value.
+
+    Corpus-derived strings (domain names, page-derived terms) end up in
+    table cells; a stray ``|`` or newline would break the table, and a
+    crafted value could inject markup into the rendered report."""
+    return (
+        text.replace("\\", "\\\\").replace("|", "\\|").replace("\n", " ").strip()
+    )
+
+
 def _as_markdown(table: TableResult, precision: int = 3) -> str:
     from repro.experiments.results import format_value
 
-    header = "| " + " | ".join(str(c) or " " for c in table.columns) + " |"
+    header = "| " + " | ".join(_escape_cell(str(c)) or " " for c in table.columns) + " |"
     rule = "|" + "|".join("---" for _ in table.columns) + "|"
     body = [
-        "| " + " | ".join(format_value(cell, precision) for cell in row) + " |"
+        "| "
+        + " | ".join(_escape_cell(format_value(cell, precision)) for cell in row)
+        + " |"
         for row in table.rows
     ]
     lines = [header, rule, *body]

@@ -7,18 +7,23 @@
 * Corpora export to a line-oriented JSON format (one pharmacy per line:
   domain, label, ground-truth flags, pages) so labelled crawls can be
   shared without pickling arbitrary code.
+
+All writers are *atomic*: content goes to a sibling temporary file that
+is :func:`os.replace`-d over the destination, so a crash mid-write
+never leaves a truncated artifact for a later run to trip over.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pickle
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable, IO
 
 from repro.data.corpus import PharmacyCorpus
 from repro.data.synthesis import PharmacyRecord
-from repro.exceptions import ReproError
+from repro.exceptions import ValidationError
 from repro.web.page import WebPage
 from repro.web.site import Website
 
@@ -28,19 +33,39 @@ _MAGIC = "repro-model"
 _FORMAT_VERSION = 1
 
 
-class PersistenceError(ReproError):
-    """Raised for unreadable or incompatible persisted artifacts."""
+class PersistenceError(ValidationError):
+    """Raised for unreadable or incompatible persisted artifacts.
+
+    Subclasses :class:`~repro.exceptions.ValidationError`: a corrupt
+    artifact is invalid input, and callers validating inputs wholesale
+    should catch it without importing this module.
+    """
+
+
+def _atomic_write(
+    path: str | Path, mode: str, writer: Callable[[IO[Any]], None], **open_kwargs: Any
+) -> None:
+    """Write via a sibling temp file + :func:`os.replace` (atomic on
+    POSIX within one filesystem); the temp file is removed on failure."""
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    try:
+        with open(tmp, mode, **open_kwargs) as fh:
+            writer(fh)
+        os.replace(tmp, target)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
 
 
 def save_model(model: Any, path: str | Path) -> None:
-    """Pickle a (fitted) model with a format header."""
+    """Pickle a (fitted) model with a format header (atomically)."""
     payload = {
         "magic": _MAGIC,
         "format_version": _FORMAT_VERSION,
         "model": model,
     }
-    with open(path, "wb") as fh:
-        pickle.dump(payload, fh)
+    _atomic_write(path, "wb", lambda fh: pickle.dump(payload, fh))
 
 
 def load_model(path: str | Path) -> Any:
@@ -54,8 +79,17 @@ def load_model(path: str | Path) -> Any:
             payload = pickle.load(fh)
     except FileNotFoundError as exc:
         raise PersistenceError(f"no such model file: {path}") from exc
-    except (pickle.UnpicklingError, EOFError) as exc:
-        raise PersistenceError(f"not a repro model file: {path}") from exc
+    except (
+        pickle.UnpicklingError,
+        EOFError,
+        AttributeError,
+        ImportError,
+        IndexError,
+        ValueError,
+    ) as exc:
+        # Truncated or corrupt pickles surface any of these, depending
+        # on where the stream breaks.
+        raise PersistenceError(f"corrupt model file: {path}: {exc}") from exc
     if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
         raise PersistenceError(f"not a repro model file: {path}")
     version = payload.get("format_version")
@@ -67,8 +101,9 @@ def load_model(path: str | Path) -> Any:
 
 
 def export_corpus(corpus: PharmacyCorpus, path: str | Path) -> None:
-    """Write a corpus as JSON lines (one pharmacy per line)."""
-    with open(path, "w", encoding="utf-8") as fh:
+    """Write a corpus as JSON lines (one pharmacy per line), atomically."""
+
+    def write(fh: IO[str]) -> None:
         header = {"format": "repro-corpus", "version": 1, "name": corpus.name}
         fh.write(json.dumps(header) + "\n")
         for site, record in zip(corpus.sites, corpus.records):
@@ -88,6 +123,8 @@ def export_corpus(corpus: PharmacyCorpus, path: str | Path) -> None:
                 ],
             }
             fh.write(json.dumps(row) + "\n")
+
+    _atomic_write(path, "w", write, encoding="utf-8")
 
 
 def import_corpus(path: str | Path) -> PharmacyCorpus:

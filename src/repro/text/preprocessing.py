@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.devtools.sanitizers import sanitizes
 from repro.text.stopwords import default_stop_words
 from repro.text.tokenization import iter_tokens
 from repro.exceptions import ValidationError
@@ -46,8 +47,12 @@ class TextPreprocessor:
     def stop_words(self) -> frozenset[str]:
         return self._stop_words
 
+    @sanitizes("*")
     def preprocess(self, text: str) -> list[str]:
-        """Return the non-stop-word tokens of ``text`` in order."""
+        """Return the non-stop-word tokens of ``text`` in order.
+
+        Inherits :func:`~repro.text.tokenization.iter_tokens`'s
+        sanitizer guarantee: every emitted token is ``[a-z0-9'-]``."""
         return [
             tok
             for tok in iter_tokens(text)

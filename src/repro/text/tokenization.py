@@ -12,17 +12,26 @@ from __future__ import annotations
 import re
 from typing import Iterator
 
+from repro.devtools.sanitizers import sanitizes
+
 __all__ = ["tokenize", "iter_tokens"]
 
 _TOKEN_RE = re.compile(r"[a-z0-9]+(?:[-'][a-z0-9]+)*")
 
 
+@sanitizes("*")
 def iter_tokens(text: str) -> Iterator[str]:
-    """Yield lowercase tokens from ``text`` in document order."""
+    """Yield lowercase tokens from ``text`` in document order.
+
+    A full sanitizer for taint purposes: the output alphabet is
+    ``[a-z0-9'-]``, which can express no path traversal, regex
+    metacharacters, URLs, or markup.
+    """
     for match in _TOKEN_RE.finditer(text.lower()):
         yield match.group(0)
 
 
+@sanitizes("*")
 def tokenize(text: str) -> list[str]:
     """Tokenize ``text`` into a list of lowercase tokens.
 

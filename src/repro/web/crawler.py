@@ -6,7 +6,12 @@ semantics over a :class:`~repro.web.host.WebHost`:
 
 * the frontier is a FIFO queue seeded with the site root (BFS, hence
   effectively unbounded depth until the page cap);
-* only links on the seed's registrable domain are enqueued;
+* only links that *stay on the seed's registrable domain after URL
+  normalization* are enqueued — a link whose normalized form hops to a
+  different registrable domain is rejected, so a hostile page cannot
+  redirect the crawl off-site (SSRF);
+* per-page link fan-out is capped (adversarial pages can carry
+  thousands of links; the cap bounds frontier growth);
 * external links are recorded on the page objects and later harvested
   by :meth:`~repro.web.site.Website.outbound_endpoints`;
 * at most ``max_pages`` pages are fetched per site.
@@ -18,7 +23,8 @@ import logging
 from collections import deque
 from dataclasses import dataclass
 
-from repro.exceptions import CrawlError
+from repro.devtools.sanitizers import sanitizes
+from repro.exceptions import CrawlError, InvalidURLError
 from repro.web.host import WebHost
 from repro.web.page import WebPage
 from repro.web.site import Website
@@ -31,6 +37,10 @@ __all__ = ["Crawler", "CrawlStats"]
 #: The paper's per-site page cap.
 DEFAULT_MAX_PAGES = 200
 
+#: Links considered per fetched page; the rest are dropped.  Bounds
+#: frontier growth on adversarial pages with huge link farms.
+DEFAULT_MAX_LINKS_PER_PAGE = 100
+
 
 @dataclass(frozen=True, slots=True)
 class CrawlStats:
@@ -40,6 +50,7 @@ class CrawlStats:
     pages_fetched: int
     pages_skipped: int  # frontier entries dropped by the page cap
     fetch_failures: int  # URLs the host returned None for
+    links_rejected: int = 0  # links dropped by the same-site guard or fan-out cap
 
 
 class Crawler:
@@ -48,18 +59,34 @@ class Crawler:
     Args:
         host: where to fetch pages from.
         max_pages: per-site page cap (paper: 200).
+        max_links_per_page: per-page link fan-out cap.
     """
 
-    def __init__(self, host: WebHost, max_pages: int = DEFAULT_MAX_PAGES) -> None:
+    def __init__(
+        self,
+        host: WebHost,
+        max_pages: int = DEFAULT_MAX_PAGES,
+        max_links_per_page: int = DEFAULT_MAX_LINKS_PER_PAGE,
+    ) -> None:
         if max_pages < 1:
             raise CrawlError(f"max_pages must be >= 1, got {max_pages}")
+        if max_links_per_page < 1:
+            raise CrawlError(
+                f"max_links_per_page must be >= 1, got {max_links_per_page}"
+            )
         self._host = host
         self._max_pages = max_pages
+        self._max_links_per_page = max_links_per_page
         self._last_stats: CrawlStats | None = None
 
     @property
     def max_pages(self) -> int:
         return self._max_pages
+
+    @property
+    def max_links_per_page(self) -> int:
+        """Per-page link fan-out cap."""
+        return self._max_links_per_page
 
     @property
     def last_stats(self) -> CrawlStats | None:
@@ -89,6 +116,7 @@ class Crawler:
         pages: list[WebPage] = []
         failures = 0
         skipped = 0
+        rejected = 0
         frontier: deque[str] = deque([seed_url])
         visited.add(self._normalize(seed_url))
 
@@ -102,26 +130,54 @@ class Crawler:
                 failures += 1
                 continue
             pages.append(page)
+            considered = 0
             for link in page.internal_links():
-                key = self._normalize(link)
+                if considered >= self._max_links_per_page:
+                    rejected += 1
+                    continue
+                considered += 1
+                safe_url = self._same_site(link, domain)
+                if safe_url is None:
+                    rejected += 1
+                    continue
+                key = self._normalize(safe_url)
                 if key not in visited:
                     visited.add(key)
-                    frontier.append(link)
+                    frontier.append(safe_url)
 
         logger.debug(
-            "crawled %s: %d pages, %d skipped by cap, %d fetch failures",
+            "crawled %s: %d pages, %d skipped by cap, %d fetch failures, "
+            "%d links rejected",
             domain,
             len(pages),
             skipped,
             failures,
+            rejected,
         )
         self._last_stats = CrawlStats(
             domain=domain,
             pages_fetched=len(pages),
             pages_skipped=skipped,
             fetch_failures=failures,
+            links_rejected=rejected,
         )
         return Website(domain=domain, pages=tuple(pages))
+
+    @staticmethod
+    @sanitizes("ssrf")
+    def _same_site(link: str, domain: str) -> str | None:
+        """Re-derive the link's registrable domain *after* normalization
+        and return the canonical URL only when it still matches
+        ``domain``.  Returning the re-serialized parse (rather than the
+        raw link text) means the crawl frontier only ever holds URLs
+        whose target domain has been verified."""
+        try:
+            parsed = parse_url(link)
+        except InvalidURLError:
+            return None
+        if parsed.registered_domain != domain:
+            return None
+        return str(parsed)
 
     @staticmethod
     def _normalize(url: str) -> str:

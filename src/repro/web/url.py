@@ -18,6 +18,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 
+from repro.devtools.sanitizers import sanitizes
 from repro.exceptions import InvalidURLError
 
 __all__ = ["ParsedURL", "parse_url", "endpoint", "same_domain", "resolve_url"]
@@ -70,8 +71,17 @@ class ParsedURL:
         return f"{self.scheme}://{self.host}{self.path}"
 
 
+@sanitizes("path", "regex", "report")
 def parse_url(url: str) -> ParsedURL:
     """Parse an absolute ``http(s)`` URL.
+
+    Declared a sanitizer for the ``path``/``regex``/``report`` sink
+    categories: parsing rejects everything but a lowercased
+    ``scheme://host/path`` shape, so the result cannot smuggle path
+    separators tricks, regex metacharacter payloads, or markup into
+    those sinks.  It deliberately does **not** clear ``ssrf`` — a
+    well-formed URL is still an arbitrary fetch target; only the
+    crawler's registrable-domain guard clears that.
 
     Args:
         url: the URL text.

@@ -1,0 +1,38 @@
+"""Call-graph shapes: methods, attr-name fallback, dispatch tables."""
+
+from __future__ import annotations
+
+
+class Engine:
+    def __init__(self, host):
+        self._host = host
+
+    def run(self, url):
+        raw = self._fetch_raw(url)
+        return self.process(raw)
+
+    def _fetch_raw(self, url):
+        return self._host.fetch(url)
+
+    def process(self, raw):
+        return raw
+
+
+def run_engine(engine, url):
+    # Unknown receiver: resolves to Engine.run via the attr-name fallback.
+    return engine.run(url)
+
+
+def handle_fast(payload):
+    return payload
+
+
+def handle_slow(payload):
+    return payload
+
+
+HANDLERS = {"fast": handle_fast, "slow": handle_slow}
+
+
+def dispatch(kind, payload):
+    return HANDLERS[kind](payload)

@@ -1,0 +1,30 @@
+"""Determinism hazards that single-file R002 provably misses.
+
+``default_rng`` is on R002's seeded-construction allowlist, so linting
+this file reports nothing — only interprocedural analysis sees that the
+construction is unseeded *and* reachable from the CLI entrypoint.
+"""
+
+from __future__ import annotations
+
+from numpy.random import default_rng
+
+
+def sample_scores(values):
+    rng = default_rng()  # D001: unseeded construction (R002-clean!)
+    return [value + rng.random() for value in values]
+
+
+def pick_order(items):
+    seen = set(items)
+    out = []
+    for item in seen:  # D003: unordered iteration feeds the result
+        out.append(item)
+    return out
+
+
+def unreached_jitter():
+    # Same D001 hazard, but no entrypoint reaches this function, so the
+    # determinism analysis must NOT report it.
+    rng = default_rng()
+    return rng.random()

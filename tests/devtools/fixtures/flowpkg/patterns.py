@@ -1,0 +1,17 @@
+"""Regex sinks: tainted patterns and a ReDoS literal."""
+
+from __future__ import annotations
+
+import re
+
+BAD_RE = re.compile("(a+)+b")  # T003: catastrophic backtracking
+
+OK_RE = re.compile(r"[a-z0-9]+(?:[-'][a-z0-9]+)*")  # benign tokenizer idiom
+
+
+def scan(text, pattern):
+    return re.search(pattern, text)  # T002 when `pattern` is tainted
+
+
+def scan_quiet(text, pattern):
+    return re.search(pattern, text)  # repro-flow: disable=T002

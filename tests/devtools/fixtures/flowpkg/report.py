@@ -1,0 +1,7 @@
+"""Report module: f-string interpolation is a T005 sink here."""
+
+from __future__ import annotations
+
+
+def render(title):
+    return f"# {title}\n"  # T005 when `title` is tainted

@@ -1,0 +1,13 @@
+"""Taint sources: web fetches."""
+
+from __future__ import annotations
+
+
+def fetch_page(host, url):
+    """Returns untrusted web content (taint source)."""
+    return host.fetch(url)
+
+
+def refetch(host, page_text):
+    """Feeds page-derived text straight back into a fetch (T004)."""
+    return host.fetch(page_text)

@@ -1,0 +1,54 @@
+"""Call-graph resolution: methods, aliases, dispatch, fallback."""
+
+from __future__ import annotations
+
+
+class TestEdgeResolution:
+    def test_aliased_import_call(self, flow_graph):
+        assert "flowpkg.web.fetch_page" in flow_graph.callees("flowpkg.cli.main")
+
+    def test_module_attribute_call(self, flow_graph):
+        assert "flowpkg.storage.store" in flow_graph.callees("flowpkg.cli.main")
+
+    def test_self_method_calls(self, flow_graph):
+        callees = flow_graph.callees("flowpkg.engine.Engine.run")
+        assert "flowpkg.engine.Engine._fetch_raw" in callees
+        assert "flowpkg.engine.Engine.process" in callees
+
+    def test_unknown_receiver_falls_back_to_attr_name(self, flow_graph):
+        # engine.run(url) on an unannotated parameter: resolved to the
+        # only project method named `run`.
+        assert "flowpkg.engine.Engine.run" in flow_graph.callees(
+            "flowpkg.engine.run_engine"
+        )
+
+    def test_dispatch_table_fans_out_to_all_handlers(self, flow_graph):
+        callees = flow_graph.callees("flowpkg.engine.dispatch")
+        assert "flowpkg.engine.handle_fast" in callees
+        assert "flowpkg.engine.handle_slow" in callees
+
+    def test_intra_module_helper_call(self, flow_graph):
+        assert "flowpkg.storage.cache_path" in flow_graph.callees(
+            "flowpkg.storage.store"
+        )
+
+
+class TestReachability:
+    def test_transitive_chain_from_entrypoint(self, flow_graph):
+        chains = flow_graph.reachable_from("flowpkg.cli.main")
+        assert chains["flowpkg.helpers.sample_scores"] == (
+            "flowpkg.cli.main",
+            "flowpkg.helpers.sample_scores",
+        )
+
+    def test_unreached_function_absent(self, flow_graph):
+        chains = flow_graph.reachable_from("flowpkg.cli.main")
+        assert "flowpkg.helpers.unreached_jitter" not in chains
+
+    def test_reachable_from_any_keeps_shortest_chain(self, flow_graph):
+        best = flow_graph.reachable_from_any(
+            ["flowpkg.cli.main", "flowpkg.helpers.sample_scores"]
+        )
+        entry, chain = best["flowpkg.helpers.sample_scores"]
+        assert entry == "flowpkg.helpers.sample_scores"
+        assert chain == ("flowpkg.helpers.sample_scores",)

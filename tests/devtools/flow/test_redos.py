@@ -1,0 +1,48 @@
+"""Unit tests for the ReDoS heuristic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devtools.flow.redos import explain, is_catastrophic
+
+
+class TestCatastrophic:
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            "(a+)+b",
+            "(a+)+",
+            r"(\w*)*x",
+            "(?:x+)*y",
+            "(.+)+end",
+            "(a{2,})+",
+        ],
+    )
+    def test_nested_quantifiers_flagged(self, pattern):
+        assert is_catastrophic(pattern)
+
+    @pytest.mark.parametrize("pattern", ["(a|ab)+c", "(x|x)*"])
+    def test_overlapping_alternations_flagged(self, pattern):
+        assert is_catastrophic(pattern)
+
+
+class TestBenign:
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            r"[a-z0-9]+(?:[-'][a-z0-9]+)*",  # tokenizer: required separator
+            r"^[a-zA-Z][a-zA-Z0-9+.-]*:",  # scheme prefix
+            r"\d+\.\d+",
+            "abc",
+            "(ab|cd)+",  # disjoint first characters
+            r"https?://",
+        ],
+    )
+    def test_not_flagged(self, pattern):
+        assert not is_catastrophic(pattern)
+
+
+def test_explain_names_the_construct():
+    assert "nested quantifier" in explain("(a+)+b")
+    assert "alternation" in explain("(a|ab)+c")

@@ -165,6 +165,38 @@ class TestAutofix:
         assert target.read_text() == once
 
 
+class TestMachineFormats:
+    def test_sarif_output(self, capsys):
+        status = main(
+            [str(VIOLATIONS / "r005_print.py"), "--no-baseline", "--format", "sarif"]
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert status == 1
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
+        assert any(
+            r["ruleId"] == "R005" for r in doc["runs"][0]["results"]
+        )
+
+    def test_github_output(self, capsys):
+        main([str(VIOLATIONS / "r005_print.py"), "--no-baseline", "--format", "github"])
+        out = capsys.readouterr().out
+        assert out.startswith("::error file=")
+        assert "R005" in out
+
+
+class TestFixExitCode:
+    def test_fix_applied_exits_nonzero(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text((VIOLATIONS / "r001_exceptions.py").read_text())
+        status = main([str(target), "--no-baseline", "--fix"])
+        assert status == 1
+        assert "rewrote" in capsys.readouterr().err
+
+    def test_fix_with_nothing_to_do_exits_zero(self, capsys):
+        assert main([str(FIXTURES / "clean.py"), "--no-baseline", "--fix"]) == 0
+
+
 class TestDiscovery:
     def test_skips_pycache(self, tmp_path):
         cache = tmp_path / "__pycache__"
