@@ -1,0 +1,90 @@
+"""Fault-injection soak: high-failure-rate crawls must converge.
+
+Run in CI as its own job (see ``.github/workflows/ci.yml``): the whole
+synthetic snapshot is crawled through a seeded
+:class:`~repro.web.resilience.FaultInjectingWebHost` at a 40% transient
+failure rate, and the retried acquisition must produce *exactly* the
+fault-free corpus — same domains, same page sets — twice in a row with
+identical failure accounting.  A third pass adds permanently dead seeds
+and checks quarantine keeps the run alive and aligned.
+"""
+
+from __future__ import annotations
+
+from repro.data.loaders import crawl_snapshot
+from repro.data.synthesis import GeneratorConfig, SyntheticWebGenerator
+from repro.web.resilience import (
+    FaultInjectingWebHost,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+)
+
+SOAK_CONFIG = GeneratorConfig(
+    n_legitimate=6,
+    n_illegitimate=44,
+    n_affiliate_hubs=3,
+    min_pages=3,
+    max_pages=8,
+    min_terms_per_page=40,
+    max_terms_per_page=80,
+    seed=23,
+)
+
+TRANSIENT_RATE = 0.4
+RETRY = RetryPolicy(max_attempts=5, seed=17)
+
+
+def _page_map(corpus):
+    return {
+        site.domain: sorted(page.url for page in site.pages) for site in corpus
+    }
+
+
+def _soak_crawl(snapshot, seed):
+    plan = FaultPlan.seeded(
+        snapshot.host.urls(),
+        seed=seed,
+        transient_rate=TRANSIENT_RATE,
+        max_recover_after=3,
+    )
+    host = FaultInjectingWebHost(snapshot.host, plan)
+    corpus = crawl_snapshot(snapshot, host=host, retry_policy=RETRY)
+    return corpus, host.attempts
+
+
+class TestFaultInjectionSoak:
+    def test_heavy_transient_soak_converges(self):
+        snapshot = SyntheticWebGenerator(SOAK_CONFIG).generate_snapshot()
+        clean = crawl_snapshot(snapshot)
+        faulted, attempts = _soak_crawl(snapshot, seed=101)
+        assert _page_map(faulted) == _page_map(clean)
+        assert faulted.quarantined == ()
+        # Sanity: the plan actually bit (retries happened).
+        assert any(count > 1 for count in attempts.values())
+
+    def test_soak_is_deterministic(self):
+        snapshot = SyntheticWebGenerator(SOAK_CONFIG).generate_snapshot()
+        first, attempts1 = _soak_crawl(snapshot, seed=101)
+        second, attempts2 = _soak_crawl(snapshot, seed=101)
+        assert _page_map(first) == _page_map(second)
+        assert attempts1 == attempts2
+
+    def test_dead_seeds_quarantine_not_abort(self):
+        snapshot = SyntheticWebGenerator(SOAK_CONFIG).generate_snapshot()
+        plan = FaultPlan.seeded(
+            snapshot.host.urls(),
+            seed=5,
+            transient_rate=TRANSIENT_RATE,
+            max_recover_after=3,
+        )
+        dead = snapshot.domains[:3]
+        for domain in dead:
+            plan.add(f"https://www.{domain}/", FaultSpec(FaultKind.PERMANENT))
+        host = FaultInjectingWebHost(snapshot.host, plan)
+        corpus = crawl_snapshot(
+            snapshot, host=host, retry_policy=RETRY, quarantine=True
+        )
+        assert {q.domain for q in corpus.quarantined} == set(dead)
+        assert len(corpus) == len(snapshot.domains) - len(dead)

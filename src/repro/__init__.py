@@ -49,12 +49,14 @@ from repro.core import (
 from repro.data import (
     GeneratorConfig,
     PharmacyCorpus,
+    QuarantinedSite,
     SyntheticWebGenerator,
     make_dataset,
     make_dataset_pair,
 )
 from repro.core import (
     ReviewQueue,
+    degraded_domains,
     effort_to_find_fraction,
     simulate_review,
 )
@@ -73,7 +75,19 @@ from repro.ml import (
 )
 from repro.network import DirectedGraph, eigentrust, top_linked_domains, trustrank
 from repro.text import CharNGramVectorizer, NGramGraph, Summarizer, TfidfVectorizer
-from repro.web import Crawler, InMemoryWebHost, WebPage, Website
+from repro.web import (
+    CircuitBreaker,
+    Crawler,
+    CrawlStats,
+    FaultInjectingWebHost,
+    FaultPlan,
+    FaultSpec,
+    InMemoryWebHost,
+    RetryPolicy,
+    VirtualClock,
+    WebPage,
+    Website,
+)
 
 __version__ = "1.0.0"
 
@@ -101,6 +115,7 @@ __all__ = [
     # data
     "GeneratorConfig",
     "PharmacyCorpus",
+    "QuarantinedSite",
     "SyntheticWebGenerator",
     "make_dataset",
     "make_dataset_pair",
@@ -123,6 +138,7 @@ __all__ = [
     "inject_label_noise",
     # review workflow
     "ReviewQueue",
+    "degraded_domains",
     "effort_to_find_fraction",
     "simulate_review",
     # network
@@ -136,8 +152,15 @@ __all__ = [
     "Summarizer",
     "TfidfVectorizer",
     # web
+    "CircuitBreaker",
     "Crawler",
+    "CrawlStats",
+    "FaultInjectingWebHost",
+    "FaultPlan",
+    "FaultSpec",
     "InMemoryWebHost",
+    "RetryPolicy",
+    "VirtualClock",
     "WebPage",
     "Website",
 ]

@@ -16,6 +16,7 @@ from repro.core.network_pipeline import NetworkClassificationPipeline
 from repro.core.review_queue import (
     ReviewLogEntry,
     ReviewQueue,
+    degraded_domains,
     effort_to_find_fraction,
     simulate_review,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "NetworkClassificationPipeline",
     "ReviewLogEntry",
     "ReviewQueue",
+    "degraded_domains",
     "effort_to_find_fraction",
     "simulate_review",
     "OutlierReport",

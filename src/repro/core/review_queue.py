@@ -12,25 +12,42 @@ This module quantifies that benefit:
   queue and record how fast illegitimate pharmacies are found;
 * :func:`effort_to_find_fraction` — how many reviews are needed to
   surface a given fraction of all illegitimate sites (the headline
-  "reviewer effort saved" number, compared against a random queue).
+  "reviewer effort saved" number, compared against a random queue);
+* :func:`degraded_domains` — pull the low-confidence (degraded)
+  verdicts out of a report batch so they can jump the queue: a site
+  the system could only half-see is exactly the one that needs human
+  eyes first.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Collection, Iterable, Sequence
 
 import numpy as np
 
 from repro.core.ranking import RankingResult
+from repro.core.verifier import VerificationReport
 from repro.exceptions import ValidationError
 
 __all__ = [
     "ReviewQueue",
     "ReviewLogEntry",
+    "degraded_domains",
     "simulate_review",
     "effort_to_find_fraction",
 ]
+
+
+def degraded_domains(reports: Iterable[VerificationReport]) -> tuple[str, ...]:
+    """Domains of degraded reports, least-confident first.
+
+    Feed this to :class:`ReviewQueue`'s ``priority_domains`` so sites
+    verified on partial evidence are hand-reviewed before the rest.
+    """
+    flagged = [r for r in reports if r.degraded]
+    flagged.sort(key=lambda r: (r.confidence, r.domain))
+    return tuple(r.domain for r in flagged)
 
 
 class ReviewQueue:
@@ -40,13 +57,25 @@ class ReviewQueue:
         ranking: a :class:`RankingResult` whose entries carry oracle
             labels (the simulation plays the reviewer, who, like the
             paper's experts, labels correctly).
+        priority_domains: domains bumped to the head of the queue
+            (e.g. :func:`degraded_domains` output — verdicts the
+            system itself does not trust).  Within the bumped group,
+            and within the rest, most-suspicious-first order is kept.
     """
 
-    def __init__(self, ranking: RankingResult) -> None:
+    def __init__(
+        self, ranking: RankingResult, priority_domains: Collection[str] = ()
+    ) -> None:
         if any(entry.oracle_label is None for entry in ranking.entries):
             raise ValidationError("review simulation requires oracle labels")
         # Most suspicious first: ascending rank score.
-        self._entries = tuple(reversed(ranking.entries))
+        ordered = tuple(reversed(ranking.entries))
+        if priority_domains:
+            bumped = frozenset(priority_domains)
+            ordered = tuple(
+                e for e in ordered if e.domain in bumped
+            ) + tuple(e for e in ordered if e.domain not in bumped)
+        self._entries = ordered
         self._cursor = 0
 
     def __len__(self) -> int:

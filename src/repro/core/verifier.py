@@ -9,6 +9,14 @@ everything a human reviewer triaging pharmacies would consume.
 Internally it composes the pieces exactly as the paper does: summary
 documents → TF-IDF text classifier, the training-set TrustRank
 propagation for network scores, and the Section-5 cumulative ranking.
+
+Verification degrades gracefully instead of failing: a site whose
+crawl was partial (see :attr:`~repro.web.crawler.CrawlStats.is_partial`)
+or whose content supports only one evidence channel (no usable text, no
+network signal) still gets a report — scored from whatever evidence
+exists, flagged ``degraded`` with an explicit ``confidence`` and the
+reasons spelled out — so a misbehaving web thins confidence, never the
+report stream.
 """
 
 from __future__ import annotations
@@ -21,20 +29,33 @@ import numpy as np
 
 from repro.core.ranking import RankingResult, rank_pharmacies
 from repro.core.text_pipeline import TfidfTextPipeline
-from repro.data.corpus import LEGITIMATE, PharmacyCorpus
-from repro.exceptions import NotFittedError
+from repro.data.corpus import ILLEGITIMATE, LEGITIMATE, PharmacyCorpus
+from repro.exceptions import NotFittedError, ReproError, ValidationError
 from repro.ml.base import BaseClassifier
 from repro.ml.naive_bayes import MultinomialNB
 from repro.network.construction import build_pharmacy_graph
 from repro.network.trustrank import trustrank
 from repro.text.summarization import Summarizer
-from repro.web.crawler import Crawler
+from repro.web.crawler import Crawler, CrawlStats
 from repro.web.host import WebHost
+from repro.web.resilience.retry import RetryPolicy
 from repro.web.site import Website
 
 logger = logging.getLogger(__name__)
 
 __all__ = ["PharmacyVerifier", "VerificationReport"]
+
+
+#: Confidence penalties per degradation reason; reports bottom out at
+#: :data:`MIN_CONFIDENCE` rather than zero (a report always says
+#: *something*).
+_CONFIDENCE_PENALTIES = {
+    "partial_crawl": 0.3,
+    "no_text": 0.4,
+    "no_network_signal": 0.2,
+}
+
+MIN_CONFIDENCE = 0.1
 
 
 @dataclass(frozen=True, slots=True)
@@ -45,10 +66,17 @@ class VerificationReport:
         domain: the pharmacy's registrable domain.
         predicted_label: 1 legitimate, 0 illegitimate.
         legitimacy_probability: text-classifier membership probability
-            of the legitimate class.
+            of the legitimate class (0.5 when text evidence was
+            unavailable and the verdict is network-only).
         text_rank: textRank term of the cumulative ranking model.
         network_rank: networkRank term (TrustRank-derived).
         rank_score: text_rank + network_rank (Section 5).
+        degraded: the verdict rests on partial or single-channel
+            evidence; treat it as triage input, not a final call.
+        confidence: 1.0 for a full-evidence verdict, lowered per
+            degradation reason (never below :data:`MIN_CONFIDENCE`).
+        degradation_reasons: why the verdict is degraded — a subset of
+            ``{"partial_crawl", "no_text", "no_network_signal"}``.
     """
 
     domain: str
@@ -57,6 +85,9 @@ class VerificationReport:
     text_rank: float
     network_rank: float
     rank_score: float
+    degraded: bool = False
+    confidence: float = 1.0
+    degradation_reasons: tuple[str, ...] = ()
 
     @property
     def is_legitimate(self) -> bool:
@@ -153,43 +184,148 @@ class PharmacyVerifier:
 
     # -- verification -------------------------------------------------------
 
-    def verify_site(self, site: Website) -> VerificationReport:
-        """Verify one crawled website."""
-        return self.verify_sites([site])[0]
+    def verify_site(
+        self, site: Website, crawl_stats: CrawlStats | None = None
+    ) -> VerificationReport:
+        """Verify one crawled website (degraded when evidence is thin)."""
+        return self.verify_sites([site], crawl_stats=[crawl_stats])[0]
 
-    def verify_sites(self, sites: Sequence[Website]) -> list[VerificationReport]:
-        """Verify a batch of crawled websites."""
+    def verify_sites(
+        self,
+        sites: Sequence[Website],
+        crawl_stats: Sequence[CrawlStats | None] | None = None,
+    ) -> list[VerificationReport]:
+        """Verify a batch of crawled websites.
+
+        Every site gets a report.  Sites with usable text go through
+        the text pipeline; sites without (empty or zero-page crawls)
+        fall back to network-only scoring with ``degraded=True`` — this
+        method does not raise on thin or partial content.
+
+        Args:
+            sites: crawled websites.
+            crawl_stats: optional per-site crawl statistics, aligned
+                with ``sites``; partial crawls (see
+                :attr:`~repro.web.crawler.CrawlStats.is_partial`) mark
+                their reports degraded.
+        """
         if self._trust_scores is None:
             raise NotFittedError("PharmacyVerifier has not been fitted")
-        documents = [self._summarizer.summarize_site(s) for s in sites]
-        probas = self._pipeline.predict_proba(documents)[:, -1]
-        if self._decision_threshold is not None:
-            labels = (probas >= self._decision_threshold).astype(int)
-        else:
-            labels = self._pipeline.predict(documents)
-        text_ranks = self._pipeline.text_rank(documents)
+        if crawl_stats is not None and len(crawl_stats) != len(sites):
+            raise ValidationError(
+                f"crawl_stats and sites disagree: {len(crawl_stats)} vs {len(sites)}"
+            )
+
+        reasons: list[list[str]] = []
+        scorable: list[int] = []
+        for i, site in enumerate(sites):
+            site_reasons = []
+            stats = crawl_stats[i] if crawl_stats is not None else None
+            if stats is not None and stats.is_partial:
+                site_reasons.append("partial_crawl")
+            if site.n_pages == 0 or not site.merged_text().strip():
+                site_reasons.append("no_text")
+            else:
+                scorable.append(i)
+            if not site.outbound_endpoints() and (
+                self._trust_scores.get(site.domain, 0.0) <= 0.0
+            ):
+                site_reasons.append("no_network_signal")
+            reasons.append(site_reasons)
+
+        probas, labels, text_ranks = self._score_text(
+            [sites[i] for i in scorable]
+        )
+        if probas is None:
+            # Text pipeline failed wholesale: degrade every site that
+            # depended on it to network-only scoring.
+            for i in scorable:
+                reasons[i].append("no_text")
+            scorable = []
+        by_index = {idx: pos for pos, idx in enumerate(scorable)}
+
         reports = []
-        for site, label, proba, text_rank in zip(
-            sites, labels, probas, text_ranks
-        ):
+        for i, site in enumerate(sites):
             network_rank = self._network_rank(site)
+            if i in by_index:
+                pos = by_index[i]
+                proba = float(probas[pos])
+                label = int(labels[pos])
+                text_rank = float(text_ranks[pos])
+            else:
+                # Network-only verdict: neutral probability, any trust
+                # at all tips the label to legitimate.
+                proba = 0.5
+                text_rank = 0.0
+                label = LEGITIMATE if network_rank > 0.0 else ILLEGITIMATE
+            site_reasons = tuple(dict.fromkeys(reasons[i]))
+            confidence = 1.0
+            for reason in site_reasons:
+                confidence -= _CONFIDENCE_PENALTIES.get(reason, 0.0)
             reports.append(
                 VerificationReport(
                     domain=site.domain,
-                    predicted_label=int(label),
-                    legitimacy_probability=float(proba),
-                    text_rank=float(text_rank),
+                    predicted_label=label,
+                    legitimacy_probability=proba,
+                    text_rank=text_rank,
                     network_rank=network_rank,
-                    rank_score=float(text_rank) + network_rank,
+                    rank_score=text_rank + network_rank,
+                    degraded=bool(site_reasons),
+                    confidence=max(MIN_CONFIDENCE, confidence),
+                    degradation_reasons=site_reasons,
                 )
             )
         return reports
 
-    def verify_url(self, host: WebHost, url: str, max_pages: int = 200
-                   ) -> VerificationReport:
-        """Crawl a site from ``url`` on ``host`` and verify it."""
-        crawler = Crawler(host, max_pages=max_pages)
-        return self.verify_site(crawler.crawl_site(url))
+    def _score_text(self, sites: Sequence[Website]):
+        """Run the text pipeline; ``(None, None, None)`` on failure."""
+        if not sites:
+            return np.empty(0), np.empty(0, dtype=int), np.empty(0)
+        try:
+            documents = [self._summarizer.summarize_site(s) for s in sites]
+            probas = self._pipeline.predict_proba(documents)[:, -1]
+            if self._decision_threshold is not None:
+                labels = (probas >= self._decision_threshold).astype(int)
+            else:
+                labels = self._pipeline.predict(documents)
+            text_ranks = self._pipeline.text_rank(documents)
+            return probas, labels, text_ranks
+        except ReproError:
+            logger.warning(
+                "text pipeline failed on %d site(s); degrading to "
+                "network-only verdicts",
+                len(sites),
+                exc_info=True,
+            )
+            return None, None, None
+
+    def verify_url(
+        self,
+        host: WebHost,
+        url: str,
+        max_pages: int = 200,
+        retry_policy: RetryPolicy | None = None,
+        deadline: float | None = None,
+        fetch_budget: int | None = None,
+    ) -> VerificationReport:
+        """Crawl a site from ``url`` on ``host`` and verify it.
+
+        Resilience knobs are forwarded to the
+        :class:`~repro.web.crawler.Crawler`; the crawl's stats feed the
+        report, so an interrupted or partially failed crawl yields a
+        ``degraded`` verdict instead of an exception (the seed itself
+        being unreachable still raises
+        :class:`~repro.exceptions.CrawlError`).
+        """
+        crawler = Crawler(
+            host,
+            max_pages=max_pages,
+            retry_policy=retry_policy,
+            deadline=deadline,
+            fetch_budget=fetch_budget,
+        )
+        site = crawler.crawl_site(url)
+        return self.verify_site(site, crawl_stats=crawler.last_stats)
 
     def rank_sites(self, sites: Sequence[Website],
                    oracle_labels: Sequence[int] | None = None) -> RankingResult:

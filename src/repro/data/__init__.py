@@ -5,6 +5,7 @@ from repro.data.corpus import (
     ILLEGITIMATE,
     LEGITIMATE,
     PharmacyCorpus,
+    QuarantinedSite,
 )
 from repro.data.loaders import crawl_snapshot, make_dataset, make_dataset_pair
 from repro.data.synthesis import (
@@ -20,6 +21,7 @@ __all__ = [
     "ILLEGITIMATE",
     "LEGITIMATE",
     "PharmacyCorpus",
+    "QuarantinedSite",
     "crawl_snapshot",
     "make_dataset",
     "make_dataset_pair",

@@ -16,10 +16,36 @@ from repro.data.synthesis import PharmacyRecord
 from repro.exceptions import DataGenerationError
 from repro.web.site import Website
 
-__all__ = ["PharmacyCorpus", "CorpusSummary", "LEGITIMATE", "ILLEGITIMATE"]
+__all__ = [
+    "PharmacyCorpus",
+    "CorpusSummary",
+    "QuarantinedSite",
+    "LEGITIMATE",
+    "ILLEGITIMATE",
+]
 
 LEGITIMATE = 1
 ILLEGITIMATE = 0
+
+
+@dataclass(frozen=True, slots=True)
+class QuarantinedSite:
+    """A domain excluded from the working set because its crawl failed
+    unrecoverably (dead seed, exhausted retries, open circuit).
+
+    Quarantine keeps acquisition failures *visible*: the corpus stays
+    aligned and usable, while operators can re-crawl or hand-review the
+    quarantined domains later instead of silently losing them.
+
+    Attributes:
+        domain: the pharmacy's registrable domain.
+        reason: human-readable failure description.
+        error_type: the exception class name that caused the exclusion.
+    """
+
+    domain: str
+    reason: str
+    error_type: str
 
 
 @dataclass(frozen=True, slots=True)
@@ -52,6 +78,8 @@ class PharmacyCorpus:
             network graph (the paper's future-work extension (a)).
         gray_sites: crawled "potentially legitimate" pharmacies
             (Section 6.1) — outside P, no labels, but rankable.
+        quarantined: domains dropped because their crawl failed
+            unrecoverably (see :class:`QuarantinedSite`).
     """
 
     def __init__(
@@ -61,6 +89,7 @@ class PharmacyCorpus:
         records: tuple[PharmacyRecord, ...],
         auxiliary_sites: tuple[Website, ...] = (),
         gray_sites: tuple[Website, ...] = (),
+        quarantined: tuple[QuarantinedSite, ...] = (),
     ) -> None:
         if len(sites) != len(records):
             raise DataGenerationError(
@@ -76,6 +105,7 @@ class PharmacyCorpus:
         self._records = records
         self._auxiliary_sites = auxiliary_sites
         self._gray_sites = gray_sites
+        self._quarantined = quarantined
         self._labels = np.array([r.label for r in records], dtype=np.int64)
         self._by_domain = {r.domain: i for i, r in enumerate(records)}
 
@@ -112,6 +142,11 @@ class PharmacyCorpus:
         return self._gray_sites
 
     @property
+    def quarantined(self) -> tuple[QuarantinedSite, ...]:
+        """Domains excluded because their crawl failed unrecoverably."""
+        return self._quarantined
+
+    @property
     def labels(self) -> np.ndarray:
         """Ground-truth labels (copy)."""
         return self._labels.copy()
@@ -145,6 +180,7 @@ class PharmacyCorpus:
             records=tuple(self._records[i] for i in idx),
             auxiliary_sites=self._auxiliary_sites,
             gray_sites=self._gray_sites,
+            quarantined=self._quarantined,
         )
 
     def summary(self) -> CorpusSummary:

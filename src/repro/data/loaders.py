@@ -4,44 +4,116 @@
 it generates the two snapshots (six "months" apart), crawls every
 pharmacy domain with the BFS crawler (max 200 pages, like the paper's
 crawler4j setup), and returns two :class:`PharmacyCorpus` objects.
+
+Acquisition is fault-tolerant by request: with ``quarantine=True`` a
+pharmacy whose crawl fails unrecoverably (dead seed after retries) is
+recorded as a :class:`~repro.data.corpus.QuarantinedSite` and dropped
+from the working set instead of aborting the whole run — the partial
+corpus stays aligned and usable, and the quarantine list tells
+operators what to re-crawl.
 """
 
 from __future__ import annotations
 
-from repro.data.corpus import PharmacyCorpus
+from repro.data.corpus import PharmacyCorpus, QuarantinedSite
 from repro.data.synthesis import (
     GeneratorConfig,
     SyntheticWebGenerator,
     WebSnapshot,
 )
+from repro.exceptions import CrawlError
 from repro.web.crawler import DEFAULT_MAX_PAGES, Crawler
+from repro.web.host import WebHost
+from repro.web.resilience.retry import RetryPolicy
+from repro.web.site import Website
 
 __all__ = ["crawl_snapshot", "make_dataset", "make_dataset_pair"]
 
 
 def crawl_snapshot(
-    snapshot: WebSnapshot, max_pages: int = DEFAULT_MAX_PAGES
+    snapshot: WebSnapshot,
+    max_pages: int = DEFAULT_MAX_PAGES,
+    host: WebHost | None = None,
+    retry_policy: RetryPolicy | None = None,
+    quarantine: bool = False,
 ) -> PharmacyCorpus:
-    """Crawl every pharmacy in ``snapshot`` into a labelled corpus."""
-    crawler = Crawler(snapshot.host, max_pages=max_pages)
-    sites = tuple(
-        crawler.crawl_site(f"https://www.{record.domain}/")
-        for record in snapshot.records
+    """Crawl every pharmacy in ``snapshot`` into a labelled corpus.
+
+    Args:
+        snapshot: the generated web snapshot to crawl.
+        max_pages: per-site page cap.
+        host: override the snapshot's host — e.g. a
+            :class:`~repro.web.resilience.FaultInjectingWebHost`
+            wrapping it, for soak tests and benchmarks.
+        retry_policy: retry transient fetch failures during
+            acquisition.
+        quarantine: when true, a pharmacy whose crawl raises
+            :class:`~repro.exceptions.CrawlError` is quarantined (site
+            *and* record dropped, failure recorded) instead of
+            propagating; auxiliary and gray sites are always
+            best-effort under this flag.
+
+    Returns:
+        The crawled corpus; check
+        :attr:`~repro.data.corpus.PharmacyCorpus.quarantined` for
+        acquisition losses.
+
+    Raises:
+        CrawlError: a pharmacy seed was unfetchable and ``quarantine``
+            is false.
+    """
+    crawler = Crawler(
+        host if host is not None else snapshot.host,
+        max_pages=max_pages,
+        retry_policy=retry_policy,
     )
-    auxiliary = tuple(
-        crawler.crawl_site(f"https://www.{domain}/")
-        for domain in snapshot.auxiliary_domains
-    )
-    gray = tuple(
-        crawler.crawl_site(f"https://www.{domain}/")
-        for domain in snapshot.gray_domains
-    )
+
+    sites = []
+    records = []
+    quarantined: list[QuarantinedSite] = []
+    for record in snapshot.records:
+        url = f"https://www.{record.domain}/"
+        if not quarantine:
+            sites.append(crawler.crawl_site(url))
+            records.append(record)
+            continue
+        try:
+            sites.append(crawler.crawl_site(url))
+            records.append(record)
+        except CrawlError as exc:
+            quarantined.append(
+                QuarantinedSite(
+                    domain=record.domain,
+                    reason=str(exc),
+                    error_type=type(exc).__name__,
+                )
+            )
+
+    def best_effort(domains: tuple[str, ...]) -> tuple[Website, ...]:
+        crawled = []
+        for domain in domains:
+            if not quarantine:
+                crawled.append(crawler.crawl_site(f"https://www.{domain}/"))
+                continue
+            try:
+                crawled.append(crawler.crawl_site(f"https://www.{domain}/"))
+            except CrawlError as exc:
+                quarantined.append(
+                    QuarantinedSite(
+                        domain=domain,
+                        reason=str(exc),
+                        error_type=type(exc).__name__,
+                    )
+                )
+        return tuple(crawled)
+
     return PharmacyCorpus(
         name=snapshot.name,
-        sites=sites,
-        records=snapshot.records,
-        auxiliary_sites=auxiliary,
-        gray_sites=gray,
+        sites=tuple(sites),
+        records=tuple(records),
+        auxiliary_sites=best_effort(snapshot.auxiliary_domains),
+        gray_sites=best_effort(snapshot.gray_domains),
+        quarantined=tuple(quarantined),
     )
 
 

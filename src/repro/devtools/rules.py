@@ -1,4 +1,4 @@
-"""Lint rules R001–R007, tailored to the repro codebase.
+"""Lint rules R001–R008, tailored to the repro codebase.
 
 Each rule inspects one parsed module (:class:`ModuleInfo`) and yields
 :class:`~repro.devtools.findings.Finding` objects.  The catalogue:
@@ -19,6 +19,10 @@ R005      no ``print()`` in library code (logging only; the CLI module
 R006      no float ``==``/``!=`` on probability/score values — compare
           with a tolerance
 R007      public functions must carry full type hints and a docstring
+R008      no bare or over-broad exception handlers (``except:``,
+          ``except Exception:``, ``except BaseException:``) in library
+          code — handlers that re-raise (cleanup blocks ending in a
+          bare ``raise``) and the ``devtools`` layer are exempt
 ========  ==============================================================
 
 Violations are suppressed line-by-line with ``# repro-lint:
@@ -692,6 +696,78 @@ def _check_r007(module: ModuleInfo) -> list[Finding]:
 
 
 # --------------------------------------------------------------------------
+# R008 — no bare or over-broad exception handlers
+# --------------------------------------------------------------------------
+
+#: Exception names too broad to catch in library code (R008).
+BROAD_EXCEPTION_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _broad_handler_name(handler: ast.ExceptHandler) -> str | None:
+    """The over-broad name a handler catches, or ``None`` when scoped.
+
+    A bare ``except:`` reports as ``"<bare>"``; tuple handlers are
+    broad when any member is.
+    """
+    if handler.type is None:
+        return "<bare>"
+
+    def name_of(node: ast.expr) -> str | None:
+        if isinstance(node, ast.Name) and node.id in BROAD_EXCEPTION_NAMES:
+            return node.id
+        if isinstance(node, ast.Attribute) and node.attr in BROAD_EXCEPTION_NAMES:
+            return node.attr
+        if isinstance(node, ast.Tuple):
+            for elt in node.elts:
+                found = name_of(elt)
+                if found is not None:
+                    return found
+        return None
+
+    return name_of(handler.type)
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body contains a bare ``raise``.
+
+    Cleanup handlers (undo side effects, then propagate) legitimately
+    catch everything; the bare ``raise`` is what distinguishes them
+    from handlers that *swallow* the error.
+    """
+    return any(
+        isinstance(node, ast.Raise) and node.exc is None
+        for node in ast.walk(handler)
+    )
+
+
+def _check_r008(module: ModuleInfo) -> list[Finding]:
+    if module.layer == "devtools":
+        # Analysis tooling legitimately firewalls arbitrary target-code
+        # failures (a crashing rule must not take the linter down).
+        return []
+    findings = []
+    for node, symbol in _walk_scoped(module.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        broad = _broad_handler_name(node)
+        if broad is None or _handler_reraises(node):
+            continue
+        what = "bare `except:`" if broad == "<bare>" else f"`except {broad}:`"
+        findings.append(
+            _finding(
+                module,
+                "R008",
+                node,
+                f"{what} swallows unrelated failures; catch the specific "
+                "exception types the block can actually raise (handlers "
+                "that re-raise are exempt)",
+                symbol,
+            )
+        )
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Registry
 # --------------------------------------------------------------------------
 
@@ -703,4 +779,5 @@ RULES: tuple[Rule, ...] = (
     Rule("R005", "no print() in library code", _check_r005),
     Rule("R006", "no exact float equality on score values", _check_r006),
     Rule("R007", "public functions need type hints and a docstring", _check_r007),
+    Rule("R008", "no bare or over-broad exception handlers", _check_r008),
 )

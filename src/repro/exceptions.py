@@ -23,6 +23,41 @@ class CrawlError(ReproError):
     """Raised when a crawl cannot start (e.g. unknown seed domain)."""
 
 
+class FetchError(ReproError):
+    """Base class for single-URL fetch failures raised by web hosts.
+
+    The resilience layer (:mod:`repro.web.resilience`) distinguishes
+    retryable from terminal failures through the two subclasses below;
+    plain hosts may keep returning ``None`` instead, which the crawler
+    treats as a terminal not-found.
+    """
+
+    def __init__(self, url: str, reason: str = "") -> None:
+        self.url = url
+        self.reason = reason
+        super().__init__(f"fetch failed for {url!r}" + (f": {reason}" if reason else ""))
+
+
+class TransientFetchError(FetchError):
+    """A fetch failure that may succeed on retry (timeout, 5xx, reset)."""
+
+
+class PermanentFetchError(FetchError):
+    """A fetch failure that retrying cannot fix (DNS dead, 4xx, blocked)."""
+
+
+class FetchTimeoutError(TransientFetchError):
+    """A fetch that exceeded its per-request time allowance."""
+
+
+class CircuitOpenError(TransientFetchError):
+    """Fail-fast rejection: the target's circuit breaker is open."""
+
+
+class CheckpointError(ReproError):
+    """Raised for unreadable or mismatched crawl checkpoints."""
+
+
 class DataGenerationError(ReproError):
     """Raised when synthetic-web generation parameters are inconsistent."""
 

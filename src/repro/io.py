@@ -27,7 +27,14 @@ from repro.exceptions import ValidationError
 from repro.web.page import WebPage
 from repro.web.site import Website
 
-__all__ = ["save_model", "load_model", "export_corpus", "import_corpus"]
+__all__ = [
+    "save_model",
+    "load_model",
+    "export_corpus",
+    "import_corpus",
+    "atomic_write",
+    "atomic_write_text",
+]
 
 _MAGIC = "repro-model"
 _FORMAT_VERSION = 1
@@ -42,11 +49,18 @@ class PersistenceError(ValidationError):
     """
 
 
-def _atomic_write(
+def atomic_write(
     path: str | Path, mode: str, writer: Callable[[IO[Any]], None], **open_kwargs: Any
 ) -> None:
     """Write via a sibling temp file + :func:`os.replace` (atomic on
-    POSIX within one filesystem); the temp file is removed on failure."""
+    POSIX within one filesystem); the temp file is removed on failure.
+
+    Args:
+        path: destination file.
+        mode: ``open`` mode for the temp file (e.g. ``"w"``, ``"wb"``).
+        writer: callback receiving the open temp-file handle.
+        open_kwargs: forwarded to :func:`open` (e.g. ``encoding``).
+    """
     target = Path(path)
     tmp = target.with_name(target.name + ".tmp")
     try:
@@ -58,6 +72,11 @@ def _atomic_write(
         raise
 
 
+def atomic_write_text(path: str | Path, content: str) -> None:
+    """Atomically replace ``path`` with UTF-8 ``content``."""
+    atomic_write(path, "w", lambda fh: fh.write(content), encoding="utf-8")
+
+
 def save_model(model: Any, path: str | Path) -> None:
     """Pickle a (fitted) model with a format header (atomically)."""
     payload = {
@@ -65,7 +84,7 @@ def save_model(model: Any, path: str | Path) -> None:
         "format_version": _FORMAT_VERSION,
         "model": model,
     }
-    _atomic_write(path, "wb", lambda fh: pickle.dump(payload, fh))
+    atomic_write(path, "wb", lambda fh: pickle.dump(payload, fh))
 
 
 def load_model(path: str | Path) -> Any:
@@ -124,7 +143,7 @@ def export_corpus(corpus: PharmacyCorpus, path: str | Path) -> None:
             }
             fh.write(json.dumps(row) + "\n")
 
-    _atomic_write(path, "w", write, encoding="utf-8")
+    atomic_write(path, "w", write, encoding="utf-8")
 
 
 def import_corpus(path: str | Path) -> PharmacyCorpus:

@@ -11,8 +11,9 @@ from __future__ import annotations
 
 from typing import Iterable, Protocol, runtime_checkable
 
+from repro.exceptions import InvalidURLError
 from repro.web.page import WebPage
-from repro.web.url import parse_url
+from repro.web.url import normalize_url
 
 __all__ = ["WebHost", "InMemoryWebHost"]
 
@@ -47,9 +48,7 @@ class InMemoryWebHost:
 
     @staticmethod
     def _key(url: str) -> str:
-        parsed = parse_url(url)
-        path = parsed.path.rstrip("/") or "/"
-        return f"{parsed.host}{path}"
+        return normalize_url(url)
 
     def add(self, page: WebPage) -> None:
         """Register a page; later additions with the same URL win."""
@@ -59,10 +58,13 @@ class InMemoryWebHost:
         """Return the page at ``url`` or ``None`` when unknown."""
         try:
             key = self._key(url)
-        except Exception:
+        except InvalidURLError:
             return None
         return self._pages.get(key)
 
     def urls(self) -> tuple[str, ...]:
-        """All page URLs currently hosted (normalized keys)."""
+        """The original ``url`` attribute of every hosted page.
+
+        Insertion order; these are the pages' as-added URLs, not the
+        normalized lookup keys."""
         return tuple(page.url for page in self._pages.values())

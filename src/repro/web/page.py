@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.exceptions import InvalidURLError
 from repro.web.url import endpoint, parse_url, resolve_url
 
 __all__ = ["WebPage"]
@@ -45,7 +46,7 @@ class WebPage:
         for href in self.links:
             try:
                 resolved.append(resolve_url(self.url, href))
-            except Exception:
+            except InvalidURLError:
                 continue
         return tuple(resolved)
 
@@ -73,5 +74,5 @@ def _safe_endpoint(url: str) -> str | None:
     """``endpoint`` that swallows malformed URLs (returns None)."""
     try:
         return endpoint(url)
-    except Exception:
+    except InvalidURLError:
         return None

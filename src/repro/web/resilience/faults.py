@@ -1,0 +1,277 @@
+"""Deterministic fault injection over any :class:`~repro.web.host.WebHost`.
+
+A :class:`FaultPlan` maps normalized URLs to :class:`FaultSpec`\\ s; a
+:class:`FaultInjectingWebHost` wraps a real host and *executes* the
+plan, keeping a per-URL attempt counter so stateful faults (transient
+failures that recover after k attempts, flapping domains) behave
+identically on every run.  Plans are either hand-built or drawn from a
+seed with :meth:`FaultPlan.seeded`, which makes every failure mode in
+tests and benchmarks reproducible down to the byte.
+
+Fault kinds:
+
+============  ==========================================================
+transient     raise :class:`TransientFetchError` on the first
+              ``recover_after`` attempts, then behave normally
+permanent     always raise :class:`PermanentFetchError`
+slow          advance the injected clock by ``delay`` seconds, then
+              serve the page (consumes crawl deadlines, never blocks)
+truncate      serve the page with only the first ``keep_fraction`` of
+              its text and links (a cut-off response body)
+garble        serve the page with its text deterministically mangled
+              (mojibake substitution) — parseable but low-signal
+flapping      alternate availability: ``period`` failing attempts, then
+              ``period`` working ones, repeating
+============  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Mapping
+
+import numpy as np
+
+from repro.exceptions import (
+    InvalidURLError,
+    PermanentFetchError,
+    TransientFetchError,
+    ValidationError,
+)
+from repro.web.host import WebHost
+from repro.web.page import WebPage
+from repro.web.resilience.clock import Clock
+from repro.web.url import normalize_url
+
+__all__ = ["FaultKind", "FaultSpec", "FaultPlan", "FaultInjectingWebHost"]
+
+
+class FaultKind(str, Enum):
+    """The failure modes a plan can inject."""
+
+    TRANSIENT = "transient"
+    PERMANENT = "permanent"
+    SLOW = "slow"
+    TRUNCATE = "truncate"
+    GARBLE = "garble"
+    FLAPPING = "flapping"
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """One URL's scripted misbehavior.
+
+    Attributes:
+        kind: the failure mode.
+        recover_after: for ``transient``: failing attempts before
+            recovery.
+        delay: for ``slow``: seconds the response takes.
+        keep_fraction: for ``truncate``: fraction of text/links kept.
+        period: for ``flapping``: length of each down/up phase in
+            attempts.
+    """
+
+    kind: FaultKind
+    recover_after: int = 1
+    delay: float = 5.0
+    keep_fraction: float = 0.25
+    period: int = 2
+
+    def __post_init__(self) -> None:
+        if self.recover_after < 1:
+            raise ValidationError(
+                f"recover_after must be >= 1, got {self.recover_after}"
+            )
+        if self.delay < 0:
+            raise ValidationError(f"delay must be >= 0, got {self.delay}")
+        if not 0.0 <= self.keep_fraction <= 1.0:
+            raise ValidationError(
+                f"keep_fraction must be in [0, 1], got {self.keep_fraction}"
+            )
+        if self.period < 1:
+            raise ValidationError(f"period must be >= 1, got {self.period}")
+
+
+class FaultPlan:
+    """A deterministic URL → fault script.
+
+    Args:
+        faults: mapping of URL (normalized on insertion) to spec.
+        seed: recorded provenance when built by :meth:`seeded`.
+    """
+
+    def __init__(
+        self, faults: Mapping[str, FaultSpec] | None = None, seed: int | None = None
+    ) -> None:
+        self._faults: dict[str, FaultSpec] = {}
+        self.seed = seed
+        for url, spec in (faults or {}).items():
+            self.add(url, spec)
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __contains__(self, url: str) -> bool:
+        return self._normalize(url) in self._faults
+
+    @staticmethod
+    def _normalize(url: str) -> str:
+        try:
+            return normalize_url(url)
+        except InvalidURLError:
+            return url
+
+    def add(self, url: str, spec: FaultSpec) -> None:
+        """Script ``spec`` for ``url`` (later additions win)."""
+        self._faults[self._normalize(url)] = spec
+
+    def spec_for(self, url: str) -> FaultSpec | None:
+        """The scripted fault for ``url``, or ``None`` (healthy)."""
+        return self._faults.get(self._normalize(url))
+
+    def items(self) -> tuple[tuple[str, FaultSpec], ...]:
+        """All ``(normalized_url, spec)`` pairs, insertion-ordered."""
+        return tuple(self._faults.items())
+
+    @classmethod
+    def seeded(
+        cls,
+        urls: Mapping[str, object] | tuple[str, ...] | list[str],
+        seed: int = 0,
+        transient_rate: float = 0.3,
+        permanent_rate: float = 0.0,
+        slow_rate: float = 0.0,
+        truncate_rate: float = 0.0,
+        flap_rate: float = 0.0,
+        max_recover_after: int = 2,
+        slow_delay: float = 5.0,
+        keep_fraction: float = 0.25,
+    ) -> "FaultPlan":
+        """Draw a plan over ``urls`` from a seed.
+
+        URLs are considered in sorted normalized order and each rolls
+        one uniform draw against the cumulative rate bands, so the plan
+        depends only on the URL set and the seed — not on iteration
+        order or prior RNG use.
+
+        Args:
+            urls: the URL universe (an iterable, or a host's
+                ``urls()``).
+            seed: RNG seed.
+            transient_rate: fraction of URLs failing transiently.
+            permanent_rate: fraction permanently dead.
+            slow_rate: fraction served slowly.
+            truncate_rate: fraction with cut-off bodies.
+            flap_rate: fraction flapping.
+            max_recover_after: transient failures recover after
+                ``1..max_recover_after`` attempts (drawn per URL).
+            slow_delay: seconds each slow response takes.
+            keep_fraction: body fraction kept on truncation.
+
+        Returns:
+            The drawn :class:`FaultPlan`.
+        """
+        total = transient_rate + permanent_rate + slow_rate + truncate_rate + flap_rate
+        if total > 1.0 + 1e-9:
+            raise ValidationError(f"fault rates sum to {total:.3f} > 1")
+        rng = np.random.default_rng(seed)
+        plan = cls(seed=seed)
+        normalized = sorted({cls._normalize(u) for u in urls})
+        for url in normalized:
+            roll = float(rng.random())
+            recover = int(rng.integers(1, max_recover_after + 1))
+            if roll < transient_rate:
+                plan.add(url, FaultSpec(FaultKind.TRANSIENT, recover_after=recover))
+            elif roll < transient_rate + permanent_rate:
+                plan.add(url, FaultSpec(FaultKind.PERMANENT))
+            elif roll < transient_rate + permanent_rate + slow_rate:
+                plan.add(url, FaultSpec(FaultKind.SLOW, delay=slow_delay))
+            elif roll < transient_rate + permanent_rate + slow_rate + truncate_rate:
+                plan.add(
+                    url, FaultSpec(FaultKind.TRUNCATE, keep_fraction=keep_fraction)
+                )
+            elif roll < total:
+                plan.add(url, FaultSpec(FaultKind.FLAPPING))
+        return plan
+
+
+def _garble(text: str) -> str:
+    """Deterministically mangle ``text`` (every third char → mojibake)."""
+    return "".join(
+        "�" if i % 3 == 2 else ch for i, ch in enumerate(text)
+    )
+
+
+class FaultInjectingWebHost:
+    """Wrap a host and execute a :class:`FaultPlan` against its callers.
+
+    Also counts fetch attempts per normalized URL (:attr:`attempts`),
+    which lets tests assert that checkpoint resume does not re-fetch
+    completed pages.
+
+    Args:
+        inner: the healthy host to degrade.
+        plan: the fault script.
+        clock: when given, slow responses advance this clock by their
+            ``delay`` (sharing the crawler's clock makes slow faults
+            consume the crawl deadline).
+    """
+
+    def __init__(
+        self, inner: WebHost, plan: FaultPlan, clock: Clock | None = None
+    ) -> None:
+        self._inner = inner
+        self._plan = plan
+        self._clock = clock
+        self._attempts: dict[str, int] = {}
+
+    @property
+    def attempts(self) -> Mapping[str, int]:
+        """Fetch attempts seen so far, keyed by normalized URL."""
+        return dict(self._attempts)
+
+    def total_attempts(self) -> int:
+        """Fetch attempts across all URLs."""
+        return sum(self._attempts.values())
+
+    def fetch(self, url: str) -> WebPage | None:
+        """Serve ``url`` through the fault plan.
+
+        Raises:
+            TransientFetchError: scripted transient/flapping downtime.
+            PermanentFetchError: scripted permanent failure.
+        """
+        key = FaultPlan._normalize(url)
+        attempt = self._attempts.get(key, 0) + 1
+        self._attempts[key] = attempt
+        spec = self._plan.spec_for(url)
+        if spec is None:
+            return self._inner.fetch(url)
+        if spec.kind is FaultKind.TRANSIENT:
+            if attempt <= spec.recover_after:
+                raise TransientFetchError(url, f"injected transient #{attempt}")
+            return self._inner.fetch(url)
+        if spec.kind is FaultKind.PERMANENT:
+            raise PermanentFetchError(url, "injected permanent failure")
+        if spec.kind is FaultKind.SLOW:
+            if self._clock is not None and hasattr(self._clock, "advance"):
+                self._clock.advance(spec.delay)
+            return self._inner.fetch(url)
+        if spec.kind is FaultKind.FLAPPING:
+            phase = (attempt - 1) // spec.period
+            if phase % 2 == 0:  # down first: resilient callers must retry
+                raise TransientFetchError(url, f"flapping (attempt {attempt})")
+            return self._inner.fetch(url)
+        page = self._inner.fetch(url)
+        if page is None:
+            return None
+        if spec.kind is FaultKind.TRUNCATE:
+            keep_text = int(len(page.text) * spec.keep_fraction)
+            keep_links = int(len(page.links) * spec.keep_fraction)
+            return WebPage(
+                url=page.url,
+                text=page.text[:keep_text],
+                links=page.links[:keep_links],
+            )
+        return WebPage(url=page.url, text=_garble(page.text), links=page.links)

@@ -1,0 +1,75 @@
+"""Retry policy: exponential backoff with seeded jitter.
+
+A :class:`RetryPolicy` is pure configuration — the crawler owns the RNG
+(one per crawl, seeded from the policy) so that identical crawls
+produce byte-identical retry schedules, stats, and reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """How many times to retry a transient fetch failure, and how long
+    to back off between attempts.
+
+    Attributes:
+        max_attempts: total tries per URL, including the first (>= 1).
+        base_delay: backoff before the first retry, in seconds.
+        multiplier: exponential growth factor per further retry.
+        max_delay: backoff ceiling in seconds.
+        jitter: symmetric jitter fraction in ``[0, 1]``; each delay is
+            scaled by ``1 + U(-jitter, +jitter)``.
+        seed: seed for the jitter RNG (drawn fresh per crawl).
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.5
+    multiplier: float = 2.0
+    max_delay: float = 30.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValidationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValidationError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValidationError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValidationError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def rng(self) -> np.random.Generator:
+        """A fresh jitter RNG; callers draw one per crawl."""
+        return np.random.default_rng(self.seed)
+
+    def backoff(self, retry_index: int, rng: np.random.Generator) -> float:
+        """Delay in seconds before retry number ``retry_index`` (1-based).
+
+        Args:
+            retry_index: 1 for the first retry, 2 for the second, ...
+            rng: the crawl's jitter RNG (consumed even when jitter is 0
+                so schedules stay aligned across configurations).
+
+        Returns:
+            ``min(max_delay, base_delay * multiplier**(retry_index-1))``
+            scaled by the jitter draw.
+        """
+        if retry_index < 1:
+            raise ValidationError(f"retry_index must be >= 1, got {retry_index}")
+        raw = min(self.max_delay, self.base_delay * self.multiplier ** (retry_index - 1))
+        scale = 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return raw * scale

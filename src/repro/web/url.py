@@ -21,7 +21,14 @@ from dataclasses import dataclass
 from repro.devtools.sanitizers import sanitizes
 from repro.exceptions import InvalidURLError
 
-__all__ = ["ParsedURL", "parse_url", "endpoint", "same_domain", "resolve_url"]
+__all__ = [
+    "ParsedURL",
+    "parse_url",
+    "endpoint",
+    "same_domain",
+    "resolve_url",
+    "normalize_url",
+]
 
 #: Multi-label public suffixes that need three labels for a registrable
 #: domain.  This is intentionally a small curated subset; the synthetic
@@ -139,6 +146,24 @@ def endpoint(url: str) -> str:
     'fda.gov'
     """
     return parse_url(url).registered_domain
+
+
+def normalize_url(url: str) -> str:
+    """Canonical ``host/path`` key for visited-set and cache lookups.
+
+    Scheme, port, query, and fragment are dropped by :func:`parse_url`;
+    a trailing slash is insignificant.  Two URLs that normalize equal
+    address the same resource for crawling purposes.
+
+    >>> normalize_url("HTTPS://www.Shop.com/a/?q=1")
+    'www.shop.com/a'
+
+    Raises:
+        InvalidURLError: when the URL does not parse.
+    """
+    parsed = parse_url(url)
+    path = parsed.path.rstrip("/") or "/"
+    return f"{parsed.host}{path}"
 
 
 def same_domain(url_a: str, url_b: str) -> bool:

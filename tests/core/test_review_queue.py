@@ -6,9 +6,24 @@ import pytest
 from repro.core.ranking import rank_pharmacies
 from repro.core.review_queue import (
     ReviewQueue,
+    degraded_domains,
     effort_to_find_fraction,
     simulate_review,
 )
+from repro.core.verifier import VerificationReport
+
+
+def report(domain, degraded=False, confidence=1.0):
+    return VerificationReport(
+        domain=domain,
+        predicted_label=1,
+        legitimacy_probability=0.5,
+        text_rank=0.0,
+        network_rank=0.0,
+        rank_score=0.0,
+        degraded=degraded,
+        confidence=confidence,
+    )
 
 
 def labelled_ranking(n_legit=3, n_illegit=9):
@@ -46,6 +61,43 @@ class TestReviewQueue:
         queue = ReviewQueue(labelled_ranking())
         with pytest.raises(ValueError):
             queue.next_batch(0)
+
+
+class TestDegradedDomains:
+    def test_least_confident_first(self):
+        reports = [
+            report("solid.com"),
+            report("shaky.net", degraded=True, confidence=0.7),
+            report("blind.org", degraded=True, confidence=0.1),
+        ]
+        assert degraded_domains(reports) == ("blind.org", "shaky.net")
+
+    def test_no_degraded_reports(self):
+        assert degraded_domains([report("solid.com")]) == ()
+
+
+class TestPriorityDomains:
+    def test_degraded_domains_jump_the_queue(self):
+        ranking = labelled_ranking(3, 9)
+        # Bump a legitimate (least suspicious, normally last) domain.
+        queue = ReviewQueue(ranking, priority_domains=("l0.com",))
+        assert queue.next_batch(1)[0].domain == "l0.com"
+
+    def test_order_preserved_within_groups(self):
+        ranking = labelled_ranking(3, 9)
+        plain = [e.domain for e in ReviewQueue(ranking).next_batch(12)]
+        bumped = ReviewQueue(ranking, priority_domains=("l0.com", "b3.net"))
+        got = [e.domain for e in bumped.next_batch(12)]
+        head, tail = got[:2], got[2:]
+        assert set(head) == {"l0.com", "b3.net"}
+        # The bumped pair keeps most-suspicious-first order...
+        assert head == [d for d in plain if d in {"l0.com", "b3.net"}]
+        # ...and so does everyone else.
+        assert tail == [d for d in plain if d not in {"l0.com", "b3.net"}]
+
+    def test_unknown_priority_domain_is_harmless(self):
+        queue = ReviewQueue(labelled_ranking(), priority_domains=("nope.xyz",))
+        assert len(queue) == 12
 
 
 class TestSimulateReview:

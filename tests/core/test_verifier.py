@@ -3,8 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.core.verifier import PharmacyVerifier
-from repro.exceptions import NotFittedError
+from repro.core.verifier import MIN_CONFIDENCE, PharmacyVerifier
+from repro.exceptions import NotFittedError, ValidationError
+from repro.web.crawler import CrawlStats
+from repro.web.site import Website
 
 
 @pytest.fixture(scope="module")
@@ -68,6 +70,66 @@ class TestPharmacyVerifier:
         verifier, corpus = fitted_verifier
         for report in verifier.verify_sites(list(corpus.sites[:5])):
             assert report.network_rank >= 0.0
+
+
+def partial_stats(domain):
+    return CrawlStats(
+        domain=domain,
+        pages_fetched=1,
+        pages_skipped=0,
+        fetch_failures=0,
+        permanent_failures=3,
+        failed_urls=(f"https://www.{domain}/gone",),
+    )
+
+
+class TestGracefulDegradation:
+    def test_partial_crawl_marks_degraded(self, fitted_verifier):
+        verifier, corpus = fitted_verifier
+        site = corpus.sites[1]
+        report = verifier.verify_site(site, crawl_stats=partial_stats(site.domain))
+        assert report.degraded
+        assert report.degradation_reasons == ("partial_crawl",)
+        assert report.confidence == pytest.approx(0.7)
+
+    def test_textless_site_gets_network_only_verdict(self, fitted_verifier):
+        verifier, _ = fitted_verifier
+        empty = Website(domain="ghost-pharmacy.com", pages=())
+        report = verifier.verify_site(empty)
+        assert report.degraded
+        assert "no_text" in report.degradation_reasons
+        assert report.legitimacy_probability == pytest.approx(0.5)
+        assert report.text_rank == 0.0
+        assert report.confidence >= MIN_CONFIDENCE
+
+    def test_batch_with_degraded_members_never_raises(self, fitted_verifier):
+        verifier, corpus = fitted_verifier
+        sites = [
+            corpus.sites[0],
+            Website(domain="ghost-pharmacy.com", pages=()),
+            corpus.sites[1],
+        ]
+        stats = [None, None, partial_stats(corpus.sites[1].domain)]
+        reports = verifier.verify_sites(sites, crawl_stats=stats)
+        assert len(reports) == 3
+        assert not reports[0].degraded
+        assert reports[1].degraded and reports[2].degraded
+
+    def test_confidence_floors_at_minimum(self, fitted_verifier):
+        verifier, _ = fitted_verifier
+        empty = Website(domain="ghost-pharmacy.com", pages=())
+        report = verifier.verify_site(
+            empty, crawl_stats=partial_stats("ghost-pharmacy.com")
+        )
+        # partial_crawl + no_text + no_network_signal stack up, but the
+        # report keeps a usable confidence.
+        assert len(report.degradation_reasons) == 3
+        assert report.confidence == pytest.approx(MIN_CONFIDENCE)
+
+    def test_misaligned_stats_rejected(self, fitted_verifier):
+        verifier, corpus = fitted_verifier
+        with pytest.raises(ValidationError):
+            verifier.verify_sites(list(corpus.sites[:2]), crawl_stats=[None])
 
 
 class TestThresholdTuning:

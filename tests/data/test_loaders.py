@@ -5,6 +5,14 @@ import pytest
 
 from repro.data.loaders import crawl_snapshot, make_dataset, make_dataset_pair
 from repro.data.synthesis import GeneratorConfig, SyntheticWebGenerator
+from repro.exceptions import CrawlError
+from repro.web.resilience import (
+    FaultInjectingWebHost,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+)
 
 
 CFG = GeneratorConfig(
@@ -52,6 +60,60 @@ class TestLoaders:
         corpus = crawl_snapshot(snapshot)
         assert corpus.domains == snapshot.domains
         assert np.array_equal(corpus.labels, snapshot.labels)
+
+
+class TestQuarantine:
+    def dead_seed_host(self, snapshot, n_dead=2):
+        """The snapshot host with the first ``n_dead`` pharmacy seeds
+        permanently down."""
+        dead = snapshot.domains[:n_dead]
+        plan = FaultPlan()
+        for domain in dead:
+            plan.add(f"https://www.{domain}/", FaultSpec(FaultKind.PERMANENT))
+        return FaultInjectingWebHost(snapshot.host, plan), dead
+
+    def test_dead_seed_aborts_without_quarantine(self):
+        snapshot = SyntheticWebGenerator(CFG).generate_snapshot()
+        host, _ = self.dead_seed_host(snapshot)
+        with pytest.raises(CrawlError):
+            crawl_snapshot(snapshot, host=host)
+
+    def test_quarantine_keeps_corpus_aligned_and_visible(self):
+        snapshot = SyntheticWebGenerator(CFG).generate_snapshot()
+        host, dead = self.dead_seed_host(snapshot)
+        corpus = crawl_snapshot(snapshot, host=host, quarantine=True)
+        assert len(corpus) == len(snapshot.domains) - 2
+        assert {q.domain for q in corpus.quarantined} == set(dead)
+        assert all(q.error_type == "CrawlError" for q in corpus.quarantined)
+        # Remaining sites stay aligned with their records.
+        assert all(
+            site.domain == record.domain
+            for site, record in zip(corpus.sites, corpus.records)
+        )
+        assert not set(dead) & set(corpus.domains)
+
+    def test_retry_policy_rescues_transient_seeds(self):
+        snapshot = SyntheticWebGenerator(CFG).generate_snapshot()
+        plan = FaultPlan()
+        for domain in snapshot.domains[:3]:
+            plan.add(
+                f"https://www.{domain}/",
+                FaultSpec(FaultKind.TRANSIENT, recover_after=1),
+            )
+        host = FaultInjectingWebHost(snapshot.host, plan)
+        corpus = crawl_snapshot(
+            snapshot,
+            host=host,
+            retry_policy=RetryPolicy(max_attempts=2),
+            quarantine=True,
+        )
+        assert corpus.quarantined == ()
+        assert len(corpus) == len(snapshot.domains)
+
+    def test_healthy_crawl_quarantines_nothing(self):
+        snapshot = SyntheticWebGenerator(CFG).generate_snapshot()
+        corpus = crawl_snapshot(snapshot, quarantine=True)
+        assert corpus.quarantined == ()
 
 
 class TestSnapshot2Size:

@@ -1,0 +1,28 @@
+"""Seeded R008 violation: bare and over-broad exception handlers."""
+
+from __future__ import annotations
+
+
+def swallow_everything(path: str) -> str:
+    """Read a file while hiding every possible failure."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return fh.read()
+    except Exception:
+        return ""
+
+
+def swallow_bare(value: str) -> int:
+    """Parse an int, bare-except style."""
+    try:
+        return int(value)
+    except:
+        return 0
+
+
+def swallow_in_tuple(value: str) -> float:
+    """Hide the broad member inside a tuple handler."""
+    try:
+        return float(value)
+    except (KeyError, BaseException):
+        return 0.0

@@ -20,6 +20,7 @@ RULE_FIXTURES = {
     "R005": VIOLATIONS / "r005_print.py",
     "R006": VIOLATIONS / "r006_float_eq.py",
     "R007": VIOLATIONS / "r007_api.py",
+    "R008": VIOLATIONS / "web" / "r008_except.py",
 }
 
 
@@ -168,6 +169,64 @@ class TestR007:
         )
         (finding,) = _run_rule("R007", "x.py", source)
         assert "Thing.go" in finding.message
+
+
+class TestR008:
+    def test_flags_except_exception(self):
+        source = (
+            "def f() -> int:\n"
+            "    '''doc'''\n"
+            "    try:\n        return 1\n"
+            "    except Exception:\n        return 0\n"
+        )
+        (finding,) = _run_rule("R008", "x.py", source)
+        assert "except Exception" in finding.message
+
+    def test_flags_bare_except(self):
+        source = (
+            "def f() -> int:\n"
+            "    '''doc'''\n"
+            "    try:\n        return 1\n"
+            "    except:\n        return 0\n"
+        )
+        assert _run_rule("R008", "x.py", source)
+
+    def test_reraising_handler_is_exempt(self):
+        source = (
+            "def f() -> None:\n"
+            "    '''doc'''\n"
+            "    try:\n        pass\n"
+            "    except BaseException:\n"
+            "        cleanup()\n        raise\n"
+        )
+        assert _run_rule("R008", "x.py", source) == []
+
+    def test_specific_handler_is_fine(self):
+        source = (
+            "def f(value: str) -> int:\n"
+            "    '''doc'''\n"
+            "    try:\n        return int(value)\n"
+            "    except ValueError:\n        return 0\n"
+        )
+        assert _run_rule("R008", "x.py", source) == []
+
+    def test_broad_tuple_member_flagged(self):
+        source = (
+            "def f() -> int:\n"
+            "    '''doc'''\n"
+            "    try:\n        return 1\n"
+            "    except (KeyError, Exception):\n        return 0\n"
+        )
+        assert _run_rule("R008", "x.py", source)
+
+    def test_devtools_layer_is_exempt(self):
+        source = (
+            "def f() -> int:\n"
+            "    '''doc'''\n"
+            "    try:\n        return 1\n"
+            "    except Exception:\n        return 0\n"
+        )
+        assert _run_rule("R008", "src/repro/devtools/lint.py", source) == []
 
 
 class TestSuppressions:

@@ -1,0 +1,300 @@
+"""Unit tests for the resilience substrate: clocks, retry policy,
+circuit breaker, fault injection, and crawl checkpoints."""
+
+import pytest
+
+from repro.exceptions import (
+    CheckpointError,
+    PermanentFetchError,
+    TransientFetchError,
+    ValidationError,
+)
+from repro.web.host import InMemoryWebHost
+from repro.web.page import WebPage
+from repro.web.resilience import (
+    CircuitBreaker,
+    CrawlCheckpoint,
+    FaultInjectingWebHost,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    SystemClock,
+    VirtualClock,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+def two_page_host():
+    return InMemoryWebHost(
+        [
+            WebPage(
+                url="https://www.a.com/",
+                text="front page text",
+                links=("https://www.a.com/p1", "https://www.a.com/p2"),
+            ),
+            WebPage(url="https://www.a.com/p1", text="inner page one"),
+        ]
+    )
+
+
+class TestVirtualClock:
+    def test_starts_at_origin(self):
+        assert VirtualClock().monotonic() == 0.0
+        assert VirtualClock(start=5.0).monotonic() == 5.0
+
+    def test_sleep_advances_without_blocking(self):
+        clock = VirtualClock()
+        clock.sleep(2.5)
+        clock.advance(1.5)
+        assert clock.monotonic() == pytest.approx(4.0)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValidationError):
+            VirtualClock().advance(-1.0)
+
+
+class TestSystemClock:
+    def test_monotonic_is_nondecreasing(self):
+        clock = SystemClock()
+        first = clock.monotonic()
+        assert clock.monotonic() >= first
+
+    def test_negative_sleep_is_clamped(self):
+        SystemClock().sleep(-10.0)  # must neither raise nor block
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValidationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValidationError):
+            RetryPolicy(jitter=1.5)
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=2.0, max_delay=3.0, jitter=0.0)
+        rng = policy.rng()
+        assert policy.backoff(1, rng) == pytest.approx(1.0)
+        assert policy.backoff(2, rng) == pytest.approx(2.0)
+        assert policy.backoff(3, rng) == pytest.approx(3.0)  # capped
+        assert policy.backoff(9, rng) == pytest.approx(3.0)
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.2)
+        rng = policy.rng()
+        for _ in range(50):
+            assert 0.8 <= policy.backoff(1, rng) <= 1.2
+
+    def test_same_seed_same_schedule(self):
+        policy = RetryPolicy(seed=42)
+        first = [policy.backoff(i, policy.rng()) for i in (1, 2)]
+        second = [policy.backoff(i, policy.rng()) for i in (1, 2)]
+        assert first == second
+
+    def test_retry_index_must_be_positive(self):
+        policy = RetryPolicy()
+        with pytest.raises(ValidationError):
+            policy.backoff(0, policy.rng())
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        for _ in range(3):
+            assert breaker.allow("a.com")
+            breaker.record_failure("a.com")
+        assert breaker.state("a.com") == "open"
+        assert not breaker.allow("a.com")
+
+    def test_cooldown_allows_half_open_probe(self):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_after=10.0, clock=clock)
+        breaker.record_failure("a.com")
+        assert not breaker.allow("a.com")
+        clock.advance(10.0)
+        assert breaker.allow("a.com")
+        assert breaker.state("a.com") == "half-open"
+
+    def test_probe_success_closes(self):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_after=1.0, clock=clock)
+        breaker.record_failure("a.com")
+        clock.advance(1.0)
+        assert breaker.allow("a.com")
+        breaker.record_success("a.com")
+        assert breaker.state("a.com") == "closed"
+        assert breaker.allow("a.com")
+
+    def test_probe_failure_reopens_immediately(self):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(failure_threshold=5, reset_after=1.0, clock=clock)
+        for _ in range(5):
+            breaker.record_failure("a.com")
+        clock.advance(1.0)
+        assert breaker.allow("a.com")  # half-open probe
+        breaker.record_failure("a.com")  # one failure re-opens
+        assert breaker.state("a.com") == "open"
+        assert not breaker.allow("a.com")
+
+    def test_keys_are_independent(self):
+        breaker = CircuitBreaker(failure_threshold=1)
+        breaker.record_failure("a.com")
+        assert not breaker.allow("a.com")
+        assert breaker.allow("b.com")
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValidationError):
+            CircuitBreaker(reset_after=-1.0)
+
+
+class TestFaultPlan:
+    def test_lookup_is_normalization_invariant(self):
+        plan = FaultPlan()
+        plan.add("https://www.a.com/p1/", FaultSpec(FaultKind.PERMANENT))
+        assert plan.spec_for("https://www.a.com/p1") is not None
+        assert "https://www.a.com/p1" in plan
+
+    def test_seeded_is_deterministic(self):
+        urls = [f"https://www.a.com/p{i}" for i in range(50)]
+        one = FaultPlan.seeded(urls, seed=3, transient_rate=0.4)
+        two = FaultPlan.seeded(list(reversed(urls)), seed=3, transient_rate=0.4)
+        assert one.items() == two.items()
+
+    def test_seeded_rate_one_hits_every_url(self):
+        urls = [f"https://www.a.com/p{i}" for i in range(10)]
+        plan = FaultPlan.seeded(urls, seed=0, transient_rate=1.0)
+        assert len(plan) == 10
+        assert all(spec.kind is FaultKind.TRANSIENT for _, spec in plan.items())
+
+    def test_rates_over_one_rejected(self):
+        with pytest.raises(ValidationError):
+            FaultPlan.seeded(["https://www.a.com/"], transient_rate=0.7,
+                             permanent_rate=0.7)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValidationError):
+            FaultSpec(FaultKind.TRANSIENT, recover_after=0)
+        with pytest.raises(ValidationError):
+            FaultSpec(FaultKind.TRUNCATE, keep_fraction=1.5)
+
+
+class TestFaultInjectingWebHost:
+    def test_transient_recovers_after_k_attempts(self):
+        plan = FaultPlan()
+        plan.add("https://www.a.com/", FaultSpec(FaultKind.TRANSIENT, recover_after=2))
+        host = FaultInjectingWebHost(two_page_host(), plan)
+        for _ in range(2):
+            with pytest.raises(TransientFetchError):
+                host.fetch("https://www.a.com/")
+        page = host.fetch("https://www.a.com/")
+        assert page is not None and page.text == "front page text"
+
+    def test_permanent_never_recovers(self):
+        plan = FaultPlan()
+        plan.add("https://www.a.com/", FaultSpec(FaultKind.PERMANENT))
+        host = FaultInjectingWebHost(two_page_host(), plan)
+        for _ in range(5):
+            with pytest.raises(PermanentFetchError):
+                host.fetch("https://www.a.com/")
+
+    def test_slow_advances_shared_clock(self):
+        clock = VirtualClock()
+        plan = FaultPlan()
+        plan.add("https://www.a.com/", FaultSpec(FaultKind.SLOW, delay=7.0))
+        host = FaultInjectingWebHost(two_page_host(), plan, clock=clock)
+        assert host.fetch("https://www.a.com/") is not None
+        assert clock.monotonic() == pytest.approx(7.0)
+
+    def test_truncate_cuts_text_and_links(self):
+        plan = FaultPlan()
+        plan.add(
+            "https://www.a.com/", FaultSpec(FaultKind.TRUNCATE, keep_fraction=0.5)
+        )
+        host = FaultInjectingWebHost(two_page_host(), plan)
+        page = host.fetch("https://www.a.com/")
+        assert page.text == "front p"  # half of 15 chars, floored
+        assert len(page.links) == 1
+
+    def test_garble_mangles_but_serves(self):
+        plan = FaultPlan()
+        plan.add("https://www.a.com/p1", FaultSpec(FaultKind.GARBLE))
+        host = FaultInjectingWebHost(two_page_host(), plan)
+        page = host.fetch("https://www.a.com/p1")
+        assert page is not None
+        assert page.text != "inner page one"
+        assert "�" in page.text
+
+    def test_flapping_alternates_phases(self):
+        plan = FaultPlan()
+        plan.add("https://www.a.com/", FaultSpec(FaultKind.FLAPPING, period=2))
+        host = FaultInjectingWebHost(two_page_host(), plan)
+        outcomes = []
+        for _ in range(6):
+            try:
+                outcomes.append(host.fetch("https://www.a.com/") is not None)
+            except TransientFetchError:
+                outcomes.append(False)
+        assert outcomes == [False, False, True, True, False, False]
+
+    def test_attempt_accounting(self):
+        host = FaultInjectingWebHost(two_page_host(), FaultPlan())
+        host.fetch("https://www.a.com/")
+        host.fetch("https://www.a.com/")
+        host.fetch("https://www.a.com/p1")
+        assert host.attempts["www.a.com/"] == 2
+        assert host.total_attempts() == 3
+
+
+class TestCheckpoint:
+    def make_checkpoint(self):
+        return CrawlCheckpoint(
+            seed_url="https://www.a.com/",
+            domain="a.com",
+            pages=(
+                WebPage(
+                    url="https://www.a.com/",
+                    text="root",
+                    links=("https://www.a.com/p1",),
+                ),
+            ),
+            visited=frozenset({"a.com/", "a.com/p1"}),
+            frontier=("https://www.a.com/p1",),
+            counters={"retries": 2},
+            failed_urls=("https://www.a.com/dead",),
+        )
+
+    def test_json_round_trip(self):
+        checkpoint = self.make_checkpoint()
+        restored = CrawlCheckpoint.from_json(checkpoint.to_json())
+        assert restored == checkpoint
+
+    def test_malformed_json_raises(self):
+        with pytest.raises(CheckpointError):
+            CrawlCheckpoint.from_json("{not json")
+
+    def test_wrong_format_raises(self):
+        with pytest.raises(CheckpointError):
+            CrawlCheckpoint.from_json('{"format": "something-else"}')
+
+    def test_version_skew_raises(self):
+        with pytest.raises(CheckpointError):
+            CrawlCheckpoint.from_json(
+                '{"format": "repro-crawl-checkpoint", "version": 99}'
+            )
+
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "crawl.ckpt"
+        checkpoint = self.make_checkpoint()
+        save_checkpoint(checkpoint, path)
+        assert load_checkpoint(path) == checkpoint
+        # The atomic write leaves no temp file behind.
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "absent.ckpt")

@@ -1,0 +1,311 @@
+"""Adversarial and fault-injection crawl tests.
+
+The resilient crawler against scripted failures (:class:`FaultPlan`),
+hostile page graphs (redirect loops, link farms), interruption
+(deadlines, fetch budgets), and checkpoint resume — plus the
+determinism soak: identical seeds and fault plans must yield
+byte-identical crawl statistics and verification reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.verifier import PharmacyVerifier
+from repro.exceptions import CheckpointError, CrawlError
+from repro.web.crawler import Crawler
+from repro.web.host import InMemoryWebHost
+from repro.web.page import WebPage
+from repro.web.resilience import (
+    CircuitBreaker,
+    FaultInjectingWebHost,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    VirtualClock,
+)
+
+
+def star_host(n_leaves=20, domain="a.com"):
+    """Front page linking to ``n_leaves`` leaf pages."""
+    root_links = tuple(f"https://www.{domain}/p{i}" for i in range(n_leaves))
+    pages = [WebPage(url=f"https://www.{domain}/", text="root", links=root_links)]
+    pages.extend(
+        WebPage(url=f"https://www.{domain}/p{i}", text=f"leaf {i}")
+        for i in range(n_leaves)
+    )
+    return InMemoryWebHost(pages)
+
+
+def page_urls(site):
+    return sorted(page.url for page in site.pages)
+
+
+class TestAdversarialGraphs:
+    def test_redirect_loop_terminates(self):
+        """A two-page loop whose links vary in scheme, case, trailing
+        slash, and query string must not revisit pages."""
+        pages = [
+            WebPage(
+                url="https://www.a.com/",
+                text="front",
+                links=("http://WWW.A.COM/loop/",),
+            ),
+            WebPage(
+                url="https://www.a.com/loop",
+                text="loop",
+                links=("HTTPS://www.a.com/?revisit=1", "https://www.a.com/loop"),
+            ),
+        ]
+        crawler = Crawler(InMemoryWebHost(pages))
+        site = crawler.crawl_site("https://www.a.com/")
+        assert site.n_pages == 2
+
+    def test_self_linking_page_fetched_once(self):
+        pages = [
+            WebPage(
+                url="https://www.a.com/",
+                text="narcissus",
+                links=("https://www.a.com/", "https://www.a.com/#top"),
+            )
+        ]
+        host = FaultInjectingWebHost(InMemoryWebHost(pages), FaultPlan())
+        Crawler(host).crawl_site("https://www.a.com/")
+        assert host.total_attempts() == 1
+
+    def test_link_farm_fan_out_capped(self):
+        """A page carrying far more links than the per-page cap bounds
+        frontier growth; the overflow is counted, not followed."""
+        farm_links = tuple(f"https://www.a.com/x{i}" for i in range(500))
+        pages = [WebPage(url="https://www.a.com/", text="farm", links=farm_links)]
+        pages.extend(
+            WebPage(url=f"https://www.a.com/x{i}", text=f"x{i}") for i in range(500)
+        )
+        crawler = Crawler(InMemoryWebHost(pages), max_links_per_page=100)
+        site = crawler.crawl_site("https://www.a.com/")
+        assert site.n_pages == 101  # root + exactly the capped fan-out
+        assert crawler.last_stats.links_rejected == 400
+
+
+class TestSeedRetry:
+    def plan(self):
+        plan = FaultPlan()
+        plan.add(
+            "https://www.a.com/", FaultSpec(FaultKind.TRANSIENT, recover_after=1)
+        )
+        return plan
+
+    def test_seed_down_then_up_needs_retry_policy(self):
+        host = FaultInjectingWebHost(star_host(3), self.plan())
+        with pytest.raises(CrawlError):
+            Crawler(host).crawl_site("https://www.a.com/")
+
+    def test_seed_recovers_on_second_attempt(self):
+        host = FaultInjectingWebHost(star_host(3), self.plan())
+        crawler = Crawler(host, retry_policy=RetryPolicy(max_attempts=2))
+        site = crawler.crawl_site("https://www.a.com/")
+        assert site.n_pages == 4
+        stats = crawler.last_stats
+        assert stats.retries >= 1
+        assert stats.transient_recovered >= 1
+        assert not stats.is_partial
+
+
+class TestGracefulDegradation:
+    def test_heavy_transient_plan_converges_to_fault_free(self):
+        """Acceptance: under a >=30% transient fault plan, a retried
+        crawl fetches exactly the fault-free page set."""
+        clean = Crawler(star_host()).crawl_site("https://www.a.com/")
+        plan = FaultPlan.seeded(
+            star_host().urls(), seed=5, transient_rate=0.35, max_recover_after=2
+        )
+        host = FaultInjectingWebHost(star_host(), plan)
+        crawler = Crawler(host, retry_policy=RetryPolicy(max_attempts=4))
+        site = crawler.crawl_site("https://www.a.com/")
+        assert page_urls(site) == page_urls(clean)
+        assert crawler.last_stats.transient_recovered >= 1
+
+    def test_permanent_failures_thin_not_abort(self):
+        plan = FaultPlan()
+        for i in (1, 4, 7):
+            plan.add(f"https://www.a.com/p{i}", FaultSpec(FaultKind.PERMANENT))
+        host = FaultInjectingWebHost(star_host(10), plan)
+        crawler = Crawler(host, retry_policy=RetryPolicy(max_attempts=2))
+        site = crawler.crawl_site("https://www.a.com/")
+        assert site.n_pages == 8  # root + 7 healthy leaves
+        stats = crawler.last_stats
+        assert stats.permanent_failures == 3
+        assert len(stats.failed_urls) == 3
+        assert stats.is_partial
+        assert stats.error_taxonomy()["permanent"] == 3
+
+    def test_circuit_breaker_fails_fast(self):
+        plan = FaultPlan()
+        for i in range(10):
+            plan.add(f"https://www.a.com/p{i}", FaultSpec(FaultKind.PERMANENT))
+        host = FaultInjectingWebHost(star_host(10), plan)
+        breaker = CircuitBreaker(failure_threshold=3, reset_after=1e9)
+        crawler = Crawler(host, breaker=breaker)
+        site = crawler.crawl_site("https://www.a.com/")
+        assert site.n_pages == 1
+        stats = crawler.last_stats
+        assert stats.circuit_rejections == 7  # 3 failures trip, 7 rejected
+        assert breaker.state("a.com") == "open"
+        # Rejected fetches never reached the host.
+        assert host.total_attempts() == 4
+
+    def test_truncated_and_garbled_pages_still_crawl(self):
+        plan = FaultPlan()
+        plan.add(
+            "https://www.a.com/p0",
+            FaultSpec(FaultKind.TRUNCATE, keep_fraction=0.0),
+        )
+        plan.add("https://www.a.com/p1", FaultSpec(FaultKind.GARBLE))
+        host = FaultInjectingWebHost(star_host(3), plan)
+        site = Crawler(host).crawl_site("https://www.a.com/")
+        assert site.n_pages == 4
+        truncated = next(p for p in site.pages if p.url.endswith("/p0"))
+        assert truncated.text == ""
+
+
+class TestDeterministicSoak:
+    def run_once(self):
+        base = star_host()
+        plan = FaultPlan.seeded(
+            base.urls(),
+            seed=9,
+            transient_rate=0.3,
+            permanent_rate=0.1,
+            truncate_rate=0.1,
+        )
+        host = FaultInjectingWebHost(base, plan)
+        crawler = Crawler(host, retry_policy=RetryPolicy(max_attempts=3, seed=2))
+        site = crawler.crawl_site("https://www.a.com/")
+        return site, crawler.last_stats, host.attempts
+
+    def test_same_seed_and_plan_identical_stats(self):
+        site1, stats1, attempts1 = self.run_once()
+        site2, stats2, attempts2 = self.run_once()
+        assert stats1 == stats2  # full dataclass equality, failed_urls included
+        assert page_urls(site1) == page_urls(site2)
+        assert attempts1 == attempts2
+
+
+class TestDeadlineAndBudget:
+    def test_slow_host_hits_deadline_gracefully(self):
+        clock = VirtualClock()
+        plan = FaultPlan()
+        for i in range(20):
+            plan.add(
+                f"https://www.a.com/p{i}", FaultSpec(FaultKind.SLOW, delay=5.0)
+            )
+        host = FaultInjectingWebHost(star_host(), plan, clock=clock)
+        crawler = Crawler(host, clock=clock, deadline=12.0)
+        site = crawler.crawl_site("https://www.a.com/")
+        assert crawler.last_stats.deadline_hit
+        assert crawler.last_stats.is_partial
+        assert 1 <= site.n_pages < 21
+
+    def test_fetch_budget_interrupts(self):
+        crawler = Crawler(star_host(), fetch_budget=5)
+        site = crawler.crawl_site("https://www.a.com/")
+        assert site.n_pages == 5
+        assert crawler.last_stats.budget_exhausted
+        assert crawler.last_stats.is_partial
+
+
+class TestCheckpointResume:
+    def test_resume_never_refetches_completed_pages(self, tmp_path):
+        """Acceptance: an interrupted crawl resumes from its checkpoint
+        and fetches only URLs the first pass did not complete."""
+        path = tmp_path / "crawl.ckpt"
+        host = FaultInjectingWebHost(star_host(), FaultPlan())
+        first = Crawler(
+            host, fetch_budget=6, checkpoint_path=path, checkpoint_every=2
+        )
+        partial = first.crawl_site("https://www.a.com/")
+        assert first.last_stats.budget_exhausted
+        assert path.exists()
+        fetched_first = {page.url for page in partial.pages}
+
+        resumed = Crawler(host, checkpoint_path=path)
+        site = resumed.crawl_site("https://www.a.com/")
+        assert resumed.last_stats.resumed
+        assert page_urls(site) == page_urls(
+            Crawler(star_host()).crawl_site("https://www.a.com/")
+        )
+        assert fetched_first <= {page.url for page in site.pages}
+        # Every URL was fetched exactly once across both passes.
+        assert set(host.attempts.values()) == {1}
+        # A completed crawl removes its checkpoint.
+        assert not path.exists()
+
+    def test_checkpoint_for_other_site_rejected(self, tmp_path):
+        path = tmp_path / "crawl.ckpt"
+        interrupted = Crawler(
+            star_host(), fetch_budget=3, checkpoint_path=path, checkpoint_every=1
+        )
+        interrupted.crawl_site("https://www.a.com/")
+        assert path.exists()
+        other = Crawler(star_host(domain="b.net"), checkpoint_path=path)
+        with pytest.raises(CheckpointError):
+            other.crawl_site("https://www.b.net/")
+
+
+@pytest.fixture(scope="module")
+def fitted_verifier(tiny_corpus):
+    train = tiny_corpus.subset(np.arange(0, len(tiny_corpus), 2))
+    return PharmacyVerifier(seed=0).fit(train)
+
+
+class TestDegradedVerification:
+    def faulted_host(self, snapshot, domain, seed=0):
+        """The snapshot host with permanent faults on the target
+        domain's inner pages (the seed stays up)."""
+        seed_url = f"https://www.{domain}/"
+        inner = [
+            url
+            for url in snapshot.host.urls()
+            if domain in url and url != seed_url
+        ]
+        plan = FaultPlan()
+        for url in inner:
+            plan.add(url, FaultSpec(FaultKind.PERMANENT))
+        return FaultInjectingWebHost(snapshot.host, plan)
+
+    def test_partial_crawl_degrades_but_reports(
+        self, fitted_verifier, tiny_snapshot_pair, tiny_corpus
+    ):
+        """Acceptance: the verifier on a partially acquired site returns
+        a degraded report instead of raising."""
+        snap1, _ = tiny_snapshot_pair
+        domain = tiny_corpus.domains[1]
+        host = self.faulted_host(snap1, domain)
+        report = fitted_verifier.verify_url(
+            host, f"https://www.{domain}/", retry_policy=RetryPolicy(max_attempts=2)
+        )
+        assert report.domain == domain
+        assert report.degraded
+        assert "partial_crawl" in report.degradation_reasons
+        assert report.confidence < 1.0
+
+    def test_degraded_reports_are_deterministic(
+        self, fitted_verifier, tiny_snapshot_pair, tiny_corpus
+    ):
+        snap1, _ = tiny_snapshot_pair
+        domain = tiny_corpus.domains[2]
+        reports = [
+            fitted_verifier.verify_url(
+                self.faulted_host(snap1, domain),
+                f"https://www.{domain}/",
+                retry_policy=RetryPolicy(max_attempts=2, seed=1),
+            )
+            for _ in range(2)
+        ]
+        assert reports[0] == reports[1]
+
+    def test_healthy_site_is_not_degraded(self, fitted_verifier, tiny_corpus):
+        report = fitted_verifier.verify_site(tiny_corpus.sites[3])
+        assert not report.degraded
+        assert report.confidence == pytest.approx(1.0)
+        assert report.degradation_reasons == ()
