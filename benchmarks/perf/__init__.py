@@ -1,0 +1,7 @@
+"""Performance benchmarks for the vectorized fast paths.
+
+Run ``python -m benchmarks.perf.harness`` (with ``src`` on
+``PYTHONPATH``) to time the vectorized kernels against the reference
+implementations in :mod:`repro.perf.reference` and emit
+``BENCH_perf.json``.
+"""

@@ -1,0 +1,248 @@
+"""Timed benchmarks: vectorized kernels vs their reference baselines.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf.harness [--scale small]
+        [--output benchmarks/output/BENCH_perf.json] [--repeat 3]
+
+Benchmarks:
+
+* ``ngg_build`` — per-document n-gram-graph construction, packed-key
+  numpy path vs the dict-loop :class:`ReferenceNGramGraph`.
+* ``ngg_batch_similarity`` — :meth:`ClassGraphModel.transform_graphs`
+  (one vectorized pass per class graph) vs per-document per-edge dict
+  probes.  Both sides start from pre-built graphs, so only the
+  similarity kernel is timed.
+* ``trustrank`` — the CSR SpMV power iteration vs the per-node Python
+  loop, on the corpus link graph and on a larger synthetic graph.
+* ``table12_end_to_end`` — full network-classification table
+  regeneration (wall time only; no pre-PR baseline is runnable here).
+
+Each result records ``wall_time_s`` (best of ``--repeat``),
+``baseline_wall_time_s`` and ``speedup``.  The harness exits non-zero
+if any benchmark raises, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.config import ExperimentConfig, preset
+from repro.data.loaders import make_dataset
+from repro.experiments import tables
+from repro.io import atomic_write_text
+from repro.network.construction import build_pharmacy_graph
+from repro.network.graph import DirectedGraph
+from repro.network.pagerank import personalized_pagerank
+from repro.perf.reference import (
+    ReferenceNGramGraph,
+    reference_personalized_pagerank,
+)
+from repro.text.ngram_graph import ClassGraphModel, NGramGraph
+
+#: Synthetic TrustRank graph size per scale: (nodes, edges).
+GRAPH_SIZES = {
+    "tiny": (400, 2_000),
+    "small": (2_000, 12_000),
+    "medium": (8_000, 60_000),
+}
+
+#: Documents used for the NGG benchmarks per scale.
+DOC_COUNTS = {"tiny": 20, "small": 60, "medium": 150}
+
+
+def _best_of(repeat: int, fn: Callable[[], Any]) -> tuple[float, Any]:
+    """(best wall seconds, last result) over ``repeat`` runs."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _corpus_documents(scale: str) -> tuple[list[str], list[int]]:
+    """Synthetic-corpus page texts + labels for the NGG benchmarks."""
+    corpus = make_dataset(preset(scale).generator)
+    n_docs = DOC_COUNTS[scale]
+    texts: list[str] = []
+    labels: list[int] = []
+    for site, label in zip(corpus.sites, corpus.labels):
+        texts.append(" ".join(page.text for page in site.pages))
+        labels.append(int(label))
+        if len(texts) >= n_docs:
+            break
+    return texts, labels
+
+
+def _synthetic_graph(n_nodes: int, n_edges: int, seed: int = 7) -> DirectedGraph:
+    rng = np.random.default_rng(seed)
+    graph = DirectedGraph()
+    names = [f"d{i}.example" for i in range(n_nodes)]
+    for name in names:
+        graph.add_node(name)
+    src = rng.integers(0, n_nodes, size=n_edges)
+    dst = rng.integers(0, n_nodes, size=n_edges)
+    for s, d in zip(src, dst):
+        if s != d:
+            graph.add_edge(names[s], names[d])
+    return graph
+
+
+def bench_ngg_build(scale: str, repeat: int) -> dict[str, Any]:
+    texts, _ = _corpus_documents(scale)
+
+    fast_s, fast_graphs = _best_of(
+        repeat, lambda: [NGramGraph.from_text(t) for t in texts]
+    )
+    base_s, base_graphs = _best_of(
+        repeat, lambda: [ReferenceNGramGraph.from_text(t) for t in texts]
+    )
+    # Sanity: identical edge sets, or the timing comparison is void.
+    assert dict(fast_graphs[0].edges()) == base_graphs[0].edges()
+    return _result("ngg_build", scale, fast_s, base_s, n_items=len(texts))
+
+
+def bench_ngg_batch_similarity(scale: str, repeat: int) -> dict[str, Any]:
+    texts, labels = _corpus_documents(scale)
+    model = ClassGraphModel(class_sample_fraction=1.0)
+    model.fit(texts, labels)
+    doc_graphs = [NGramGraph.from_text(t) for t in texts]
+    ref_docs = [ReferenceNGramGraph.from_text(t) for t in texts]
+    ref_class = {
+        label: ReferenceNGramGraph.merged(
+            [g for g, y in zip(ref_docs, labels) if y == label]
+        )
+        for label in model.classes
+    }
+
+    fast_s, fast_out = _best_of(repeat, lambda: model.transform_graphs(doc_graphs))
+
+    def baseline() -> np.ndarray:
+        out = np.zeros((len(ref_docs), 4 * len(ref_class)))
+        for k, label in enumerate(model.classes):
+            class_graph = ref_class[label]
+            for row, doc in enumerate(ref_docs):
+                out[row, 4 * k : 4 * k + 4] = doc.similarities(class_graph)
+        return out
+
+    base_s, base_out = _best_of(repeat, baseline)
+    np.testing.assert_allclose(fast_out, base_out, atol=1e-9)
+    return _result(
+        "ngg_batch_similarity", scale, fast_s, base_s, n_items=len(texts)
+    )
+
+
+def bench_trustrank(scale: str, repeat: int) -> list[dict[str, Any]]:
+    results = []
+    corpus = make_dataset(preset(scale).generator)
+    corpus_graph = build_pharmacy_graph(corpus.sites)
+    trusted = {
+        d: 1.0 for d, y in zip(corpus.domains, corpus.labels) if int(y) == 1
+    }
+    n_nodes, n_edges = GRAPH_SIZES[scale]
+    synthetic = _synthetic_graph(n_nodes, n_edges)
+    seeds = {f"d{i}.example": 1.0 for i in range(0, n_nodes, 10)}
+    for name, graph, teleport in (
+        ("trustrank", synthetic, seeds),
+        ("trustrank_corpus_graph", corpus_graph, trusted),
+    ):
+        fast_s, fast = _best_of(
+            repeat, lambda: personalized_pagerank(graph, teleport=teleport)
+        )
+        base_s, base = _best_of(
+            repeat,
+            lambda: reference_personalized_pagerank(graph, teleport=teleport),
+        )
+        worst = max(abs(fast[n] - base[n]) for n in base)
+        assert worst < 1e-9, f"rank divergence {worst}"
+        results.append(_result(name, scale, fast_s, base_s, n_items=len(graph)))
+    return results
+
+
+def bench_end_to_end(scale: str) -> dict[str, Any]:
+    tables.clear_cache()
+    config = ExperimentConfig(scale=scale)
+    start = time.perf_counter()
+    tables.table12(config)
+    elapsed = time.perf_counter() - start
+    return _result("table12_end_to_end", scale, elapsed, None, n_items=1)
+
+
+def _result(
+    op: str,
+    scale: str,
+    wall_time_s: float,
+    baseline_wall_time_s: float | None,
+    n_items: int,
+) -> dict[str, Any]:
+    speedup = (
+        baseline_wall_time_s / wall_time_s
+        if baseline_wall_time_s is not None and wall_time_s > 0
+        else None
+    )
+    return {
+        "op": op,
+        "scale": scale,
+        "n_items": n_items,
+        "wall_time_s": round(wall_time_s, 6),
+        "baseline_wall_time_s": (
+            round(baseline_wall_time_s, 6)
+            if baseline_wall_time_s is not None
+            else None
+        ),
+        "speedup": round(speedup, 2) if speedup is not None else None,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the vectorized kernels against the references."
+    )
+    parser.add_argument(
+        "--scale", default="small", choices=sorted(GRAPH_SIZES)
+    )
+    parser.add_argument(
+        "--output",
+        default=str(Path("benchmarks") / "output" / "BENCH_perf.json"),
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3, help="best-of-N timing rounds"
+    )
+    args = parser.parse_args(argv)
+
+    results: list[dict[str, Any]] = []
+    results.append(bench_ngg_build(args.scale, args.repeat))
+    results.append(bench_ngg_batch_similarity(args.scale, args.repeat))
+    results.extend(bench_trustrank(args.scale, args.repeat))
+    results.append(bench_end_to_end(args.scale))
+
+    payload = {
+        "benchmark": "repro-perf",
+        "scale": args.scale,
+        "repeat": args.repeat,
+        "results": results,
+    }
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    atomic_write_text(output, json.dumps(payload, indent=2) + "\n")
+    for row in results:
+        speedup = f"{row['speedup']:.2f}x" if row["speedup"] else "--"
+        print(
+            f"{row['op']:<24} {row['scale']:<7} "
+            f"{row['wall_time_s']:>10.4f}s  speedup {speedup}"
+        )
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

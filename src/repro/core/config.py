@@ -104,6 +104,14 @@ class ExperimentConfig:
         term_subsets: summary subsample sizes; ``None`` = all terms.
         cv_seed: fold-assignment RNG seed.
         summary_seed: term-subsample RNG seed.
+        jobs: worker processes for per-document feature extraction
+            (``repro.perf.parallel.resolve_jobs`` semantics: 1 serial,
+            0 = CPU count).  Excluded from equality/hash: results are
+            identical at any worker count, so cached sweeps are shared.
+        cache_dir: on-disk feature-cache directory
+            (:class:`repro.perf.cache.FeatureCache`); ``None`` disables
+            disk caching.  Excluded from equality/hash: the cache only
+            memoizes, it never changes values.
     """
 
     scale: str = "medium"
@@ -111,10 +119,14 @@ class ExperimentConfig:
     term_subsets: tuple[int | None, ...] = (100, 250, 1000, 2000, None)
     cv_seed: int = 0
     summary_seed: int = 0
+    jobs: int = field(default=1, compare=False)
+    cache_dir: str | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.n_folds < 2:
             raise ConfigurationError(f"n_folds must be >= 2, got {self.n_folds}")
+        if self.jobs < 0:
+            raise ConfigurationError(f"jobs must be >= 0, got {self.jobs}")
         preset(self.scale)  # validate eagerly
 
     @property

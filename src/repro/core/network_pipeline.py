@@ -22,8 +22,26 @@ from repro.exceptions import NotFittedError
 from repro.ml.base import BaseClassifier, clone
 from repro.ml.naive_bayes import GaussianNB
 from repro.network.features import NetworkFeatureExtractor, NetworkFeatureMatrix
+from repro.perf.cache import FeatureCache, content_fingerprint
 
 __all__ = ["NetworkClassificationPipeline"]
+
+
+def _link_fingerprint(sites: Sequence, auxiliary: Sequence) -> str:
+    """Fingerprint of the link structure the extractor consumes.
+
+    Network features depend only on domains and outbound links (page
+    text never enters the graph), so the fingerprint covers exactly
+    that — text edits reuse cached TrustRank features, link edits do
+    not.
+    """
+    parts: list[str] = []
+    for site in list(sites) + list(auxiliary):
+        parts.append(site.domain)
+        for page in site.pages:
+            parts.append(page.url)
+            parts.extend(page.links)
+    return content_fingerprint(parts)
 
 
 class NetworkClassificationPipeline:
@@ -45,6 +63,10 @@ class NetworkClassificationPipeline:
             (future-work extension (a)); when enabled, pharmacies gain
             in-links from portals, so the ``inlink_trust`` column is
             appended to the classifier features.
+        cache: optional on-disk feature cache; TrustRank feature
+            matrices are memoized per (link structure, fold seeds,
+            extractor params), so repeated folds/runs over the same
+            graph skip the propagation entirely.
     """
 
     def __init__(
@@ -55,6 +77,7 @@ class NetworkClassificationPipeline:
         feature_columns: Sequence[str] = ("outlink_trust",),
         include_anti_trustrank: bool = False,
         use_auxiliary_sites: bool = False,
+        cache: FeatureCache | None = None,
     ) -> None:
         self._corpus = corpus
         self._prototype = classifier or GaussianNB()
@@ -65,6 +88,7 @@ class NetworkClassificationPipeline:
         self._feature_columns = columns
         self._include_anti = include_anti_trustrank
         self._use_auxiliary = use_auxiliary_sites
+        self._cache = cache
         self._classifier: BaseClassifier | None = None
         self._features: NetworkFeatureMatrix | None = None
 
@@ -100,14 +124,31 @@ class NetworkClassificationPipeline:
             damping=self._damping,
             include_anti_trustrank=self._include_anti,
         )
-        self._features = extractor.extract(
-            self._corpus.sites,
-            trusted_domains=trusted,
-            distrusted_domains=distrusted if self._include_anti else (),
-            auxiliary_sites=(
-                self._corpus.auxiliary_sites if self._use_auxiliary else ()
-            ),
-        )
+        auxiliary = self._corpus.auxiliary_sites if self._use_auxiliary else ()
+
+        def extract() -> NetworkFeatureMatrix:
+            return extractor.extract(
+                self._corpus.sites,
+                trusted_domains=trusted,
+                distrusted_domains=distrusted if self._include_anti else (),
+                auxiliary_sites=auxiliary,
+            )
+
+        if self._cache is None:
+            self._features = extract()
+        else:
+            key = self._cache.key(
+                "network-features",
+                _link_fingerprint(self._corpus.sites, auxiliary),
+                {
+                    "trusted": sorted(trusted),
+                    "distrusted": sorted(distrusted) if self._include_anti else [],
+                    "damping": self._damping,
+                    "anti": self._include_anti,
+                    "auxiliary": self._use_auxiliary,
+                },
+            )
+            self._features = self._cache.get_or_compute(key, extract)
         X = self._select_columns(self._features)
         classifier = clone(self._prototype)
         classifier.fit(X[train_idx], labels[train_idx])

@@ -96,11 +96,23 @@ R005_EXEMPT_SUFFIXES = ("repro/cli.py",)
 #: Known architectural layers (directory names under the package root,
 #: plus the top-level ``cli`` module).
 LAYERS = frozenset(
-    {"text", "network", "ml", "web", "data", "core", "experiments", "cli", "devtools"}
+    {
+        "text",
+        "network",
+        "ml",
+        "web",
+        "data",
+        "core",
+        "experiments",
+        "cli",
+        "devtools",
+        "perf",
+    }
 )
 
 #: layer -> layers it must NOT import.  Absent layers are unrestricted.
 FORBIDDEN_IMPORTS: dict[str, frozenset[str]] = {
+    "perf": frozenset({"core", "experiments", "cli"}),
     "text": frozenset({"core", "experiments", "cli"}),
     "network": frozenset({"core", "experiments", "cli"}),
     "ml": frozenset({"core", "experiments", "cli"}),

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import logging
 import time
+from functools import partial
 from typing import Callable, Sequence
 
 import numpy as np
@@ -39,6 +40,8 @@ from repro.ml.naive_bayes import GaussianNB, MultinomialNB
 from repro.ml.sampling import SMOTE
 from repro.ml.svm import LinearSVC
 from repro.ml.tree import C45Tree
+from repro.perf.cache import FeatureCache, content_fingerprint
+from repro.perf.parallel import pmap
 from repro.text.ngram_graph import ClassGraphModel, NGramGraph
 from repro.text.summarization import Summarizer, SummaryDocument
 from repro.text.term_vector import TfidfVectorizer
@@ -93,14 +96,104 @@ def _dataset_pair(config: ExperimentConfig) -> tuple[PharmacyCorpus, PharmacyCor
     )  # type: ignore[return-value]
 
 
+#: Disk caches by directory (so stats aggregate across experiments).
+_DISK_CACHES: dict[str, FeatureCache] = {}
+
+
+def _feature_cache(config: ExperimentConfig) -> FeatureCache | None:
+    """The configured on-disk feature cache, or ``None`` when disabled."""
+    if not config.cache_dir:
+        return None
+    return _DISK_CACHES.setdefault(config.cache_dir, FeatureCache(config.cache_dir))
+
+
+def _corpus_fingerprint(config: ExperimentConfig, corpus: PharmacyCorpus) -> str:
+    """Content fingerprint of a corpus's text (for disk-cache keys)."""
+
+    def build() -> str:
+        parts: list[str] = []
+        for site in corpus.sites:
+            parts.append(site.domain)
+            for page in site.pages:
+                parts.append(page.url)
+                parts.append(page.text)
+        return content_fingerprint(parts)
+
+    return _cached(("fingerprint", config, corpus.name), build)  # type: ignore[return-value]
+
+
+def _summarize_site(site, max_terms: int | None, seed: int) -> SummaryDocument:
+    """Summarize one site (module-level so ``pmap`` can pickle it).
+
+    The summarizer's subsample RNG is keyed on (seed, domain), so
+    per-site calls are bit-identical to batch summarization at any
+    worker count.
+    """
+    return Summarizer(max_terms=max_terms, seed=seed).summarize_site(site)
+
+
 def _documents(
     config: ExperimentConfig, corpus: PharmacyCorpus, max_terms: int | None
 ) -> list[SummaryDocument]:
     def build() -> list[SummaryDocument]:
-        summarizer = Summarizer(max_terms=max_terms, seed=config.summary_seed)
-        return [summarizer.summarize_site(site) for site in corpus.sites]
+        def compute() -> list[SummaryDocument]:
+            summarize = partial(
+                _summarize_site, max_terms=max_terms, seed=config.summary_seed
+            )
+            return pmap(summarize, corpus.sites, jobs=config.jobs)
+
+        disk = _feature_cache(config)
+        if disk is None:
+            return compute()
+        key = disk.key(
+            "summary-docs",
+            _corpus_fingerprint(config, corpus),
+            {"max_terms": max_terms, "seed": config.summary_seed},
+        )
+        return disk.get_or_compute(key, compute)
 
     return _cached(("docs", config, corpus.name, max_terms), build)  # type: ignore[return-value]
+
+
+def _document_graphs(
+    config: ExperimentConfig,
+    corpus: PharmacyCorpus,
+    max_terms: int | None,
+    n: int = 4,
+    window: int = 4,
+) -> list[NGramGraph]:
+    """Per-document n-gram graphs of a corpus's summary documents.
+
+    Built once per (config, corpus, subset, n, window) — memoized
+    in-process and, when a cache directory is configured, on disk —
+    so CV folds and ablation suites share one construction pass.
+    """
+
+    def build() -> list[NGramGraph]:
+        docs = _documents(config, corpus, max_terms)
+
+        def compute() -> list[NGramGraph]:
+            make_graph = partial(NGramGraph.from_text, n=n, window=window)
+            return pmap(make_graph, [doc.text for doc in docs], jobs=config.jobs)
+
+        disk = _feature_cache(config)
+        if disk is None:
+            return compute()
+        key = disk.key(
+            "ngg-doc-graphs",
+            _corpus_fingerprint(config, corpus),
+            {
+                "max_terms": max_terms,
+                "seed": config.summary_seed,
+                "n": n,
+                "window": window,
+            },
+        )
+        return disk.get_or_compute(key, compute)
+
+    return _cached(
+        ("doc-graphs", config, corpus.name, max_terms, n, window), build
+    )  # type: ignore[return-value]
 
 
 # ---------------------------------------------------------------------------
@@ -199,10 +292,7 @@ def _ngg_sweep(
             n_splits=config.n_folds, shuffle=True, seed=config.cv_seed
         )
         for subset in config.term_subsets:
-            docs = _documents(config, corpus, subset)
-            graphs = [
-                NGramGraph.from_text(doc.text, n=4, window=4) for doc in docs
-            ]
+            graphs = _document_graphs(config, corpus, subset)
             for fold_no, (train_idx, test_idx) in enumerate(splitter.split(y)):
                 model = ClassGraphModel(seed=config.cv_seed + fold_no)
                 model.fit_graphs(
@@ -233,7 +323,9 @@ def _network_cv(config: ExperimentConfig) -> AggregatedReport:
         corpus, _ = _dataset_pair(config)
 
         def fit_predict(train_idx, test_idx):
-            pipeline = NetworkClassificationPipeline(corpus, GaussianNB())
+            pipeline = NetworkClassificationPipeline(
+                corpus, GaussianNB(), cache=_feature_cache(config)
+            )
             pipeline.fit(train_idx)
             return pipeline.predict(test_idx), pipeline.decision_scores(test_idx)
 
@@ -274,7 +366,7 @@ def _ranking_pairord(config: ExperimentConfig) -> dict[str, float]:
         domains = corpus.domains
         docs = _documents(config, corpus, 1000)
         tokens = [doc.tokens for doc in docs]
-        texts = [doc.text for doc in docs]
+        doc_graphs = _document_graphs(config, corpus, 1000)
         splitter = StratifiedKFold(
             n_splits=config.n_folds, shuffle=True, seed=config.cv_seed
         )
@@ -282,7 +374,9 @@ def _ranking_pairord(config: ExperimentConfig) -> dict[str, float]:
             "NBM": [], "SVM": [], "J48": [], "NGG": []
         }
         for fold_no, (train_idx, test_idx) in enumerate(splitter.split(y)):
-            network = NetworkClassificationPipeline(corpus, GaussianNB())
+            network = NetworkClassificationPipeline(
+                corpus, GaussianNB(), cache=_feature_cache(config)
+            )
             network.fit(train_idx)
             net_rank = network.network_rank(test_idx)
             test_domains = [domains[i] for i in test_idx]
@@ -308,14 +402,10 @@ def _ranking_pairord(config: ExperimentConfig) -> dict[str, float]:
                 accumulator[name].append(ranking.pairord)
 
             ngg = ClassGraphModel(seed=config.cv_seed + fold_no)
-            train_graphs = [
-                NGramGraph.from_text(texts[i], n=4, window=4) for i in train_idx
-            ]
-            ngg.fit_graphs(train_graphs, y[train_idx].tolist())
-            test_graphs = [
-                NGramGraph.from_text(texts[i], n=4, window=4) for i in test_idx
-            ]
-            features = ngg.transform_graphs(test_graphs)
+            ngg.fit_graphs(
+                [doc_graphs[i] for i in train_idx], y[train_idx].tolist()
+            )
+            features = ngg.transform_graphs([doc_graphs[i] for i in test_idx])
             classes = ngg.classes
             by_class = {
                 label: features[:, 4 * k : 4 * (k + 1)]

@@ -1,0 +1,25 @@
+"""Performance layer: caching, deterministic parallelism, references.
+
+The hot paths of the reproduction — N-Gram-Graph similarity
+(:mod:`repro.text.ngram_graph`) and TrustRank power iteration
+(:mod:`repro.network.pagerank`) — are vectorized in place; this package
+holds the supporting infrastructure:
+
+* :mod:`repro.perf.cache` — content-addressed on-disk feature
+  memoization, keyed by (content hash, extractor params, code version).
+* :mod:`repro.perf.parallel` — an order-stable, seed-safe process-pool
+  ``pmap`` with a serial fallback.
+* :mod:`repro.perf.reference` — the pre-optimization pure-Python
+  implementations, kept as the equivalence oracle for property tests
+  and as the baseline timed by ``benchmarks/perf``.
+"""
+
+from repro.perf.cache import FeatureCache, content_fingerprint
+from repro.perf.parallel import pmap, resolve_jobs
+
+__all__ = [
+    "FeatureCache",
+    "content_fingerprint",
+    "pmap",
+    "resolve_jobs",
+]

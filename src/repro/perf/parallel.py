@@ -1,0 +1,106 @@
+"""Deterministic parallel map.
+
+:func:`pmap` is the one parallelism primitive the repo uses: an
+order-stable map over a list of items that optionally fans work out to
+a process pool.  Its contract:
+
+* **Order-stable** — results come back in input order at any worker
+  count (``ProcessPoolExecutor.map`` preserves submission order, and
+  the serial path is a plain loop).
+* **Seed-safe** — ``pmap`` itself draws no randomness, and because
+  workers are separate processes, a seeded ``fn`` cannot be perturbed
+  by global RNG state mutated elsewhere in the parent.  Callables must
+  be deterministic *per item* (seeds threaded through arguments, never
+  taken from ambient state); under that discipline serial and parallel
+  runs are bit-for-bit identical.
+* **Degrades gracefully** — sandboxes and constrained CI runners may
+  forbid spawning processes; pool-creation failure falls back to the
+  serial path instead of erroring, so ``--jobs N`` is always safe to
+  pass.
+
+``fn`` must be picklable (a module-level function or
+:func:`functools.partial` over one), as must items and results.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.exceptions import ValidationError
+
+__all__ = ["pmap", "resolve_jobs"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Below this many items a pool costs more than it saves.
+_MIN_PARALLEL_ITEMS = 2
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value to a concrete worker count.
+
+    ``None`` and ``1`` mean serial; ``0`` means one worker per CPU;
+    any other positive integer is taken literally.
+
+    Raises:
+        ValidationError: for negative ``jobs``.
+    """
+    if jobs is None:
+        return 1
+    if jobs < 0:
+        raise ValidationError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _chunksize(n_items: int, n_workers: int) -> int:
+    # Large chunks amortize pickling; keep ~4 chunks per worker so the
+    # pool still load-balances uneven per-item costs.
+    return max(1, n_items // (n_workers * 4))
+
+
+def pmap(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: int | None = None,
+    chunksize: int | None = None,
+) -> list[R]:
+    """Map ``fn`` over ``items``, optionally across processes.
+
+    Args:
+        fn: picklable single-argument callable, deterministic per item.
+        items: the inputs (materialized to a list).
+        jobs: worker count per :func:`resolve_jobs` (``None``/1 serial,
+            0 = CPU count).
+        chunksize: items per inter-process batch; default is sized to
+            ~4 chunks per worker.
+
+    Returns:
+        ``[fn(x) for x in items]`` — same values, same order, at any
+        worker count.
+    """
+    materialized: Sequence[T] = list(items)
+    n_workers = resolve_jobs(jobs)
+    if n_workers <= 1 or len(materialized) < _MIN_PARALLEL_ITEMS:
+        return [fn(x) for x in materialized]
+    n_workers = min(n_workers, len(materialized))
+    if chunksize is None:
+        chunksize = _chunksize(len(materialized), n_workers)
+    try:
+        executor = ProcessPoolExecutor(max_workers=n_workers)
+    except (OSError, PermissionError, ValueError):
+        # No process support here (sandbox, exhausted fds, …): the
+        # serial path computes the identical result.
+        return [fn(x) for x in materialized]
+    try:
+        with executor:
+            return list(executor.map(fn, materialized, chunksize=chunksize))
+    except BrokenProcessPool:
+        # Workers were killed under us (container OOM/seccomp); the
+        # computation is pure, so redo it serially.
+        return [fn(x) for x in materialized]

@@ -1,0 +1,203 @@
+"""Pre-optimization reference implementations (the equivalence oracle).
+
+These are the pure-Python dict-loop kernels this repo shipped before
+the vectorized fast paths landed:
+
+* :class:`ReferenceNGramGraph` — the dict-backed character n-gram graph
+  with per-edge dict-probe similarities.
+* :func:`reference_personalized_pagerank` — the per-node Python-loop
+  power iteration.
+
+They exist for two reasons: the property tests in ``tests/perf`` assert
+the fast paths match them within tight tolerances on randomized inputs,
+and ``benchmarks/perf`` times them as the baseline that speedups are
+reported against.  They are *not* wired into any pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import GraphError, ValidationError
+from repro.network.graph import DirectedGraph
+
+__all__ = ["ReferenceNGramGraph", "reference_personalized_pagerank"]
+
+
+class ReferenceNGramGraph:
+    """Dict-backed n-gram graph (the pre-vectorization implementation).
+
+    Args:
+        n: n-gram rank.
+        window: neighbourhood distance Dwin.
+    """
+
+    def __init__(self, n: int = 4, window: int = 4) -> None:
+        if n < 1:
+            raise ValidationError(f"n-gram rank must be >= 1, got {n}")
+        if window < 1:
+            raise ValidationError(f"window must be >= 1, got {window}")
+        self._n = n
+        self._window = window
+        self._edges: dict[tuple[str, str], float] = {}
+
+    @classmethod
+    def from_text(
+        cls, text: str, n: int = 4, window: int = 4
+    ) -> "ReferenceNGramGraph":
+        """Build the n-gram graph of ``text`` with dict loops."""
+        graph = cls(n=n, window=window)
+        grams = graph._ngrams(text)
+        edges = graph._edges
+        for i, gram in enumerate(grams):
+            stop = min(i + window, len(grams) - 1)
+            for j in range(i + 1, stop + 1):
+                key = graph._edge_key(gram, grams[j])
+                edges[key] = edges.get(key, 0.0) + 1.0
+        return graph
+
+    def _ngrams(self, text: str) -> list[str]:
+        n = self._n
+        if len(text) < n:
+            return [text] if text else []
+        return [text[i : i + n] for i in range(len(text) - n + 1)]
+
+    @staticmethod
+    def _edge_key(a: str, b: str) -> tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    @property
+    def n_edges(self) -> int:
+        """|G| — the edge count used by the similarity formulas."""
+        return len(self._edges)
+
+    def edges(self) -> Mapping[tuple[str, str], float]:
+        """Read-only view of the weighted edge set."""
+        return dict(self._edges)
+
+    def merge(
+        self, other: "ReferenceNGramGraph", learning_rate: float = 0.5
+    ) -> None:
+        """In-place JInsect merge: ``w <- w + lr * (w_other - w)``."""
+        for key, w_other in other._edges.items():
+            w_self = self._edges.get(key)
+            if w_self is None:
+                self._edges[key] = learning_rate * w_other
+            else:
+                self._edges[key] = w_self + learning_rate * (w_other - w_self)
+
+    @classmethod
+    def merged(
+        cls,
+        graphs: Sequence["ReferenceNGramGraph"],
+        n: int = 4,
+        window: int = 4,
+    ) -> "ReferenceNGramGraph":
+        """Fold ``graphs`` together with learning rate 1/i."""
+        result = cls(n=n, window=window)
+        for i, graph in enumerate(graphs, start=1):
+            result.merge(graph, learning_rate=1.0 / i)
+        return result
+
+    def similarities(
+        self, other: "ReferenceNGramGraph"
+    ) -> tuple[float, float, float, float]:
+        """(CS, SS, VS, NVS) against ``other`` via per-edge dict probes."""
+        if not self._edges or not other._edges:
+            return (0.0, 0.0, 0.0, 0.0)
+        n_self = len(self._edges)
+        n_other = len(other._edges)
+        shared = 0
+        vs_total = 0.0
+        other_edges = other._edges
+        for key, w_self in self._edges.items():
+            w_other = other_edges.get(key)
+            if w_other is not None:
+                shared += 1
+                hi = max(w_self, w_other)
+                if hi > 0.0:
+                    vs_total += min(w_self, w_other) / hi
+        lo, hi = min(n_self, n_other), max(n_self, n_other)
+        cs = shared / lo
+        ss = lo / hi
+        vs = vs_total / hi
+        return (cs, ss, vs, vs / ss)
+
+
+def reference_personalized_pagerank(
+    graph: DirectedGraph,
+    teleport: Mapping[str, float] | None = None,
+    damping: float = 0.85,
+    max_iterations: int = 100,
+    tolerance: float = 1e-10,
+) -> dict[str, float]:
+    """Per-node-loop power iteration (the pre-CSR implementation).
+
+    Matches the semantics of
+    :func:`repro.network.pagerank.personalized_pagerank` (including the
+    :class:`~repro.exceptions.ValidationError` on negative teleport
+    mass) but spends one Python loop iteration per node per power step.
+
+    Raises:
+        GraphError: empty graph or all-zero teleport vector.
+        ValidationError: invalid damping or negative teleport entries.
+    """
+    if graph.n_nodes == 0:
+        raise GraphError("cannot rank an empty graph")
+    if not 0.0 < damping < 1.0:
+        raise ValidationError(f"damping must be in (0, 1), got {damping}")
+
+    nodes = list(graph.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+
+    if teleport is None:
+        t = np.full(n, 1.0 / n)
+    else:
+        t = np.zeros(n)
+        for node, mass in teleport.items():
+            if mass < 0.0:
+                raise ValidationError(
+                    f"teleport mass must be >= 0, got {mass} for {node!r}"
+                )
+            if node in index and mass > 0.0:
+                t[index[node]] = mass
+        total = t.sum()
+        if total <= 0.0:
+            raise GraphError("teleport vector has no mass on graph nodes")
+        t /= total
+
+    out_targets: list[np.ndarray] = []
+    out_weights: list[np.ndarray] = []
+    dangling = np.zeros(n, dtype=bool)
+    for i, node in enumerate(nodes):
+        succ = graph.successors(node)
+        if not succ:
+            dangling[i] = True
+            out_targets.append(np.empty(0, dtype=np.int64))
+            out_weights.append(np.empty(0))
+            continue
+        targets = np.fromiter((index[d] for d in succ), dtype=np.int64)
+        weights = np.fromiter(succ.values(), dtype=np.float64)
+        out_targets.append(targets)
+        out_weights.append(weights / weights.sum())
+
+    rank = t.copy()
+    for _ in range(max_iterations):
+        new_rank = np.zeros(n)
+        for i in range(n):
+            mass = rank[i]
+            if mass == 0.0:  # repro-lint: disable=R006 (exact sparsity skip)
+                continue
+            if dangling[i]:
+                new_rank += mass * t
+            else:
+                new_rank[out_targets[i]] += mass * out_weights[i]
+        new_rank = damping * new_rank + (1.0 - damping) * t
+        if np.abs(new_rank - rank).sum() < tolerance:
+            rank = new_rank
+            break
+        rank = new_rank
+    return {node: float(rank[index[node]]) for node in nodes}

@@ -1,4 +1,4 @@
-"""Character N-Gram Graphs (Section 4.1.2).
+"""Character N-Gram Graphs (Section 4.1.2), vectorized.
 
 An N-Gram Graph represents a text as a graph whose vertices are the
 character n-grams of the text and whose weighted edges record how often
@@ -8,6 +8,9 @@ Giannakopoulos et al.), we use rank ``Lmin = Lmax = 4`` and window
 
 The module provides:
 
+* :class:`NGramInterner` — a shared n-gram -> integer-id table; all
+  graphs in a process intern through one table so edge identities are
+  comparable across graphs without string hashing.
 * :class:`NGramGraph` — build from text, merge (for class graphs), and
   the four similarity measures the paper uses:
 
@@ -19,19 +22,30 @@ The module provides:
 * :class:`ClassGraphModel` — the classification featurizer of Figure 2:
   one merged graph per class; each document is mapped to the vector of
   its similarities against every class graph.
+
+Representation: an edge {a, b} is the packed ``int64`` key
+``(min(id_a, id_b) << 32) | max(id_a, id_b)``; a graph stores one
+sorted key array plus an aligned ``float64`` weight array.  Pairwise
+and batch similarities are sorted-array intersections
+(``searchsorted``/``intersect1d``) instead of per-edge dict probes; see
+:class:`repro.perf.reference.ReferenceNGramGraph` for the equivalent
+dict-loop semantics this implementation is property-tested against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from functools import partial
+from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.exceptions import NotFittedError, ValidationError
+from repro.perf.parallel import pmap
 
 __all__ = [
     "NGramGraph",
+    "NGramInterner",
     "GraphSimilarities",
     "ClassGraphModel",
     "SIMILARITY_NAMES",
@@ -39,6 +53,84 @@ __all__ = [
 
 #: Feature order produced by :class:`ClassGraphModel` per class graph.
 SIMILARITY_NAMES = ("cs", "ss", "vs", "nvs")
+
+#: Bits per interned id inside a packed edge key.
+_ID_BITS = 32
+_ID_MASK = np.int64((1 << _ID_BITS) - 1)
+#: Ids must stay below 2**31 so ``id << 32`` cannot overflow int64.
+_MAX_IDS = 1 << 31
+
+
+class NGramInterner:
+    """A process-wide n-gram -> integer-id table.
+
+    Interning maps every distinct n-gram string to a small dense
+    integer once, so graphs can store and intersect packed integer
+    edge keys instead of tuple-of-string dict keys.  Ids are assigned
+    in first-seen order and are only meaningful within the process —
+    :class:`NGramGraph` re-interns on unpickle, so artifacts stay
+    portable across processes (which :func:`repro.perf.parallel.pmap`
+    relies on).
+    """
+
+    __slots__ = ("_ids", "_grams")
+
+    def __init__(self) -> None:
+        self._ids: dict[str, int] = {}
+        self._grams: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self._grams)
+
+    def intern(self, gram: str) -> int:
+        """The id of ``gram``, assigning a fresh one if unseen."""
+        gram_id = self._ids.get(gram)
+        if gram_id is None:
+            gram_id = len(self._grams)
+            if gram_id >= _MAX_IDS:
+                raise ValidationError(
+                    f"n-gram interner exhausted ({_MAX_IDS} distinct grams)"
+                )
+            self._ids[gram] = gram_id
+            self._grams.append(gram)
+        return gram_id
+
+    def intern_many(self, grams: Sequence[str]) -> np.ndarray:
+        """Ids of ``grams`` (order-preserving), as an int64 array."""
+        ids = self._ids
+        table = self._grams
+        out = np.empty(len(grams), dtype=np.int64)
+        for i, gram in enumerate(grams):
+            gram_id = ids.get(gram)
+            if gram_id is None:
+                gram_id = len(table)
+                if gram_id >= _MAX_IDS:
+                    raise ValidationError(
+                        f"n-gram interner exhausted ({_MAX_IDS} distinct grams)"
+                    )
+                ids[gram] = gram_id
+                table.append(gram)
+            out[i] = gram_id
+        return out
+
+    def id_of(self, gram: str) -> int | None:
+        """The id of ``gram`` without assigning, or ``None`` if unseen."""
+        return self._ids.get(gram)
+
+    def gram(self, gram_id: int) -> str:
+        """The n-gram string of an assigned id."""
+        return self._grams[gram_id]
+
+
+#: Default table shared by every graph in the process.
+_SHARED_INTERNER = NGramInterner()
+
+
+def _pack_pairs(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Canonical (order-free) packed keys for id pairs ``(a[i], b[i])``."""
+    lo = np.minimum(a, b)
+    hi = np.maximum(a, b)
+    return (lo << _ID_BITS) | hi
 
 
 @dataclass(frozen=True, slots=True)
@@ -58,23 +150,33 @@ class GraphSimilarities:
 class NGramGraph:
     """A character n-gram graph.
 
-    Edges are undirected (stored with a canonical key ordering) and
+    Edges are undirected (stored under a canonical packed key) and
     weighted by co-occurrence counts within the sliding window; merged
     graphs carry averaged weights.
 
     Args:
         n: n-gram rank (paper: 4).
         window: neighbourhood distance Dwin (paper: 4).
+        interner: n-gram id table; defaults to the process-shared one.
     """
 
-    def __init__(self, n: int = 4, window: int = 4) -> None:
+    __slots__ = ("_n", "_window", "_interner", "_keys", "_weights")
+
+    def __init__(
+        self,
+        n: int = 4,
+        window: int = 4,
+        interner: NGramInterner | None = None,
+    ) -> None:
         if n < 1:
             raise ValidationError(f"n-gram rank must be >= 1, got {n}")
         if window < 1:
             raise ValidationError(f"window must be >= 1, got {window}")
         self._n = n
         self._window = window
-        self._edges: dict[tuple[str, str], float] = {}
+        self._interner = interner if interner is not None else _SHARED_INTERNER
+        self._keys: np.ndarray = np.empty(0, dtype=np.int64)
+        self._weights: np.ndarray = np.empty(0, dtype=np.float64)
 
     # -- construction ----------------------------------------------------
 
@@ -86,24 +188,37 @@ class NGramGraph:
         return graph
 
     def _add_text(self, text: str) -> None:
-        grams = self._ngrams(text)
+        ids = self._interner.intern_many(self._ngrams(text))
+        m = ids.size
         window = self._window
-        edges = self._edges
-        for i, gram in enumerate(grams):
-            stop = min(i + window, len(grams) - 1)
-            for j in range(i + 1, stop + 1):
-                key = self._edge_key(gram, grams[j])
-                edges[key] = edges.get(key, 0.0) + 1.0
+        # Pair (i, i+d) for every offset d up to the window, clipped at
+        # the last gram — identical to the sliding-window double loop.
+        parts = [_pack_pairs(ids[:-d], ids[d:]) for d in range(1, window + 1) if d < m]
+        if not parts:
+            return
+        packed = np.concatenate(parts) if len(parts) > 1 else parts[0]
+        keys, counts = np.unique(packed, return_counts=True)
+        if self._keys.size == 0:
+            self._keys = keys
+            self._weights = counts.astype(np.float64)
+            return
+        self._accumulate(keys, counts.astype(np.float64))
+
+    def _accumulate(self, keys: np.ndarray, weights: np.ndarray) -> None:
+        """Add ``weights`` onto this graph's edges (union of key sets)."""
+        union = np.union1d(self._keys, keys)
+        w = np.zeros(union.size, dtype=np.float64)
+        w[np.searchsorted(union, self._keys)] = self._weights
+        pos = np.searchsorted(union, keys)
+        w[pos] += weights
+        self._keys = union
+        self._weights = w
 
     def _ngrams(self, text: str) -> list[str]:
         n = self._n
         if len(text) < n:
             return [text] if text else []
         return [text[i : i + n] for i in range(len(text) - n + 1)]
-
-    @staticmethod
-    def _edge_key(a: str, b: str) -> tuple[str, str]:
-        return (a, b) if a <= b else (b, a)
 
     # -- introspection ---------------------------------------------------
 
@@ -120,18 +235,73 @@ class NGramGraph:
     @property
     def n_edges(self) -> int:
         """|G| — the edge count used by the similarity formulas."""
-        return len(self._edges)
+        return int(self._keys.size)
 
     def __len__(self) -> int:
-        return len(self._edges)
+        return int(self._keys.size)
 
     def edge_weight(self, a: str, b: str) -> float:
         """Weight of edge {a, b}, or 0.0 when absent."""
-        return self._edges.get(self._edge_key(a, b), 0.0)
+        id_a = self._interner.id_of(a)
+        id_b = self._interner.id_of(b)
+        if id_a is None or id_b is None or self._keys.size == 0:
+            return 0.0
+        key = np.int64(min(id_a, id_b)) << _ID_BITS | np.int64(max(id_a, id_b))
+        pos = int(np.searchsorted(self._keys, key))
+        if pos < self._keys.size and self._keys[pos] == key:
+            return float(self._weights[pos])
+        return 0.0
 
     def edges(self) -> Mapping[tuple[str, str], float]:
-        """Read-only view of the weighted edge set."""
-        return dict(self._edges)
+        """The weighted edge set keyed by lexicographic string pairs."""
+        interner = self._interner
+        out: dict[tuple[str, str], float] = {}
+        lo_ids = self._keys >> _ID_BITS
+        hi_ids = self._keys & _ID_MASK
+        for lo, hi, weight in zip(lo_ids, hi_ids, self._weights):
+            a = interner.gram(int(lo))
+            b = interner.gram(int(hi))
+            key = (a, b) if a <= b else (b, a)
+            out[key] = float(weight)
+        return out
+
+    # -- cross-interner alignment & pickling ------------------------------
+
+    def _aligned(self, interner: NGramInterner) -> tuple[np.ndarray, np.ndarray]:
+        """This graph's (keys, weights) expressed in ``interner``'s ids."""
+        if interner is self._interner or self._keys.size == 0:
+            return self._keys, self._weights
+        own = self._interner
+        lo = [own.gram(int(i)) for i in self._keys >> _ID_BITS]
+        hi = [own.gram(int(i)) for i in self._keys & _ID_MASK]
+        keys = _pack_pairs(interner.intern_many(lo), interner.intern_many(hi))
+        order = np.argsort(keys)
+        return keys[order], self._weights[order]
+
+    def __getstate__(self) -> dict[str, Any]:
+        own = self._interner
+        return {
+            "n": self._n,
+            "window": self._window,
+            "grams_lo": [own.gram(int(i)) for i in self._keys >> _ID_BITS],
+            "grams_hi": [own.gram(int(i)) for i in self._keys & _ID_MASK],
+            "weights": self._weights,
+        }
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        # Re-intern into the unpickling process's shared table: interner
+        # ids are process-local, gram strings are not.
+        self._n = state["n"]
+        self._window = state["window"]
+        self._interner = _SHARED_INTERNER
+        weights = np.asarray(state["weights"], dtype=np.float64)
+        keys = _pack_pairs(
+            self._interner.intern_many(state["grams_lo"]),
+            self._interner.intern_many(state["grams_hi"]),
+        )
+        order = np.argsort(keys)
+        self._keys = keys[order]
+        self._weights = weights[order]
 
     # -- merging (class graphs) -------------------------------------------
 
@@ -154,12 +324,22 @@ class NGramGraph:
             )
         if not 0.0 < learning_rate <= 1.0:
             raise ValidationError(f"learning_rate must be in (0, 1], got {learning_rate}")
-        for key, w_other in other._edges.items():
-            w_self = self._edges.get(key)
-            if w_self is None:
-                self._edges[key] = learning_rate * w_other
-            else:
-                self._edges[key] = w_self + learning_rate * (w_other - w_self)
+        other_keys, other_weights = other._aligned(self._interner)
+        if other_keys.size == 0:
+            return
+        if self._keys.size == 0:
+            self._keys = other_keys.copy()
+            self._weights = learning_rate * other_weights
+            return
+        union = np.union1d(self._keys, other_keys)
+        w = np.zeros(union.size, dtype=np.float64)
+        w[np.searchsorted(union, self._keys)] = self._weights
+        pos = np.searchsorted(union, other_keys)
+        known = np.isin(other_keys, self._keys, assume_unique=True)
+        w[pos[known]] += learning_rate * (other_weights[known] - w[pos[known]])
+        w[pos[~known]] = learning_rate * other_weights[~known]
+        self._keys = union
+        self._weights = w
 
     @classmethod
     def merged(
@@ -177,34 +357,40 @@ class NGramGraph:
 
     # -- similarities ------------------------------------------------------
 
+    def _intersection(
+        self, other: "NGramGraph"
+    ) -> tuple[int, float]:
+        """(shared edge count, VS numerator) against ``other``."""
+        other_keys, other_weights = other._aligned(self._interner)
+        _, idx_self, idx_other = np.intersect1d(
+            self._keys, other_keys, assume_unique=True, return_indices=True
+        )
+        if idx_self.size == 0:
+            return 0, 0.0
+        w_self = self._weights[idx_self]
+        w_other = other_weights[idx_other]
+        ratios = np.minimum(w_self, w_other) / np.maximum(w_self, w_other)
+        return int(idx_self.size), float(ratios.sum())
+
     def containment_similarity(self, other: "NGramGraph") -> float:
         """CS: fraction of this graph's edges present in ``other``."""
-        if not self._edges or not other._edges:
+        if self._keys.size == 0 or other._keys.size == 0:
             return 0.0
-        shared = sum(1 for key in self._edges if key in other._edges)
-        return shared / min(len(self._edges), len(other._edges))
+        shared, _ = self._intersection(other)
+        return shared / min(self.n_edges, other.n_edges)
 
     def size_similarity(self, other: "NGramGraph") -> float:
         """SS: ratio of the two edge-set sizes (min over max)."""
-        if not self._edges or not other._edges:
+        if self._keys.size == 0 or other._keys.size == 0:
             return 0.0
-        return min(len(self._edges), len(other._edges)) / max(
-            len(self._edges), len(other._edges)
-        )
+        return min(self.n_edges, other.n_edges) / max(self.n_edges, other.n_edges)
 
     def value_similarity(self, other: "NGramGraph") -> float:
         """VS: weight-aware containment."""
-        if not self._edges or not other._edges:
+        if self._keys.size == 0 or other._keys.size == 0:
             return 0.0
-        total = 0.0
-        other_edges = other._edges
-        for key, w_self in self._edges.items():
-            w_other = other_edges.get(key)
-            if w_other is not None:
-                hi = max(w_self, w_other)
-                if hi > 0.0:
-                    total += min(w_self, w_other) / hi
-        return total / max(len(self._edges), len(other._edges))
+        _, vs_total = self._intersection(other)
+        return vs_total / max(self.n_edges, other.n_edges)
 
     def normalized_value_similarity(self, other: "NGramGraph") -> float:
         """NVS = VS / SS (0 when SS is 0)."""
@@ -217,27 +403,64 @@ class NGramGraph:
         """All four similarity measures against ``other``.
 
         Equivalent to calling the four methods separately but computed
-        in a single pass over this graph's edge set.
+        from a single sorted-array intersection.
         """
-        if not self._edges or not other._edges:
+        if self._keys.size == 0 or other._keys.size == 0:
             return GraphSimilarities(cs=0.0, ss=0.0, vs=0.0, nvs=0.0)
-        n_self = len(self._edges)
-        n_other = len(other._edges)
-        shared = 0
-        vs_total = 0.0
-        other_edges = other._edges
-        for key, w_self in self._edges.items():
-            w_other = other_edges.get(key)
-            if w_other is not None:
-                shared += 1
-                hi = max(w_self, w_other)
-                if hi > 0.0:
-                    vs_total += min(w_self, w_other) / hi
-        lo, hi = min(n_self, n_other), max(n_self, n_other)
+        shared, vs_total = self._intersection(other)
+        lo = min(self.n_edges, other.n_edges)
+        hi = max(self.n_edges, other.n_edges)
         cs = shared / lo
         ss = lo / hi
         vs = vs_total / hi
         return GraphSimilarities(cs=cs, ss=ss, vs=vs, nvs=vs / ss)
+
+
+def _batch_similarities(
+    graphs: Sequence[NGramGraph], class_graph: NGramGraph
+) -> np.ndarray:
+    """(CS, SS, VS, NVS) of every document graph against one class graph.
+
+    One vectorized pass: all document edge keys are concatenated,
+    located in the class graph's sorted key array with a single
+    ``searchsorted``, and reduced per document with ``bincount`` —
+    no per-document Python loop over edges.
+
+    Returns:
+        Array of shape ``(len(graphs), 4)``.
+    """
+    n_docs = len(graphs)
+    out = np.zeros((n_docs, 4), dtype=np.float64)
+    m = class_graph.n_edges
+    if n_docs == 0 or m == 0:
+        return out
+    interner = class_graph._interner
+    aligned = [g._aligned(interner) for g in graphs]
+    sizes = np.fromiter((k.size for k, _ in aligned), dtype=np.int64, count=n_docs)
+    total = int(sizes.sum())
+    if total == 0:
+        return out
+    doc_of = np.repeat(np.arange(n_docs), sizes)
+    doc_keys = np.concatenate([k for k, _ in aligned if k.size])
+    doc_weights = np.concatenate([w for _, w in aligned if w.size])
+    class_keys = class_graph._keys
+    class_weights = class_graph._weights
+    pos = np.searchsorted(class_keys, doc_keys)
+    pos = np.minimum(pos, m - 1)
+    hit = class_keys[pos] == doc_keys
+    w_doc = doc_weights[hit]
+    w_class = class_weights[pos[hit]]
+    ratios = np.minimum(w_doc, w_class) / np.maximum(w_doc, w_class)
+    shared = np.bincount(doc_of[hit], minlength=n_docs).astype(np.float64)
+    vs_total = np.bincount(doc_of[hit], weights=ratios, minlength=n_docs)
+    lo = np.minimum(sizes, m).astype(np.float64)
+    hi = np.maximum(sizes, m).astype(np.float64)
+    nonempty = sizes > 0
+    np.divide(shared, lo, out=out[:, 0], where=nonempty)
+    np.divide(lo, hi, out=out[:, 1], where=nonempty)
+    np.divide(vs_total, hi, out=out[:, 2], where=nonempty)
+    np.divide(out[:, 2], out[:, 1], out=out[:, 3], where=out[:, 1] > 0.0)
+    return out
 
 
 class ClassGraphModel:
@@ -302,11 +525,22 @@ class ClassGraphModel:
         """Build one document graph with this model's (n, window)."""
         return NGramGraph.from_text(text, n=self._n, window=self._window)
 
+    def build_document_graphs(
+        self, texts: Iterable[str], jobs: int | None = None
+    ) -> list[NGramGraph]:
+        """Document graphs for ``texts``, optionally across processes.
+
+        Args:
+            texts: document texts.
+            jobs: worker count per
+                :func:`repro.perf.parallel.resolve_jobs`.
+        """
+        build = partial(NGramGraph.from_text, n=self._n, window=self._window)
+        return pmap(build, texts, jobs=jobs)
+
     def fit(self, texts: Sequence[str], labels: Sequence[int]) -> "ClassGraphModel":
         """Build per-class graphs from training texts."""
-        return self.fit_graphs(
-            [self.build_document_graph(t) for t in texts], labels
-        )
+        return self.fit_graphs(self.build_document_graphs(texts), labels)
 
     def fit_graphs(
         self, graphs: Sequence[NGramGraph], labels: Sequence[int]
@@ -347,27 +581,40 @@ class ClassGraphModel:
             Array of shape ``(len(texts), 4 * n_classes)`` with columns
             ordered per :meth:`feature_names`.
         """
-        return self.transform_graphs(
-            [self.build_document_graph(t) for t in texts]
-        )
+        return self.transform_graphs(self.build_document_graphs(texts))
+
+    def transform_many(
+        self, texts: Sequence[str], jobs: int | None = None
+    ) -> np.ndarray:
+        """Batch :meth:`transform`: graph building optionally parallel,
+        similarities computed in one vectorized pass per class graph.
+
+        Args:
+            texts: document texts.
+            jobs: worker count for graph construction per
+                :func:`repro.perf.parallel.resolve_jobs`.
+
+        Returns:
+            Same array :meth:`transform` returns.
+        """
+        return self.transform_graphs(self.build_document_graphs(texts, jobs=jobs))
 
     def transform_graphs(self, graphs: Sequence[NGramGraph]) -> np.ndarray:
         """Like :meth:`transform` but over pre-built document graphs."""
         class_graphs = self.class_graphs
         out = np.zeros((len(graphs), 4 * len(class_graphs)), dtype=np.float64)
-        for row, doc in enumerate(graphs):
-            col = 0
-            for label in self._class_order:
-                sims = doc.similarities(class_graphs[label])
-                out[row, col : col + 4] = sims.as_tuple()
-                col += 4
+        for k, label in enumerate(self._class_order):
+            out[:, 4 * k : 4 * k + 4] = _batch_similarities(
+                graphs, class_graphs[label]
+            )
         return out
 
     def fit_transform(
         self, texts: Sequence[str], labels: Sequence[int]
     ) -> np.ndarray:
         """``fit`` then ``transform`` the same texts."""
-        return self.fit(texts, labels).transform(texts)
+        graphs = self.build_document_graphs(texts)
+        return self.fit_graphs(graphs, labels).transform_graphs(graphs)
 
     def document_similarities(
         self, text: str

@@ -54,9 +54,13 @@ class Vocabulary:
         return self._index.get(term)
 
     def terms(self) -> tuple[str, ...]:
-        """Terms in column order."""
-        ordered = sorted(self._index.items(), key=lambda kv: kv[1])
-        return tuple(term for term, _ in ordered)
+        """Terms in column order.
+
+        Indices are assigned densely in insertion order, so the dict's
+        iteration order already *is* the column order — no per-call
+        sort needed.
+        """
+        return tuple(self._index)
 
 
 class TfidfVectorizer:

@@ -1,0 +1,80 @@
+"""Tests for the deterministic parallel map."""
+
+import random
+from functools import partial
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.perf.parallel import pmap, resolve_jobs
+
+
+def seeded_square(item: int, seed: int) -> tuple[int, float]:
+    """Deterministic per item: the seed is threaded, never ambient."""
+    rng = random.Random(seed * 1_000_003 + item)
+    return (item * item, rng.random())
+
+
+class TestResolveJobs:
+    def test_none_and_one_are_serial(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+
+    def test_zero_means_cpu_count(self):
+        assert resolve_jobs(0) >= 1
+
+    def test_explicit_count_passes_through(self):
+        assert resolve_jobs(7) == 7
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            resolve_jobs(-2)
+
+
+class TestPmap:
+    def test_serial_matches_list_comprehension(self):
+        fn = partial(seeded_square, seed=3)
+        items = list(range(25))
+        assert pmap(fn, items) == [fn(x) for x in items]
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_order_and_values_identical_at_any_worker_count(self, jobs):
+        fn = partial(seeded_square, seed=11)
+        items = list(range(40))
+        serial = [fn(x) for x in items]
+        assert pmap(fn, items, jobs=jobs) == serial
+
+    @pytest.mark.parametrize("jobs", [2, 3])
+    def test_explicit_chunksize(self, jobs):
+        fn = partial(seeded_square, seed=5)
+        items = list(range(17))
+        assert pmap(fn, items, jobs=jobs, chunksize=2) == [fn(x) for x in items]
+
+    def test_empty_input(self):
+        assert pmap(partial(seeded_square, seed=0), []) == []
+
+    def test_single_item_stays_serial(self):
+        assert pmap(partial(seeded_square, seed=0), [9]) == [
+            seeded_square(9, seed=0)
+        ]
+
+    def test_generator_input_materialized_in_order(self):
+        fn = partial(seeded_square, seed=2)
+        assert pmap(fn, (i for i in range(10)), jobs=2) == [
+            fn(x) for x in range(10)
+        ]
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ValidationError):
+            pmap(partial(seeded_square, seed=0), [1, 2, 3], jobs=-1)
+
+    def test_pool_creation_failure_falls_back_to_serial(self, monkeypatch):
+        import repro.perf.parallel as parallel
+
+        def broken_executor(*args, **kwargs):
+            raise OSError("no process support in this sandbox")
+
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", broken_executor)
+        fn = partial(seeded_square, seed=7)
+        items = list(range(12))
+        assert parallel.pmap(fn, items, jobs=4) == [fn(x) for x in items]

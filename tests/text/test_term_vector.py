@@ -22,6 +22,21 @@ class TestVocabulary:
         vocab = Vocabulary(["b", "a", "c"])
         assert vocab.terms() == ("b", "a", "c")
 
+    def test_terms_position_matches_index_of(self):
+        # Regression: terms() used to re-sort on every call; the fast
+        # path relies on insertion order *being* column order, so pin
+        # that invariant on a deliberately non-alphabetical vocabulary.
+        words = ["zebra", "mango", "apple", "quince", "fig"]
+        vocab = Vocabulary(words)
+        terms = vocab.terms()
+        assert list(terms) == words
+        for term in words:
+            idx = vocab.index_of(term)
+            assert idx is not None
+            assert terms[idx] == term
+        vocab.add("banana")  # late adds append, never reshuffle
+        assert vocab.terms() == (*words, "banana")
+
     def test_contains_and_len(self):
         vocab = Vocabulary(["a"])
         assert "a" in vocab
