@@ -15,12 +15,24 @@ Benchmarks:
   similarity kernel is timed.
 * ``trustrank`` — the CSR SpMV power iteration vs the per-node Python
   loop, on the corpus link graph and on a larger synthetic graph.
+* ``svm_fit`` — mini-batch Pegasos with vectorized margin/update steps
+  vs the per-sample sequential loop (:func:`reference_pegasos_fit`).
+* ``tree_fit`` — C4.5 argsort + cumulative-count split search vs the
+  per-threshold loop (:class:`ReferenceC45Tree`).
+* ``ensemble_select`` — prediction-tensor hill climbing with batched
+  AUC vs the per-candidate loop (:func:`reference_ensemble_select`).
+* ``smote`` — chunked-GEMM neighbour search + vectorized interpolation
+  vs the per-row loop (:class:`ReferenceSMOTE`).
+* ``sweep_end_to_end`` — the shared-matrix TF-IDF sweep scheduler vs
+  per-config refitting (``shared=False``), identical tables.
 * ``table12_end_to_end`` — full network-classification table
   regeneration (wall time only; no pre-PR baseline is runnable here).
 
 Each result records ``wall_time_s`` (best of ``--repeat``),
-``baseline_wall_time_s`` and ``speedup``.  The harness exits non-zero
-if any benchmark raises, so CI can gate on it.
+``baseline_wall_time_s`` and ``speedup``.  Every fast/baseline pair is
+asserted equivalent before timings are reported.  The harness exits
+non-zero if any benchmark raises — or, with ``--min-speedup X``, if
+any fast kernel's speedup falls below ``X`` — so CI can gate on it.
 """
 
 from __future__ import annotations
@@ -37,12 +49,21 @@ import numpy as np
 from repro.core.config import ExperimentConfig, preset
 from repro.data.loaders import make_dataset
 from repro.experiments import tables
+from repro.experiments.sweep import run_tfidf_sweep
 from repro.io import atomic_write_text
+from repro.ml.ensemble import EnsembleSelection, LibraryModel
+from repro.ml.sampling import SMOTE
+from repro.ml.svm import pegasos_weights
+from repro.ml.tree import C45Tree
 from repro.network.construction import build_pharmacy_graph
 from repro.network.graph import DirectedGraph
 from repro.network.pagerank import personalized_pagerank
 from repro.perf.reference import (
+    ReferenceC45Tree,
     ReferenceNGramGraph,
+    ReferenceSMOTE,
+    reference_ensemble_select,
+    reference_pegasos_fit,
     reference_personalized_pagerank,
 )
 from repro.text.ngram_graph import ClassGraphModel, NGramGraph
@@ -56,6 +77,25 @@ GRAPH_SIZES = {
 
 #: Documents used for the NGG benchmarks per scale.
 DOC_COUNTS = {"tiny": 20, "small": 60, "medium": 150}
+
+#: Pegasos benchmark size per scale: (rows, features).
+SVM_SIZES = {"tiny": (150, 100), "small": (400, 300), "medium": (1_200, 600)}
+
+#: C4.5 benchmark size per scale: (rows, features).
+TREE_SIZES = {"tiny": (200, 40), "small": (400, 80), "medium": (800, 120)}
+
+#: Ensemble-selection benchmark size per scale: (models, instances).
+#: Hill-climb sets are small by construction (30% of a training fold),
+#: so these match the regime the selection actually runs in.
+ENSEMBLE_SIZES = {"tiny": (16, 120), "small": (24, 200), "medium": (48, 300)}
+
+#: SMOTE benchmark size per scale: (minority rows, features).
+#: Minority blocks are small by definition — 12% of a training fold,
+#: i.e. ~120 rows even at the full paper scale (1459 sites / 3 folds).
+SMOTE_SIZES = {"tiny": (60, 30), "small": (120, 50), "medium": (250, 50)}
+
+#: Sweep benchmark term-subset truncations per scale.
+SWEEP_SUBSETS = {"tiny": (100, 250), "small": (100, 250, 1_000), "medium": (250, 1_000, 2_000)}
 
 
 def _best_of(repeat: int, fn: Callable[[], Any]) -> tuple[float, Any]:
@@ -168,6 +208,126 @@ def bench_trustrank(scale: str, repeat: int) -> list[dict[str, Any]]:
     return results
 
 
+def bench_svm_fit(scale: str, repeat: int) -> dict[str, Any]:
+    n_rows, n_features = SVM_SIZES[scale]
+    rng = np.random.default_rng(11)
+    X = rng.normal(size=(n_rows, n_features))
+    signs = np.where(rng.random(n_rows) < 0.5, -1.0, 1.0)
+    X += 0.5 * signs[:, None]  # make the classes separable-ish
+    sample_weight = np.ones(n_rows)
+    kwargs = dict(lam=1e-4, n_epochs=10, seed=0, batch_size=32)
+
+    fast_s, fast_w = _best_of(
+        repeat, lambda: pegasos_weights(X, signs, sample_weight, **kwargs)
+    )
+    base_s, base_w = _best_of(
+        repeat, lambda: reference_pegasos_fit(X, signs, sample_weight, **kwargs)
+    )
+    np.testing.assert_allclose(fast_w, base_w, atol=1e-9)
+    return _result("svm_fit", scale, fast_s, base_s, n_items=n_rows)
+
+
+def bench_tree_fit(scale: str, repeat: int) -> dict[str, Any]:
+    n_rows, n_features = TREE_SIZES[scale]
+    rng = np.random.default_rng(13)
+    X = rng.normal(size=(n_rows, n_features))
+    y = ((X[:, 0] + 0.5 * X[:, 1] - 0.25 * X[:, 2]) > 0.0).astype(np.int64)
+
+    def fit_fast() -> C45Tree:
+        return C45Tree(seed=0).fit(X, y)
+
+    def fit_base() -> ReferenceC45Tree:
+        return ReferenceC45Tree(seed=0).fit(X, y)
+
+    fast_s, fast_tree = _best_of(repeat, fit_fast)
+    base_s, base_tree = _best_of(repeat, fit_base)
+    assert fast_tree.to_text() == base_tree.to_text(), "trees diverge"
+    assert np.array_equal(fast_tree.predict(X), base_tree.predict(X))
+    return _result("tree_fit", scale, fast_s, base_s, n_items=n_rows)
+
+
+def bench_ensemble_select(scale: str, repeat: int) -> dict[str, Any]:
+    n_models, n_instances = ENSEMBLE_SIZES[scale]
+    rng = np.random.default_rng(17)
+    y = (rng.random(n_instances) < 0.3).astype(np.int64)
+    predictions: dict[str, np.ndarray] = {}
+    for m in range(n_models):
+        # Noisy probability estimates correlated with the labels.
+        noise = rng.normal(scale=0.35 + 0.02 * m, size=n_instances)
+        p = np.clip(0.65 * y + 0.2 + noise, 0.0, 1.0)
+        predictions[f"m{m:03d}"] = np.column_stack([1.0 - p, p])
+    indices = np.arange(n_instances)
+    library = [
+        LibraryModel(name=name, predict_proba=lambda idx, arr=arr: arr[idx])
+        for name, arr in predictions.items()
+    ]
+
+    def fast() -> dict[str, int]:
+        return EnsembleSelection().fit(library, indices, y).bag_counts
+
+    fast_s, fast_bag = _best_of(repeat, fast)
+    base_s, base_bag = _best_of(
+        repeat, lambda: reference_ensemble_select(predictions, y)
+    )
+    assert fast_bag == base_bag, f"bag mismatch: {fast_bag} vs {base_bag}"
+    return _result("ensemble_select", scale, fast_s, base_s, n_items=n_models)
+
+
+def bench_smote(scale: str, repeat: int) -> dict[str, Any]:
+    n_minority, n_features = SMOTE_SIZES[scale]
+    rng = np.random.default_rng(19)
+    X_min = rng.normal(size=(n_minority, n_features))
+    X_maj = rng.normal(loc=1.5, size=(3 * n_minority, n_features))
+    X = np.vstack([X_min, X_maj])
+    y = np.concatenate(
+        [np.ones(n_minority, dtype=np.int64), np.zeros(3 * n_minority, dtype=np.int64)]
+    )
+
+    fast_s, fast_out = _best_of(
+        repeat, lambda: SMOTE(seed=0).fit_resample(X, y)
+    )
+    base_s, base_out = _best_of(
+        repeat, lambda: ReferenceSMOTE(seed=0).fit_resample(X, y)
+    )
+    np.testing.assert_array_equal(fast_out[0], base_out[0])
+    np.testing.assert_array_equal(fast_out[1], base_out[1])
+    return _result("smote", scale, fast_s, base_s, n_items=n_minority)
+
+
+def bench_sweep(scale: str, repeat: int) -> dict[str, Any]:
+    """Shared-matrix sweep scheduling vs per-config refitting."""
+    corpus = make_dataset(preset(scale).generator)
+    labels = corpus.labels
+    tokens = [
+        " ".join(page.text for page in site.pages).split()
+        for site in corpus.sites
+    ]
+    tokens_by_subset = {
+        subset: [t[:subset] for t in tokens] for subset in SWEEP_SUBSETS[scale]
+    }
+
+    def run(shared: bool) -> dict:
+        return run_tfidf_sweep(
+            tables.TFIDF_ROSTER,
+            labels,
+            tokens_by_subset,
+            n_folds=3,
+            cv_seed=0,
+            shared=shared,
+        )
+
+    fast_s, fast_out = _best_of(repeat, lambda: run(True))
+    base_s, base_out = _best_of(repeat, lambda: run(False))
+    assert fast_out == base_out, "shared and per-config sweeps diverge"
+    return _result(
+        "sweep_end_to_end",
+        scale,
+        fast_s,
+        base_s,
+        n_items=len(tokens_by_subset) * len(tables.TFIDF_ROSTER),
+    )
+
+
 def bench_end_to_end(scale: str) -> dict[str, Any]:
     tables.clear_cache()
     config = ExperimentConfig(scale=scale)
@@ -217,12 +377,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--repeat", type=int, default=3, help="best-of-N timing rounds"
     )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="exit non-zero when any fast kernel's speedup over its "
+        "reference falls below this (0 disables the gate)",
+    )
     args = parser.parse_args(argv)
 
     results: list[dict[str, Any]] = []
     results.append(bench_ngg_build(args.scale, args.repeat))
     results.append(bench_ngg_batch_similarity(args.scale, args.repeat))
     results.extend(bench_trustrank(args.scale, args.repeat))
+    results.append(bench_svm_fit(args.scale, args.repeat))
+    results.append(bench_tree_fit(args.scale, args.repeat))
+    results.append(bench_ensemble_select(args.scale, args.repeat))
+    results.append(bench_smote(args.scale, args.repeat))
+    results.append(bench_sweep(args.scale, args.repeat))
     results.append(bench_end_to_end(args.scale))
 
     payload = {
@@ -241,6 +413,19 @@ def main(argv: list[str] | None = None) -> int:
             f"{row['wall_time_s']:>10.4f}s  speedup {speedup}"
         )
     print(f"wrote {output}")
+    if args.min_speedup > 0:
+        slow = [
+            row
+            for row in results
+            if row["speedup"] is not None and row["speedup"] < args.min_speedup
+        ]
+        for row in slow:
+            print(
+                f"GATE FAIL: {row['op']} speedup {row['speedup']:.2f}x "
+                f"< {args.min_speedup:.2f}x"
+            )
+        if slow:
+            return 1
     return 0
 
 

@@ -27,6 +27,7 @@ from repro.ml.model_selection import train_test_split
 from repro.ml.naive_bayes import GaussianNB, MultinomialNB
 from repro.ml.svm import LinearSVC
 from repro.ml.tree import C45Tree
+from repro.network.graph import DirectedGraph
 from repro.text.ngram_graph import ClassGraphModel
 from repro.text.summarization import SummaryDocument
 from repro.text.term_vector import TfidfVectorizer
@@ -54,6 +55,9 @@ class EnsembleClassificationPipeline:
         seed: RNG seed (hill-climbing split, member classifiers).
         include_ngg_member: include the (expensive) N-Gram-Graph MLP
             member; disable for quick runs.
+        graph: optional prebuilt link graph for the corpus, shared with
+            the network member (see
+            :class:`~repro.core.network_pipeline.NetworkClassificationPipeline`).
     """
 
     def __init__(
@@ -63,6 +67,7 @@ class EnsembleClassificationPipeline:
         hillclimb_fraction: float = 0.3,
         seed: int = 0,
         include_ngg_member: bool = True,
+        graph: DirectedGraph | None = None,
     ) -> None:
         if len(documents) != len(corpus):
             raise ValidationError(
@@ -73,6 +78,7 @@ class EnsembleClassificationPipeline:
         self._hillclimb_fraction = hillclimb_fraction
         self._seed = seed
         self._include_ngg = include_ngg_member
+        self._graph = graph
         self._selection: EnsembleSelection | None = None
         self._library: list[LibraryModel] = []
 
@@ -143,7 +149,9 @@ class EnsembleClassificationPipeline:
             )
 
         # Network member (NB on TrustRank scores, seeded on sub-train).
-        network = NetworkClassificationPipeline(self._corpus, GaussianNB())
+        network = NetworkClassificationPipeline(
+            self._corpus, GaussianNB(), graph=self._graph
+        )
         network.fit(sub_idx)
         library.append(
             LibraryModel(

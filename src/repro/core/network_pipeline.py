@@ -22,6 +22,7 @@ from repro.exceptions import NotFittedError
 from repro.ml.base import BaseClassifier, clone
 from repro.ml.naive_bayes import GaussianNB
 from repro.network.features import NetworkFeatureExtractor, NetworkFeatureMatrix
+from repro.network.graph import DirectedGraph
 from repro.perf.cache import FeatureCache, content_fingerprint
 
 __all__ = ["NetworkClassificationPipeline"]
@@ -67,6 +68,11 @@ class NetworkClassificationPipeline:
             matrices are memoized per (link structure, fold seeds,
             extractor params), so repeated folds/runs over the same
             graph skip the propagation entirely.
+        graph: optional prebuilt link graph for exactly this corpus
+            (plus its auxiliary sites when ``use_auxiliary_sites``).
+            The graph depends only on the working set, never on the
+            fold, so CV drivers build it once and share it across every
+            fold's pipeline; when omitted each :meth:`fit` builds it.
     """
 
     def __init__(
@@ -78,6 +84,7 @@ class NetworkClassificationPipeline:
         include_anti_trustrank: bool = False,
         use_auxiliary_sites: bool = False,
         cache: FeatureCache | None = None,
+        graph: DirectedGraph | None = None,
     ) -> None:
         self._corpus = corpus
         self._prototype = classifier or GaussianNB()
@@ -89,6 +96,7 @@ class NetworkClassificationPipeline:
         self._include_anti = include_anti_trustrank
         self._use_auxiliary = use_auxiliary_sites
         self._cache = cache
+        self._shared_graph = graph
         self._classifier: BaseClassifier | None = None
         self._features: NetworkFeatureMatrix | None = None
 
@@ -132,6 +140,7 @@ class NetworkClassificationPipeline:
                 trusted_domains=trusted,
                 distrusted_domains=distrusted if self._include_anti else (),
                 auxiliary_sites=auxiliary,
+                graph=self._shared_graph,
             )
 
         if self._cache is None:

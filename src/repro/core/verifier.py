@@ -244,9 +244,10 @@ class PharmacyVerifier:
             scorable = []
         by_index = {idx: pos for pos, idx in enumerate(scorable)}
 
+        network_ranks = self._network_ranks(sites)
         reports = []
         for i, site in enumerate(sites):
-            network_rank = self._network_rank(site)
+            network_rank = float(network_ranks[i])
             if i in by_index:
                 pos = by_index[i]
                 proba = float(probas[pos])
@@ -347,12 +348,33 @@ class PharmacyVerifier:
         mean trust of its outbound endpoints, which generalizes to
         sites outside the training graph.
         """
+        return float(self._network_ranks([site])[0])
+
+    def _network_ranks(self, sites: Sequence[Website]) -> np.ndarray:
+        """Batched network ranks: one segmented mean over all endpoints.
+
+        Endpoint trust lookups of every site are concatenated into one
+        flat array and per-site sums come from a single
+        ``np.add.reduceat`` over the segment starts; sites without
+        outbound endpoints keep an outlink term of exactly 0.0.
+        """
         assert self._trust_scores is not None
-        own = self._trust_scores.get(site.domain, 0.0)
-        endpoints = site.outbound_endpoints()
-        outlink = (
-            float(np.mean([self._trust_scores.get(e, 0.0) for e in endpoints]))
-            if endpoints
-            else 0.0
+        trust = self._trust_scores.get
+        own = np.array([trust(site.domain, 0.0) for site in sites], dtype=np.float64)
+        per_site = [site.outbound_endpoints() for site in sites]
+        lengths = np.array([len(endpoints) for endpoints in per_site], dtype=np.int64)
+        total = int(lengths.sum())
+        if total == 0:
+            return own
+        flat = np.fromiter(
+            (trust(e, 0.0) for endpoints in per_site for e in endpoints),
+            dtype=np.float64,
+            count=total,
         )
+        # reduceat mishandles zero-length segments (it reads the next
+        # one), so reduce only over the non-empty sites' offsets.
+        nonzero = lengths > 0
+        offsets = np.concatenate(([0], np.cumsum(lengths[nonzero])[:-1]))
+        outlink = np.zeros(len(per_site), dtype=np.float64)
+        outlink[nonzero] = np.add.reduceat(flat, offsets) / lengths[nonzero]
         return own + outlink

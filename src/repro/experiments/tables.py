@@ -32,7 +32,8 @@ from repro.core.ranking import rank_pharmacies
 from repro.data.corpus import PharmacyCorpus
 from repro.data.loaders import make_dataset_pair
 from repro.experiments.results import TableResult, term_subset_header
-from repro.ml.base import BaseClassifier
+from repro.experiments.sweep import SweepEntry, run_tfidf_sweep
+from repro.ml.base import BaseClassifier, clone
 from repro.ml.metrics import BinaryClassificationReport, classification_report
 from repro.ml.mlp import MLPClassifier
 from repro.ml.model_selection import StratifiedKFold
@@ -40,6 +41,8 @@ from repro.ml.naive_bayes import GaussianNB, MultinomialNB
 from repro.ml.sampling import SMOTE
 from repro.ml.svm import LinearSVC
 from repro.ml.tree import C45Tree
+from repro.network.construction import build_pharmacy_graph
+from repro.network.graph import DirectedGraph
 from repro.perf.cache import FeatureCache, content_fingerprint
 from repro.perf.parallel import pmap
 from repro.text.ngram_graph import ClassGraphModel, NGramGraph
@@ -197,28 +200,26 @@ def _document_graphs(
 
 
 # ---------------------------------------------------------------------------
-# Classifier rosters (name, sampling label, prototype factory, sampler factory)
+# Classifier rosters: picklable unfitted prototypes, cloned per fit (so the
+# sweep scheduler can ship them to pmap worker processes).
 # ---------------------------------------------------------------------------
 
-TFIDF_ROSTER: tuple[tuple[str, str, Callable[[], BaseClassifier], Callable[[], object] | None], ...] = (
-    ("NBM", "NO", lambda: MultinomialNB(), None),
-    ("SVM", "NO", lambda: LinearSVC(seed=0), None),
-    (
-        "J48",
-        "SMOTE",
-        lambda: C45Tree(max_candidate_features=400),
-        lambda: SMOTE(seed=0),
+TFIDF_ROSTER: tuple[SweepEntry, ...] = (
+    SweepEntry("NBM", "NO", MultinomialNB()),
+    SweepEntry("SVM", "NO", LinearSVC(seed=0)),
+    SweepEntry(
+        "J48", "SMOTE", C45Tree(max_candidate_features=400), SMOTE(seed=0)
     ),
 )
 
-NGG_ROSTER: tuple[tuple[str, str, Callable[[], BaseClassifier]], ...] = (
-    ("NB", "NO", lambda: GaussianNB()),
+NGG_ROSTER: tuple[tuple[str, str, BaseClassifier], ...] = (
+    ("NB", "NO", GaussianNB()),
     # No loss re-weighting: the paper's SMO runs on the natural
     # distribution here, which yields its characteristic NGG-SVM shape
     # (near-perfect illegitimate recall, weaker legitimate recall).
-    ("SVM", "NO", lambda: LinearSVC(class_weight=None, seed=0)),
-    ("J48", "NO", lambda: C45Tree()),
-    ("MLP", "NO", lambda: MLPClassifier(seed=0)),
+    ("SVM", "NO", LinearSVC(class_weight=None, seed=0)),
+    ("J48", "NO", C45Tree()),
+    ("MLP", "NO", MLPClassifier(seed=0)),
 )
 
 
@@ -227,45 +228,48 @@ NGG_ROSTER: tuple[tuple[str, str, Callable[[], BaseClassifier]], ...] = (
 # ---------------------------------------------------------------------------
 
 
+def _link_graph(config: ExperimentConfig, corpus: PharmacyCorpus) -> DirectedGraph:
+    """The corpus link graph, built once per (config, corpus).
+
+    The graph depends only on the working set — not on fold seeds — so
+    every CV fold's TrustRank pipeline shares this single construction.
+    """
+    return _cached(
+        ("linkgraph", config, corpus.name),
+        lambda: build_pharmacy_graph(corpus.sites),
+    )  # type: ignore[return-value]
+
+
 def _tfidf_sweep(
     config: ExperimentConfig, corpus_name: str = "dataset1"
 ) -> dict[tuple[str, int | None], AggregatedReport]:
-    """3-fold CV of every TF-IDF roster entry at every term-subset size."""
+    """3-fold CV of every TF-IDF roster entry at every term-subset size.
+
+    Delegates to the :mod:`repro.experiments.sweep` scheduler, which
+    fits each (subset, fold)'s feature matrices once and shares them
+    across the roster (unless ``config.shared_sweeps`` is off).
+    """
 
     def build() -> dict[tuple[str, int | None], AggregatedReport]:
         corpus = _corpus_by_name(config, corpus_name)
-        y = corpus.labels
-        results: dict[tuple[str, int | None], list[BinaryClassificationReport]] = {
-            (name, subset): []
-            for name, _, _, _ in TFIDF_ROSTER
+        tokens_by_subset = {
+            subset: [doc.tokens for doc in _documents(config, corpus, subset)]
             for subset in config.term_subsets
         }
-        splitter = StratifiedKFold(
-            n_splits=config.n_folds, shuffle=True, seed=config.cv_seed
+        disk = _feature_cache(config)
+        return run_tfidf_sweep(
+            TFIDF_ROSTER,
+            corpus.labels,
+            tokens_by_subset,
+            n_folds=config.n_folds,
+            cv_seed=config.cv_seed,
+            shared=config.shared_sweeps,
+            jobs=config.jobs,
+            cache=disk,
+            cache_fingerprint=(
+                _corpus_fingerprint(config, corpus) if disk is not None else None
+            ),
         )
-        for subset in config.term_subsets:
-            docs = _documents(config, corpus, subset)
-            tokens = [doc.tokens for doc in docs]
-            for train_idx, test_idx in splitter.split(y):
-                vectorizer = TfidfVectorizer()
-                X_train = vectorizer.fit_transform([tokens[i] for i in train_idx])
-                X_test = vectorizer.transform([tokens[i] for i in test_idx])
-                for name, _, proto, sampler_factory in TFIDF_ROSTER:
-                    X_fit, y_fit = X_train, y[train_idx]
-                    if sampler_factory is not None:
-                        X_fit, y_fit = sampler_factory().fit_resample(X_fit, y_fit)
-                    model = proto()
-                    model.fit(X_fit, y_fit)
-                    report = classification_report(
-                        y[test_idx],
-                        model.predict(X_test),
-                        model.decision_scores(X_test),
-                    )
-                    results[(name, subset)].append(report)
-        return {
-            key: AggregatedReport(fold_reports=tuple(reports))
-            for key, reports in results.items()
-        }
 
     return _cached(("tfidf", config, corpus_name), build)  # type: ignore[return-value]
 
@@ -300,7 +304,7 @@ def _ngg_sweep(
                 )
                 features = model.transform_graphs(graphs)
                 for name, _, proto in NGG_ROSTER:
-                    clf = proto()
+                    clf = clone(proto)
                     clf.fit(features[train_idx], y[train_idx])
                     report = classification_report(
                         y[test_idx],
@@ -324,7 +328,10 @@ def _network_cv(config: ExperimentConfig) -> AggregatedReport:
 
         def fit_predict(train_idx, test_idx):
             pipeline = NetworkClassificationPipeline(
-                corpus, GaussianNB(), cache=_feature_cache(config)
+                corpus,
+                GaussianNB(),
+                cache=_feature_cache(config),
+                graph=_link_graph(config, corpus),
             )
             pipeline.fit(train_idx)
             return pipeline.predict(test_idx), pipeline.decision_scores(test_idx)
@@ -345,7 +352,8 @@ def _ensemble_cv(config: ExperimentConfig) -> AggregatedReport:
 
         def fit_predict(train_idx, test_idx):
             pipeline = EnsembleClassificationPipeline(
-                corpus, docs, seed=config.cv_seed
+                corpus, docs, seed=config.cv_seed,
+                graph=_link_graph(config, corpus),
             )
             pipeline.fit(train_idx)
             return pipeline.predict(test_idx), pipeline.decision_scores(test_idx)
@@ -375,7 +383,10 @@ def _ranking_pairord(config: ExperimentConfig) -> dict[str, float]:
         }
         for fold_no, (train_idx, test_idx) in enumerate(splitter.split(y)):
             network = NetworkClassificationPipeline(
-                corpus, GaussianNB(), cache=_feature_cache(config)
+                corpus,
+                GaussianNB(),
+                cache=_feature_cache(config),
+                graph=_link_graph(config, corpus),
             )
             network.fit(train_idx)
             net_rank = network.network_rank(test_idx)
@@ -385,11 +396,11 @@ def _ranking_pairord(config: ExperimentConfig) -> dict[str, float]:
             vectorizer = TfidfVectorizer()
             X_train = vectorizer.fit_transform([tokens[i] for i in train_idx])
             X_test = vectorizer.transform([tokens[i] for i in test_idx])
-            for name, _, proto, sampler_factory in TFIDF_ROSTER:
+            for entry in TFIDF_ROSTER:
                 X_fit, y_fit = X_train, y[train_idx]
-                if sampler_factory is not None:
-                    X_fit, y_fit = sampler_factory().fit_resample(X_fit, y_fit)
-                model = proto()
+                if entry.sampler is not None:
+                    X_fit, y_fit = entry.sampler.fit_resample(X_fit, y_fit)
+                model = clone(entry.classifier)
                 model.fit(X_fit, y_fit)
                 if isinstance(model, LinearSVC):
                     # Non-probabilistic: textRank is the hard label.
@@ -399,7 +410,7 @@ def _ranking_pairord(config: ExperimentConfig) -> dict[str, float]:
                 ranking = rank_pharmacies(
                     test_domains, text_rank, net_rank, y_test
                 )
-                accumulator[name].append(ranking.pairord)
+                accumulator[entry.name].append(ranking.pairord)
 
             ngg = ClassGraphModel(seed=config.cv_seed + fold_no)
             ngg.fit_graphs(
@@ -439,7 +450,8 @@ def _time_sweep(
         out: dict[tuple[str, int, str], dict[str, float]] = {}
         old_old = _tfidf_sweep(config, "dataset1")
         new_new = _tfidf_sweep(config, "dataset2")
-        for name, _, proto, sampler_factory in TFIDF_ROSTER:
+        for entry in TFIDF_ROSTER:
+            name = entry.name
             for subset in subsets:
                 out[(name, subset, "Old-Old")] = old_old[(name, subset)].as_dict()
                 out[(name, subset, "New-New")] = new_new[(name, subset)].as_dict()
@@ -451,9 +463,9 @@ def _time_sweep(
                 X_new = vectorizer.transform([d.tokens for d in docs2])
                 y_old, y_new = corpus1.labels, corpus2.labels
                 X_fit, y_fit = X_old, y_old
-                if sampler_factory is not None:
-                    X_fit, y_fit = sampler_factory().fit_resample(X_fit, y_fit)
-                model = proto()
+                if entry.sampler is not None:
+                    X_fit, y_fit = entry.sampler.fit_resample(X_fit, y_fit)
+                model = clone(entry.classifier)
                 model.fit(X_fit, y_fit)
                 report = classification_report(
                     y_new, model.predict(X_new), model.decision_scores(X_new)
@@ -554,7 +566,7 @@ def _double_sweep_table(
 
 
 def _tfidf_rows() -> list[tuple[str, str]]:
-    return [(name, sampling) for name, sampling, _, _ in TFIDF_ROSTER]
+    return [(entry.name, entry.sampling) for entry in TFIDF_ROSTER]
 
 
 def _ngg_rows() -> list[tuple[str, str]]:
@@ -790,11 +802,11 @@ def _time_table(
         for subset in subsets:
             header.append(f"{regime} {subset}")
     rows = []
-    for name, sampling, _, _ in TFIDF_ROSTER:
-        cells: list[object] = [name, sampling]
+    for entry in TFIDF_ROSTER:
+        cells: list[object] = [entry.name, entry.sampling]
         for regime in regimes:
             for subset in subsets:
-                cells.append(sweep[(name, subset, regime)][measure])
+                cells.append(sweep[(entry.name, subset, regime)][measure])
         rows.append(tuple(cells))
     return TableResult(
         table_id=table_id, title=title, columns=tuple(header), rows=tuple(rows)

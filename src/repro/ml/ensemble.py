@@ -14,6 +14,20 @@ Two refinements from the original paper are included:
   times, implementing implicit weighting and preventing overfitting of
   the greedy step.
 
+Following Caruana's design, the library's probability predictions are
+precomputed once into an ``(n_models, n_instances, n_classes)`` tensor
+and the bag sum is maintained incrementally, so every hill-climb round
+is a broadcasted vector add; with the default AUC metric all candidate
+scores of a round come from one batched rank computation
+(:func:`repro.ml.metrics.auc_roc_many`).  Candidates are always
+considered in sorted-name order: initialization ranks models by
+(metric desc, Brier score asc, name asc) and hill-climb ties resolve to
+the lowest name, so the selected bag is deterministic regardless of the
+order the library was assembled in.  The per-candidate loop
+implementation lives on as
+:func:`repro.perf.reference.reference_ensemble_select`, the equivalence
+oracle pinned by ``tests/perf``.
+
 The library entries are heterogeneous: each has its own feature matrix
 (text models see TF-IDF or graph-similarity features, the network model
 sees TrustRank scores), so the ensemble works with pre-computed
@@ -28,7 +42,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.exceptions import NotFittedError, ValidationError
-from repro.ml.metrics import auc_roc
+from repro.ml.metrics import auc_roc, auc_roc_many
 
 __all__ = ["LibraryModel", "EnsembleSelection"]
 
@@ -54,7 +68,9 @@ class EnsembleSelection:
     Args:
         metric: scoring function ``(y_true, positive_scores) -> float``
             maximized by the greedy step (default AUC-ROC, the measure
-            the paper optimizes for).
+            the paper optimizes for).  With the default, candidate
+            scoring is batched; a custom metric is evaluated per
+            candidate with identical selection semantics.
         n_init: size of the sorted initialization (best single models).
         max_rounds: cap on greedy additions after initialization.
         tolerance: stop when the best addition improves the score by
@@ -86,6 +102,12 @@ class EnsembleSelection:
             raise NotFittedError("EnsembleSelection has not been fitted")
         return dict(self._bag_counts)
 
+    def _candidate_scores(self, y: np.ndarray, cand: np.ndarray) -> np.ndarray:
+        """Metric of every candidate score row (batched when possible)."""
+        if self._metric is auc_roc:
+            return auc_roc_many(y, cand)
+        return np.array([self._metric(y, row) for row in cand])
+
     def fit(
         self,
         library: Sequence[LibraryModel],
@@ -114,34 +136,40 @@ class EnsembleSelection:
                     f"expected {(y.shape[0], 2)}"
                 )
 
-        singles = sorted(
-            predictions,
-            key=lambda name: self._metric(y, predictions[name][:, 1]),
-            reverse=True,
+        # Deterministic candidate order: sorted model names.  The
+        # prediction tensor is built once; every later step is pure
+        # array arithmetic on it.
+        names = sorted(predictions)
+        tensor = np.stack([predictions[name] for name in names])
+        pos_scores = tensor[:, :, 1]  # (n_models, n_instances)
+
+        single_scores = self._candidate_scores(y, pos_scores)
+        # Initialization ties (several perfect single models are common
+        # on small hill-climb sets) resolve by Brier score — the model
+        # with the better-calibrated probabilities — then by name.
+        briers = np.mean((pos_scores - y[None, :]) ** 2, axis=1)
+        ranked = sorted(
+            range(len(names)),
+            key=lambda m: (-single_scores[m], briers[m], names[m]),
         )
-        bag: list[str] = singles[: self._n_init]
-        bag_sum = np.sum([predictions[name] for name in bag], axis=0)
-        best_score = self._metric(y, (bag_sum / len(bag))[:, 1])
+        bag: list[int] = ranked[: self._n_init]
+        bag_sum = tensor[bag].sum(axis=0)
+        best_score = float(self._metric(y, (bag_sum / len(bag))[:, 1]))
 
         for _ in range(self._max_rounds):
-            best_addition: str | None = None
-            best_new_score = best_score
-            for name, proba in predictions.items():
-                candidate = (bag_sum + proba) / (len(bag) + 1)
-                score = self._metric(y, candidate[:, 1])
-                if score > best_new_score + self._tolerance:
-                    best_new_score = score
-                    best_addition = name
-            if best_addition is None:
+            candidates = (bag_sum[None, :, 1] + pos_scores) / (len(bag) + 1)
+            scores = self._candidate_scores(y, candidates)
+            best_m = int(np.argmax(scores))  # ties -> lowest sorted name
+            if not scores[best_m] > best_score + self._tolerance:
                 break
-            bag.append(best_addition)
-            bag_sum = bag_sum + predictions[best_addition]
-            best_score = best_new_score
+            bag.append(best_m)
+            bag_sum = bag_sum + tensor[best_m]
+            best_score = float(scores[best_m])
 
         self._library = tuple(library)
         counts: dict[str, int] = {}
-        for name in bag:
-            counts[name] = counts.get(name, 0) + 1
+        for m in bag:
+            counts[names[m]] = counts.get(names[m], 0) + 1
         self._bag_counts = counts
         return self
 

@@ -29,6 +29,7 @@ __all__ = [
     "f1_score",
     "roc_curve",
     "auc_roc",
+    "auc_roc_many",
     "precision_recall_curve",
     "average_precision",
     "threshold_for_precision",
@@ -144,6 +145,59 @@ def auc_roc(
     """Area under the ROC curve (trapezoidal rule over the exact curve)."""
     fpr, tpr, _ = roc_curve(y_true, scores, positive_label)
     return float(np.trapezoid(tpr, fpr))
+
+
+def auc_roc_many(
+    y_true: ArrayLike, scores: ArrayLike, positive_label: int = 1
+) -> np.ndarray:
+    """AUC-ROC of many score rows against one label vector at once.
+
+    Uses the Mann-Whitney rank statistic with average ranks for ties,
+    which equals the trapezoidal area over the tie-collapsed ROC curve
+    computed by :func:`auc_roc` (up to floating-point rounding, well
+    within 1e-9).  One argsort per row replaces one full ROC-curve
+    construction per row, which is what makes batched ensemble
+    hill-climbing cheap.
+
+    Args:
+        y_true: true labels, shape ``(n,)``.
+        scores: score matrix, shape ``(m, n)`` — one row per candidate.
+        positive_label: which label counts as positive.
+
+    Returns:
+        Array of ``m`` AUC values in [0, 1].
+    """
+    yt = np.asarray(y_true).ravel()
+    mat = np.asarray(scores, dtype=np.float64)
+    if mat.ndim != 2 or mat.shape[1] != yt.size:
+        raise ValidationError(
+            f"scores must be (m, {yt.size}), got {mat.shape}"
+        )
+    pos = yt == positive_label
+    n_pos = int(np.sum(pos))
+    n_neg = int(yt.size - n_pos)
+    if n_pos == 0 or n_neg == 0:
+        raise ValidationError("ROC requires both positive and negative examples")
+    m, n = mat.shape
+    order = np.argsort(mat, axis=1, kind="stable")
+    svals = np.take_along_axis(mat, order, axis=1)
+    idx = np.arange(n, dtype=np.float64)
+    # Average ranks over tie groups: for each sorted position find the
+    # first and last index of its group of equal values.
+    new_group = np.ones((m, n), dtype=bool)
+    new_group[:, 1:] = np.diff(svals, axis=1) != 0.0  # repro-lint: disable=R006 (exact tie-group detection)
+    first = np.maximum.accumulate(np.where(new_group, idx, 0.0), axis=1)
+    is_last = np.ones((m, n), dtype=bool)
+    is_last[:, :-1] = new_group[:, 1:]
+    last = np.minimum.accumulate(
+        np.where(is_last, idx, np.inf)[:, ::-1], axis=1
+    )[:, ::-1]
+    avg_rank_sorted = 0.5 * (first + last) + 1.0
+    ranks = np.empty_like(mat)
+    np.put_along_axis(ranks, order, avg_rank_sorted, axis=1)
+    rank_sum_pos = ranks[:, pos].sum(axis=1)
+    denom = float(n_pos) * float(n_neg)
+    return (rank_sum_pos - n_pos * (n_pos + 1) / 2.0) / denom
 
 
 def precision_recall_curve(

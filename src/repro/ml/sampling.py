@@ -75,16 +75,31 @@ class SMOTE:
     ``u ~ U(0, 1)`` and ``neighbour`` one of the ``k`` nearest
     same-class rows.
 
+    The neighbour search computes pairwise squared distances in row
+    chunks of the minority block (one ``chunk @ block.T`` product per
+    chunk), so memory stays bounded at ``chunk_size * n_minority``
+    floats while the interpolation of all synthetic rows happens in one
+    vectorized expression.  The classic per-sample loop implementation
+    is kept as :class:`repro.perf.reference.ReferenceSMOTE`, the
+    equivalence oracle pinned by ``tests/perf``.
+
     Args:
         k_neighbors: neighbourhood size (paper/standard default 5).
         seed: RNG seed.
+        chunk_size: rows per pairwise-distance chunk (memory knob; the
+            result is identical at any chunk size).
     """
 
-    def __init__(self, k_neighbors: int = 5, seed: int = 0) -> None:
+    def __init__(
+        self, k_neighbors: int = 5, seed: int = 0, chunk_size: int = 512
+    ) -> None:
         if k_neighbors < 1:
             raise ValidationError(f"k_neighbors must be >= 1, got {k_neighbors}")
+        if chunk_size < 1:
+            raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")
         self._k_neighbors = k_neighbors
         self._seed = seed
+        self._chunk_size = chunk_size
 
     def fit_resample(self, X: Any, y: Any) -> tuple[np.ndarray, np.ndarray]:
         """Return (X, y) with minority classes synthetically upsampled.
@@ -117,11 +132,20 @@ class SMOTE:
     ) -> np.ndarray:
         """Generate ``n_new`` synthetic rows from minority ``block``."""
         k = min(self._k_neighbors, block.shape[0] - 1)
-        # Pairwise squared distances within the minority class.
+        n_rows = block.shape[0]
+        # Pairwise squared distances within the minority class, chunked
+        # over rows so peak memory is chunk_size * n_rows.
         sq = np.sum(block**2, axis=1)
-        d2 = sq[:, None] + sq[None, :] - 2.0 * (block @ block.T)
-        np.fill_diagonal(d2, np.inf)
-        neighbour_idx = np.argsort(d2, axis=1)[:, :k]
+        neighbour_idx = np.empty((n_rows, k), dtype=np.int64)
+        for start in range(0, n_rows, self._chunk_size):
+            stop = min(start + self._chunk_size, n_rows)
+            d2 = (
+                sq[start:stop, None]
+                + sq[None, :]
+                - 2.0 * (block[start:stop] @ block.T)
+            )
+            d2[np.arange(stop - start), np.arange(start, stop)] = np.inf
+            neighbour_idx[start:stop] = np.argsort(d2, axis=1)[:, :k]
         base = rng.integers(0, block.shape[0], size=n_new)
         pick = rng.integers(0, k, size=n_new)
         neighbours = block[neighbour_idx[base, pick]]

@@ -12,6 +12,14 @@ is what both TF-IDF weights and graph-similarity features are:
   confidence factor CF = 0.25, Weka's default);
 * leaves predict the training class distribution, so
   ``predict_proba`` is available for ranking and AUC.
+
+The split search is fully vectorized: one stable argsort of the whole
+candidate-feature block, cumulative class-count arrays, and a single
+masked argmax evaluate every (feature, threshold) pair without a
+Python candidate loop.  The per-feature/per-candidate loop
+implementation survives as :class:`repro.perf.reference.ReferenceC45Tree`,
+the equivalence oracle pinned by ``tests/perf`` (identical trees,
+bit-equal predictions).
 """
 
 from __future__ import annotations
@@ -90,8 +98,14 @@ class C45Tree(BaseClassifier):
         max_candidate_features: if set, evaluate splits only on the
             ``k`` highest-variance features at each node — an optional
             speed knob for very wide TF-IDF matrices (None = all).
-        seed: reserved for future stochastic variants (kept for clone
-            symmetry; the tree itself is deterministic).
+        max_features: if set, subsample at most this many of the
+            candidate features uniformly at random at each node
+            (random-forest style); applied after the
+            ``max_candidate_features`` variance filter.
+        seed: seeds the per-``fit`` RNG that draws the ``max_features``
+            subsets, so clone/refit is deterministic.  With
+            ``max_features=None`` the tree is deterministic regardless
+            of the seed.
     """
 
     def __init__(
@@ -101,6 +115,7 @@ class C45Tree(BaseClassifier):
         min_samples_leaf: int = 2,
         confidence_factor: float | None = 0.25,
         max_candidate_features: int | None = None,
+        max_features: int | None = None,
         seed: int = 0,
     ) -> None:
         super().__init__()
@@ -112,11 +127,16 @@ class C45Tree(BaseClassifier):
             )
         if min_samples_leaf < 1:
             raise ValidationError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
+        if max_features is not None and max_features < 1:
+            raise ValidationError(
+                f"max_features must be >= 1 or None, got {max_features}"
+            )
         self._max_depth = max_depth
         self._min_samples_split = min_samples_split
         self._min_samples_leaf = min_samples_leaf
         self._confidence_factor = confidence_factor
         self._max_candidate_features = max_candidate_features
+        self._max_features = max_features
         self._seed = seed
         self._root: _Node | None = None
         self._n_features = 0
@@ -129,13 +149,19 @@ class C45Tree(BaseClassifier):
         encoded = self._store_classes(y)
         n_classes = len(self._fitted_classes())
         self._n_features = X.shape[1]
-        self._root = self._grow(X, encoded, n_classes, depth=0)
+        rng = np.random.default_rng(self._seed)
+        self._root = self._grow(X, encoded, n_classes, depth=0, rng=rng)
         if self._confidence_factor is not None:
             self._prune(self._root)
         return self
 
     def _grow(
-        self, X: np.ndarray, y: np.ndarray, n_classes: int, depth: int
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        n_classes: int,
+        depth: int,
+        rng: np.random.Generator,
     ) -> _Node:
         counts = np.bincount(y, minlength=n_classes).astype(np.float64)
         node = _Node(counts=counts)
@@ -145,89 +171,109 @@ class C45Tree(BaseClassifier):
             or (self._max_depth is not None and depth >= self._max_depth)
         ):
             return node
-        split = self._best_split(X, y, n_classes)
+        split = self._best_split(X, y, n_classes, rng)
         if split is None:
             return node
         feature, threshold = split
         mask = X[:, feature] <= threshold
         node.feature = feature
         node.threshold = threshold
-        node.left = self._grow(X[mask], y[mask], n_classes, depth + 1)
-        node.right = self._grow(X[~mask], y[~mask], n_classes, depth + 1)
+        node.left = self._grow(X[mask], y[mask], n_classes, depth + 1, rng)
+        node.right = self._grow(X[~mask], y[~mask], n_classes, depth + 1, rng)
         return node
 
-    def _candidate_features(self, X: np.ndarray) -> np.ndarray:
+    def _candidate_features(
+        self, X: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
         n_features = X.shape[1]
+        features = np.arange(n_features)
         if (
-            self._max_candidate_features is None
-            or n_features <= self._max_candidate_features
+            self._max_candidate_features is not None
+            and n_features > self._max_candidate_features
         ):
-            return np.arange(n_features)
-        variances = X.var(axis=0)
-        top = np.argpartition(-variances, self._max_candidate_features)[
-            : self._max_candidate_features
-        ]
-        return np.sort(top)
+            variances = X.var(axis=0)
+            top = np.argpartition(-variances, self._max_candidate_features)[
+                : self._max_candidate_features
+            ]
+            features = np.sort(top)
+        if self._max_features is not None and features.shape[0] > self._max_features:
+            chosen = rng.choice(
+                features.shape[0], size=self._max_features, replace=False
+            )
+            features = np.sort(features[chosen])
+        return features
 
     def _best_split(
-        self, X: np.ndarray, y: np.ndarray, n_classes: int
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        n_classes: int,
+        rng: np.random.Generator,
     ) -> tuple[int, float] | None:
-        """Best (feature, threshold) by C4.5 gain ratio, or None."""
+        """Best (feature, threshold) by C4.5 gain ratio, or None.
+
+        Every candidate feature is handled in one vectorized pass: a
+        stable column-wise argsort, per-class cumulative counts, and a
+        masked argmax over the full ``(n_candidates, n_features)``
+        gain-ratio matrix.  Candidate cut ``i`` puts the first ``i+1``
+        sorted rows on the left; ties across features resolve to the
+        lowest feature index (first maximum), matching the sequential
+        reference kernel.
+        """
         n_samples = X.shape[0]
         parent_counts = np.bincount(y, minlength=n_classes).astype(np.float64)
         parent_entropy = _entropy(parent_counts)
         min_leaf = self._min_samples_leaf
 
-        best: tuple[float, int, float] | None = None  # (ratio, feature, thr)
-        gains: list[tuple[float, float, int, float]] = []  # (gain, ratio, f, thr)
+        features = self._candidate_features(X, rng)
+        cols = X[:, features]
+        order = np.argsort(cols, axis=0, kind="stable")
+        sorted_vals = np.take_along_axis(cols, order, axis=0)
+        sorted_y = y[order]  # (n_samples, n_features)
 
-        for feature in self._candidate_features(X):
-            column = X[:, feature]
-            order = np.argsort(column, kind="stable")
-            sorted_vals = column[order]
-            sorted_y = y[order]
-            # one-hot cumulative class counts along the sorted column
-            onehot = np.zeros((n_samples, n_classes), dtype=np.float64)
-            onehot[np.arange(n_samples), sorted_y] = 1.0
-            cum = np.cumsum(onehot, axis=0)
-            # candidate cut after position i (0-based): left = first i+1 rows
-            boundaries = np.where(np.diff(sorted_vals) > _EPS)[0]
-            if boundaries.size == 0:
-                continue
-            valid = boundaries[
-                (boundaries + 1 >= min_leaf)
-                & (n_samples - boundaries - 1 >= min_leaf)
-            ]
-            if valid.size == 0:
-                continue
-            left_counts = cum[valid]
-            right_counts = parent_counts - left_counts
-            n_left = (valid + 1).astype(np.float64)
-            n_right = n_samples - n_left
-            h_left = _entropy_rows(left_counts)
-            h_right = _entropy_rows(right_counts)
-            weighted = (n_left * h_left + n_right * h_right) / n_samples
-            gain = parent_entropy - weighted
-            p_left = n_left / n_samples
-            p_right = n_right / n_samples
-            split_info = -(
-                p_left * np.log2(p_left) + p_right * np.log2(p_right)
-            )
-            ratio = np.where(split_info > _EPS, gain / split_info, 0.0)
-            k = int(np.argmax(ratio))
-            if gain[k] <= _EPS:
-                continue
-            # C4.5 midpoint threshold between the boundary values.
-            thr = 0.5 * (sorted_vals[valid[k]] + sorted_vals[valid[k] + 1])
-            gains.append((float(gain[k]), float(ratio[k]), int(feature), float(thr)))
+        boundary = np.diff(sorted_vals, axis=0) > _EPS  # (n_samples - 1, F)
+        n_left = np.arange(1, n_samples, dtype=np.float64)
+        leaf_ok = (n_left >= min_leaf) & (n_samples - n_left >= min_leaf)
+        valid = boundary & leaf_ok[:, None]
+        if not valid.any():
+            return None
 
-        if not gains:
+        # Cumulative class counts along each sorted column; row i holds
+        # the class histogram of the first i+1 rows.
+        onehot = (
+            sorted_y[:, :, None] == np.arange(n_classes)[None, None, :]
+        ).astype(np.float64)
+        cum = np.cumsum(onehot, axis=0)
+        left_counts = cum[:-1]  # (n_samples - 1, F, n_classes)
+        right_counts = parent_counts[None, None, :] - left_counts
+        n_right = n_samples - n_left
+        h_left = _entropy_rows(left_counts)
+        h_right = _entropy_rows(right_counts)
+        weighted = (n_left[:, None] * h_left + n_right[:, None] * h_right) / n_samples
+        gain = parent_entropy - weighted  # (n_samples - 1, F)
+        p_left = n_left / n_samples
+        p_right = n_right / n_samples
+        split_info = -(p_left * np.log2(p_left) + p_right * np.log2(p_right))
+        ratio = np.where(
+            split_info[:, None] > _EPS, gain / split_info[:, None], 0.0
+        )
+
+        masked_ratio = np.where(valid, ratio, -np.inf)
+        f_range = np.arange(features.shape[0])
+        k = np.argmax(masked_ratio, axis=0)  # best candidate per feature
+        gain_k = gain[k, f_range]
+        good = valid.any(axis=0) & (gain_k > _EPS)
+        if not good.any():
             return None
         # C4.5 restriction: only consider splits with at least average gain.
-        avg_gain = sum(g for g, _, _, _ in gains) / len(gains)
-        eligible = [item for item in gains if item[0] >= avg_gain - _EPS]
-        _, _, feature, thr = max(eligible, key=lambda item: item[1])
-        return feature, thr
+        avg_gain = float(np.sum(gain_k[good])) / int(np.count_nonzero(good))
+        eligible = good & (gain_k >= avg_gain - _EPS)
+        cand_ratio = np.where(eligible, masked_ratio[k, f_range], -np.inf)
+        best_f = int(np.argmax(cand_ratio))
+        kk = int(k[best_f])
+        # C4.5 midpoint threshold between the boundary values.
+        thr = 0.5 * (sorted_vals[kk, best_f] + sorted_vals[kk + 1, best_f])
+        return int(features[best_f]), float(thr)
 
     # -- pruning ---------------------------------------------------------------
 
@@ -260,14 +306,26 @@ class C45Tree(BaseClassifier):
             )
         n_classes = len(self._fitted_classes())
         out = np.empty((X.shape[0], n_classes), dtype=np.float64)
-        for i in range(X.shape[0]):
-            node = self._root
-            while not node.is_leaf:
-                assert node.left is not None and node.right is not None
-                node = node.left if X[i, node.feature] <= node.threshold else node.right
-            # Laplace-smoothed leaf distribution (as J48 does).
-            out[i] = (node.counts + 1.0) / (node.counts.sum() + n_classes)
+        self._fill_proba(self._root, X, np.arange(X.shape[0]), out, n_classes)
         return out
+
+    def _fill_proba(
+        self,
+        node: _Node,
+        X: np.ndarray,
+        idx: np.ndarray,
+        out: np.ndarray,
+        n_classes: int,
+    ) -> None:
+        """Route the rows in ``idx`` down the tree, block-wise."""
+        if node.is_leaf:
+            # Laplace-smoothed leaf distribution (as J48 does).
+            out[idx] = (node.counts + 1.0) / (node.counts.sum() + n_classes)
+            return
+        assert node.left is not None and node.right is not None
+        mask = X[idx, node.feature] <= node.threshold
+        self._fill_proba(node.left, X, idx[mask], out, n_classes)
+        self._fill_proba(node.right, X, idx[~mask], out, n_classes)
 
     # -- introspection --------------------------------------------------------------
 
@@ -342,10 +400,10 @@ class C45Tree(BaseClassifier):
 
 
 def _entropy_rows(counts: np.ndarray) -> np.ndarray:
-    """Row-wise entropy of a (rows, classes) count matrix."""
-    totals = counts.sum(axis=1, keepdims=True)
+    """Entropy along the last (class) axis of a count array."""
+    totals = counts.sum(axis=-1, keepdims=True)
     safe_totals = np.where(totals > 0, totals, 1.0)
     p = counts / safe_totals
     with np.errstate(divide="ignore", invalid="ignore"):
         logp = np.where(p > 0, np.log2(np.where(p > 0, p, 1.0)), 0.0)
-    return -np.sum(p * logp, axis=1)
+    return -np.sum(p * logp, axis=-1)

@@ -127,6 +127,7 @@ class NetworkFeatureExtractor:
         trusted_domains: Sequence[str],
         distrusted_domains: Sequence[str] = (),
         auxiliary_sites: Sequence[Website] = (),
+        graph: DirectedGraph | None = None,
     ) -> NetworkFeatureMatrix:
         """Build the graph and compute per-pharmacy features.
 
@@ -137,11 +138,17 @@ class NetworkFeatureExtractor:
                 Anti-TrustRank is enabled).
             auxiliary_sites: non-pharmacy sites to add to the graph
                 (future-work extension (a); empty = the paper's graph).
+            graph: a prebuilt web graph for exactly ``sites`` +
+                ``auxiliary_sites``.  The graph depends only on the
+                working set — not on the seeds — so cross-validation
+                folds over a fixed working set can build it once and
+                share it; when omitted it is built here.
 
         Returns:
             Feature matrix with one row per entry in ``sites``.
         """
-        graph = build_pharmacy_graph(sites, auxiliary_sites=auxiliary_sites)
+        if graph is None:
+            graph = build_pharmacy_graph(sites, auxiliary_sites=auxiliary_sites)
         self._graph = graph
         trust = trustrank(graph, trusted_domains, damping=self._damping)
         own = np.array([trust.get(site.domain, 0.0) for site in sites])

@@ -1,9 +1,15 @@
 """Performance layer: caching, deterministic parallelism, references.
 
 The hot paths of the reproduction — N-Gram-Graph similarity
-(:mod:`repro.text.ngram_graph`) and TrustRank power iteration
-(:mod:`repro.network.pagerank`) — are vectorized in place; this package
-holds the supporting infrastructure:
+(:mod:`repro.text.ngram_graph`), TrustRank power iteration
+(:mod:`repro.network.pagerank`), and the ML training/inference engine
+(mini-batch Pegasos in :mod:`repro.ml.svm`, the C4.5 split search in
+:mod:`repro.ml.tree`, batched ensemble hill-climbing in
+:mod:`repro.ml.ensemble`, chunked SMOTE in :mod:`repro.ml.sampling`,
+the batched TF-IDF transform in :mod:`repro.text.term_vector`) — are
+vectorized in place; sweep-level compute sharing lives in
+:mod:`repro.experiments.sweep`.  This package holds the supporting
+infrastructure:
 
 * :mod:`repro.perf.cache` — content-addressed on-disk feature
   memoization, keyed by (content hash, extractor params, code version).

@@ -1,12 +1,23 @@
 """Pre-optimization reference implementations (the equivalence oracle).
 
-These are the pure-Python dict-loop kernels this repo shipped before
-the vectorized fast paths landed:
+These are the pure-Python loop kernels this repo shipped before the
+vectorized fast paths landed (or, for the ML layer, the classic
+sequential formulations the fast kernels must reproduce):
 
 * :class:`ReferenceNGramGraph` — the dict-backed character n-gram graph
   with per-edge dict-probe similarities.
 * :func:`reference_personalized_pagerank` — the per-node Python-loop
   power iteration.
+* :func:`reference_pegasos_fit` — per-sample-loop mini-batch Pegasos
+  (``batch_size=1`` is the classic per-sample schedule).
+* :class:`ReferenceC45Tree` — C4.5 with the per-feature/per-candidate
+  split-search loop and per-row prediction loop.
+* :func:`reference_ensemble_select` — per-candidate hill-climbing loop
+  for Ensemble Selection.
+* :class:`ReferenceSMOTE` — per-sample neighbour-search loop (the
+  Chawla et al. pseudocode shape).
+* :func:`reference_tfidf_transform` — the per-document dict +
+  ``sorted(counts)`` CSR assembly loop.
 
 They exist for two reasons: the property tests in ``tests/perf`` assert
 the fast paths match them within tight tolerances on randomized inputs,
@@ -16,14 +27,30 @@ reported against.  They are *not* wired into any pipeline.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections import Counter
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
+import scipy.sparse as sp
 
-from repro.exceptions import GraphError, ValidationError
+from repro.exceptions import GraphError, NotFittedError, ValidationError
+from repro.ml.base import ensure_dense
+from repro.ml.metrics import auc_roc
+from repro.ml.sampling import SMOTE
+from repro.ml.tree import C45Tree, _entropy
+from repro.ml.tree import _EPS as _TREE_EPS
 from repro.network.graph import DirectedGraph
+from repro.text.term_vector import TfidfVectorizer, _l2_normalize_rows
 
-__all__ = ["ReferenceNGramGraph", "reference_personalized_pagerank"]
+__all__ = [
+    "ReferenceNGramGraph",
+    "reference_personalized_pagerank",
+    "reference_pegasos_fit",
+    "ReferenceC45Tree",
+    "reference_ensemble_select",
+    "ReferenceSMOTE",
+    "reference_tfidf_transform",
+]
 
 
 class ReferenceNGramGraph:
@@ -201,3 +228,312 @@ def reference_personalized_pagerank(
             break
         rank = new_rank
     return {node: float(rank[index[node]]) for node in nodes}
+
+
+# -- ML layer references -----------------------------------------------------
+
+
+def reference_pegasos_fit(
+    X: "np.ndarray | sp.csr_matrix",
+    signs: np.ndarray,
+    sample_weight: np.ndarray,
+    lam: float,
+    n_epochs: int,
+    seed: int,
+    batch_size: int,
+) -> np.ndarray:
+    """Per-sample-loop mini-batch Pegasos (the sequential formulation).
+
+    Implements exactly the schedule of
+    :func:`repro.ml.svm.pegasos_weights` — same RNG stream, same global
+    step counter, margins taken against the batch-start weights — but
+    walks every batch member in a Python loop: one row dot product per
+    margin, one scaled row addition per violator.  ``batch_size=1`` is
+    the classic per-sample Pegasos update sequence.
+
+    Args:
+        X: ``(n_samples, n_features)`` dense ndarray or CSR matrix.
+        signs: ±1.0 per sample.
+        sample_weight: per-sample loss weight.
+        lam: regularization strength λ.
+        n_epochs: full passes over the training set.
+        seed: RNG seed controlling the example order.
+        batch_size: samples per sub-gradient step.
+
+    Returns:
+        Augmented weight vector of ``n_features + 1`` entries (bias
+        folded in as the last component).
+    """
+    n_samples, n_features = X.shape
+    rng = np.random.default_rng(seed)
+    w = np.zeros(n_features + 1, dtype=np.float64)
+    is_sparse = sp.issparse(X)
+    t = 0
+    for _ in range(n_epochs):
+        order = rng.permutation(n_samples)
+        for start in range(0, n_samples, batch_size):
+            batch = order[start : start + batch_size]
+            t += 1
+            eta = 1.0 / (lam * t)
+            margins = []
+            for i in batch:
+                if is_sparse:
+                    row = X[int(i)]
+                    dot = float((row @ w[:-1])[0])
+                else:
+                    dot = float(X[int(i)] @ w[:-1])
+                margins.append(signs[i] * (dot + w[-1]))
+            w *= 1.0 - eta * lam
+            step = eta / batch.shape[0]
+            for pos, i in enumerate(batch):
+                if margins[pos] < 1.0:
+                    c = step * (sample_weight[i] * signs[i])
+                    if is_sparse:
+                        row = X[int(i)]
+                        w[row.indices] += c * row.data
+                    else:
+                        w[:-1] += c * X[int(i)]
+                    w[-1] += c
+    return w
+
+
+class ReferenceC45Tree(C45Tree):
+    """C4.5 with the per-feature/per-candidate split-search loop.
+
+    Growth, pruning, hyperparameters, and the random ``max_features``
+    draws are shared with :class:`repro.ml.tree.C45Tree`; only the
+    split search and the prediction traversal are the sequential
+    pre-vectorization loops, so a fitted tree (and every prediction)
+    must be identical to the fast path's.
+    """
+
+    def _best_split(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        n_classes: int,
+        rng: np.random.Generator,
+    ) -> tuple[int, float] | None:
+        n_samples = X.shape[0]
+        parent_counts = np.bincount(y, minlength=n_classes).astype(np.float64)
+        parent_entropy = _entropy(parent_counts)
+        min_leaf = self._min_samples_leaf
+
+        gains: list[tuple[float, float, int, float]] = []
+        for feature in self._candidate_features(X, rng):
+            column = X[:, feature]
+            order = np.argsort(column, kind="stable")
+            sorted_vals = column[order]
+            sorted_y = y[order]
+            left = np.zeros(n_classes, dtype=np.float64)
+            best_ratio = -np.inf
+            best_gain = 0.0
+            best_thr = 0.0
+            found = False
+            for i in range(n_samples - 1):
+                left[sorted_y[i]] += 1.0
+                if not sorted_vals[i + 1] - sorted_vals[i] > _TREE_EPS:
+                    continue
+                n_left = float(i + 1)
+                n_right = n_samples - n_left
+                if n_left < min_leaf or n_right < min_leaf:
+                    continue
+                right = parent_counts - left
+                h_left = _entropy_of_counts(left, n_left)
+                h_right = _entropy_of_counts(right, n_right)
+                weighted = (n_left * h_left + n_right * h_right) / n_samples
+                gain = parent_entropy - weighted
+                p_left = n_left / n_samples
+                p_right = n_right / n_samples
+                split_info = -(
+                    p_left * np.log2(p_left) + p_right * np.log2(p_right)
+                )
+                ratio = gain / split_info if split_info > _TREE_EPS else 0.0
+                if ratio > best_ratio:
+                    best_ratio = ratio
+                    best_gain = gain
+                    best_thr = 0.5 * (sorted_vals[i] + sorted_vals[i + 1])
+                    found = True
+            if not found or not best_gain > _TREE_EPS:
+                continue
+            gains.append((best_gain, best_ratio, int(feature), float(best_thr)))
+
+        if not gains:
+            return None
+        gain_values = np.array([g for g, _, _, _ in gains])
+        avg_gain = float(np.sum(gain_values)) / len(gains)
+        eligible = [item for item in gains if item[0] >= avg_gain - _TREE_EPS]
+        _, _, feature, thr = max(eligible, key=lambda item: item[1])
+        return feature, thr
+
+    def predict_proba(self, X: "np.ndarray | sp.csr_matrix") -> np.ndarray:
+        """Per-row tree traversal (the pre-vectorization loop)."""
+        if self._root is None:
+            raise NotFittedError("C45Tree has not been fitted")
+        X = ensure_dense(X)
+        if X.shape[1] != self._n_features:
+            raise ValidationError(
+                f"feature-count mismatch: fitted on {self._n_features}, "
+                f"got {X.shape[1]}"
+            )
+        n_classes = len(self._fitted_classes())
+        out = np.empty((X.shape[0], n_classes), dtype=np.float64)
+        for i in range(X.shape[0]):
+            node = self._root
+            while not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                node = (
+                    node.left
+                    if X[i, node.feature] <= node.threshold
+                    else node.right
+                )
+            out[i] = (node.counts + 1.0) / (node.counts.sum() + n_classes)
+        return out
+
+
+def _entropy_of_counts(counts: np.ndarray, total: float) -> float:
+    """Entropy of one class-count vector, fp-identical to the fast path."""
+    p = counts / total
+    with np.errstate(divide="ignore", invalid="ignore"):
+        logp = np.where(p > 0, np.log2(np.where(p > 0, p, 1.0)), 0.0)
+    return float(-np.sum(p * logp))
+
+
+def reference_ensemble_select(
+    predictions: Mapping[str, np.ndarray],
+    y: np.ndarray,
+    metric: "Callable[[np.ndarray, np.ndarray], float] | None" = None,
+    n_init: int = 1,
+    max_rounds: int = 30,
+    tolerance: float = 1e-6,
+) -> dict[str, int]:
+    """Per-candidate hill-climbing loop for Ensemble Selection.
+
+    Same selection semantics as
+    :class:`repro.ml.ensemble.EnsembleSelection` — candidates walked in
+    sorted-name order, initialization ranked by (metric desc, Brier
+    asc, name asc), hill-climb ties resolved to the first (lowest)
+    name, an addition accepted only when it beats the current bag score
+    by more than ``tolerance`` — but every candidate of every round
+    calls the scalar metric on a freshly averaged bag.
+
+    Args:
+        predictions: model name -> ``(n, 2)`` probability matrix.
+        y: hill-climbing labels.
+        metric: scoring function (default AUC-ROC).
+        n_init: sorted-initialization size.
+        max_rounds: cap on greedy additions.
+        tolerance: minimum improvement to keep climbing.
+
+    Returns:
+        Bag composition as a model-name -> selection-count mapping.
+    """
+    score = metric or auc_roc
+    labels = np.asarray(y).ravel()
+    names = sorted(predictions)
+    arrays = {name: np.asarray(predictions[name]) for name in names}
+    singles = {
+        name: float(score(labels, arrays[name][:, 1])) for name in names
+    }
+    briers = {
+        name: float(np.mean((arrays[name][:, 1] - labels) ** 2))
+        for name in names
+    }
+    ranked = sorted(names, key=lambda nm: (-singles[nm], briers[nm], nm))
+    bag = list(ranked[:n_init])
+    bag_sum = np.sum([arrays[nm] for nm in bag], axis=0)
+    best_score = float(score(labels, (bag_sum / len(bag))[:, 1]))
+    for _ in range(max_rounds):
+        best_name: str | None = None
+        best_new = -np.inf
+        for name in names:
+            candidate = (bag_sum + arrays[name]) / (len(bag) + 1)
+            value = float(score(labels, candidate[:, 1]))
+            if value > best_new:
+                best_new = value
+                best_name = name
+        if best_name is None or not best_new > best_score + tolerance:
+            break
+        bag.append(best_name)
+        bag_sum = bag_sum + arrays[best_name]
+        best_score = best_new
+    counts: dict[str, int] = {}
+    for name in bag:
+        counts[name] = counts.get(name, 0) + 1
+    return counts
+
+
+class ReferenceSMOTE(SMOTE):
+    """SMOTE with the per-sample neighbour-search loop.
+
+    RNG draw order (base rows, neighbour picks, gaps) and the
+    interpolation arithmetic match :class:`repro.ml.sampling.SMOTE`
+    exactly; the nearest-neighbour search and the synthetic-row
+    interpolation run one sample at a time, as in the Chawla et al.
+    pseudocode.
+    """
+
+    def _synthesize(
+        self, block: np.ndarray, n_new: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        k = min(self._k_neighbors, block.shape[0] - 1)
+        n_rows = block.shape[0]
+        sq = np.sum(block**2, axis=1)
+        neighbour_idx = np.empty((n_rows, k), dtype=np.int64)
+        for i in range(n_rows):
+            d2 = sq[i] + sq - 2.0 * (block @ block[i])
+            d2[i] = np.inf
+            neighbour_idx[i] = np.argsort(d2)[:k]
+        base = rng.integers(0, n_rows, size=n_new)
+        pick = rng.integers(0, k, size=n_new)
+        gaps = rng.random(size=(n_new, 1))
+        out = np.empty((n_new, block.shape[1]), dtype=block.dtype)
+        for j in range(n_new):
+            row = block[base[j]]
+            neighbour = block[neighbour_idx[base[j], pick[j]]]
+            out[j] = row + gaps[j, 0] * (neighbour - row)
+        return out
+
+
+def reference_tfidf_transform(
+    vectorizer: TfidfVectorizer, documents: Sequence[Sequence[str]]
+) -> sp.csr_matrix:
+    """The per-document dict + ``sorted(counts)`` CSR assembly loop.
+
+    Reads the fitted vocabulary/IDF (and the vectorizer's configured
+    flags) and rebuilds the TF-IDF matrix the way
+    ``TfidfVectorizer.transform`` did before the batched construction;
+    the output must be bit-identical (same data, indices, indptr).
+
+    Args:
+        vectorizer: a fitted :class:`repro.text.term_vector.TfidfVectorizer`.
+        documents: tokenized documents.
+    """
+    vocab = vectorizer.vocabulary
+    idf = vectorizer.idf
+    sublinear = vectorizer._sublinear_tf
+    normalize = vectorizer._normalize
+    indptr = [0]
+    indices: list[int] = []
+    data: list[float] = []
+    for doc in documents:
+        counts: Counter[int] = Counter()
+        for term in doc:
+            idx = vocab.index_of(term)
+            if idx is not None:
+                counts[idx] += 1
+        for idx in sorted(counts):
+            tf = float(counts[idx])
+            if sublinear:
+                tf = 1.0 + np.log(tf)
+            indices.append(idx)
+            data.append(tf * idf[idx])
+        indptr.append(len(indices))
+    matrix = sp.csr_matrix(
+        (np.asarray(data), np.asarray(indices, dtype=np.int32), indptr),
+        shape=(len(documents), len(vocab)),
+        dtype=np.float64,
+    )
+    if normalize:
+        matrix = _l2_normalize_rows(matrix)
+    return matrix

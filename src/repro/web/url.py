@@ -15,6 +15,7 @@ understands a small embedded list of multi-part public suffixes
 
 from __future__ import annotations
 
+import functools
 import re
 from dataclasses import dataclass
 
@@ -79,8 +80,14 @@ class ParsedURL:
 
 
 @sanitizes("path", "regex", "report")
+@functools.lru_cache(maxsize=65536)
 def parse_url(url: str) -> ParsedURL:
     """Parse an absolute ``http(s)`` URL.
+
+    Results are memoized (bounded LRU): parsing is pure, the returned
+    :class:`ParsedURL` is frozen, and link-graph construction calls this
+    on the same handful of URL strings hundreds of thousands of times.
+    Failed parses raise and are never cached.
 
     Declared a sanitizer for the ``path``/``regex``/``report`` sink
     categories: parsing rejects everything but a lowercased

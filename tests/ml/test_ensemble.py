@@ -101,6 +101,27 @@ class TestEnsembleSelection:
         with pytest.raises(ValueError):
             EnsembleSelection(max_rounds=-1)
 
+    def test_bag_stable_under_library_order(self):
+        # Selection walks candidates in sorted-name order and breaks
+        # ties deterministically, so the bag must not depend on the
+        # order the library list is passed in — including when two
+        # models predict identically (the tie-break case).
+        rng = np.random.default_rng(5)
+        y = (rng.random(40) < 0.4).astype(int)
+        idx = np.arange(40)
+        tables = {}
+        for m in range(6):
+            scores = np.clip(0.6 * y + 0.2 + rng.normal(scale=0.3, size=40), 0, 1)
+            tables[f"m{m}"] = proba_from_scores(scores)
+        tables["m6-twin"] = tables["m0"].copy()  # exact duplicate of m0
+        models = [make_model(name, table) for name, table in tables.items()]
+        baseline = EnsembleSelection().fit(models, idx, y).bag_counts
+        for seed in range(4):
+            shuffled = list(models)
+            np.random.default_rng(seed).shuffle(shuffled)
+            bag = EnsembleSelection().fit(shuffled, idx, y).bag_counts
+            assert bag == baseline
+
     def test_custom_metric_used(self):
         calls = []
 

@@ -111,6 +111,39 @@ class TestC45Tree:
         b = C45Tree().fit(X, y).predict_proba(X)
         assert np.allclose(a, b)
 
+    def test_max_features_subsamples_candidates(self):
+        rng = np.random.default_rng(2)
+        X = rng.random((80, 10))
+        y = (X[:, 0] > 0.5).astype(int)
+        clf = C45Tree(max_features=2, seed=0).fit(X, y)
+        assert clf.predict(X).shape == (80,)
+
+    def test_max_features_seeded_refit_is_deterministic(self):
+        # fit() draws its max_features subsets from a per-fit RNG
+        # seeded with the constructor seed, so refitting the same
+        # instance reproduces the identical tree.
+        rng = np.random.default_rng(3)
+        X = rng.random((120, 8))
+        y = (X[:, 2] + X[:, 5] > 1.0).astype(int)
+        clf = C45Tree(max_features=3, seed=42)
+        first = clf.fit(X, y).to_text()
+        second = clf.fit(X, y).to_text()
+        assert first == second
+
+    def test_max_features_clone_reproduces_tree(self):
+        from repro.ml.base import clone
+
+        rng = np.random.default_rng(4)
+        X = rng.random((120, 8))
+        y = (X[:, 0] - X[:, 4] > 0.0).astype(int)
+        proto = C45Tree(max_features=3, seed=7)
+        copy = clone(proto)
+        assert copy.get_params() == proto.get_params()
+        a = proto.fit(X, y)
+        b = copy.fit(X, y)
+        assert a.to_text() == b.to_text()
+        assert np.array_equal(a.predict_proba(X), b.predict_proba(X))
+
 
 class TestTreeTextExport:
     def test_leaf_only_tree(self):

@@ -122,6 +122,20 @@ class TestTfidfVectorizer:
         b = TfidfVectorizer().fit(self.DOCS).vocabulary.terms()
         assert a == b == tuple(sorted(a))
 
+    def test_batched_transform_matches_reference_loop(self):
+        # The batched CSR assembly must be bit-identical (same data,
+        # indices, indptr) to the per-document dict loop it replaced.
+        from repro.perf.reference import reference_tfidf_transform
+
+        vectorizer = TfidfVectorizer().fit(self.DOCS)
+        docs = self.DOCS + [["cherry", "unseen", "apple", "apple"], []]
+        fast = vectorizer.transform(docs)
+        slow = reference_tfidf_transform(vectorizer, docs)
+        assert fast.shape == slow.shape
+        np.testing.assert_array_equal(fast.indptr, slow.indptr)
+        np.testing.assert_array_equal(fast.indices, slow.indices)
+        np.testing.assert_array_equal(fast.data, slow.data)
+
 
 @given(
     docs=st.lists(
