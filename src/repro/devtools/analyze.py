@@ -1,0 +1,162 @@
+"""repro-analyze: one invocation for all three analyzers.
+
+Usage::
+
+    python -m repro.devtools.analyze [paths ...]
+        [--sarif PATH] [--format text|json] [--no-baseline]
+
+Runs ``repro-lint`` (per-module rules), ``repro-flow`` (interprocedural
+taint/determinism) and ``repro-conc`` (concurrency-safety) over the
+same paths.  The two interprocedural analyzers share a single parsed
+project and call graph, so the umbrella costs one front-end pass, not
+three.
+
+Each tool is gated against *its own* baseline file
+(``.repro-lint-baseline.json`` / ``.repro-flow-baseline.json`` /
+``.repro-conc-baseline.json``; a missing file is an empty baseline).
+Exit status: 0 when no tool has new findings, 1 when any does, 2 on
+usage errors.
+
+``--sarif PATH`` writes a single SARIF 2.1.0 document with one run per
+tool — the merged artifact CI uploads instead of per-tool files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.devtools.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.devtools.conc import cli as conc_cli
+from repro.devtools.conc.cli import DEFAULT_CONC_BASELINE_NAME
+from repro.devtools.conc.registry import CONC_RULES
+from repro.devtools.emit import render_sarif_document, sarif_run
+from repro.devtools.findings import Finding
+from repro.devtools.flow import cli as flow_cli
+from repro.devtools.flow.analysis import analyze_project
+from repro.devtools.flow.cli import DEFAULT_FLOW_BASELINE_NAME
+from repro.devtools.flow.registry import FLOW_RULES
+from repro.devtools.lint import lint_paths
+from repro.devtools.rules import RULES
+
+__all__ = ["main", "run_all"]
+
+
+def _lint_catalog() -> dict[str, str]:
+    return {rule.rule_id: rule.summary for rule in RULES}
+
+
+def run_all(
+    paths: Sequence[str], use_baselines: bool = True
+) -> list[tuple[str, Path, list[Finding], list[Finding], dict[str, str]]]:
+    """Run lint, flow and conc over ``paths``.
+
+    Returns one ``(tool, baseline_path, new, grandfathered, catalog)``
+    tuple per tool, in fixed lint/flow/conc order.  Baseline files are
+    resolved relative to the current directory, matching each tool's
+    standalone CLI.
+    """
+    analysis = analyze_project(paths)
+    flow_findings, _ = flow_cli.analyze_paths(paths, analysis=analysis)
+    conc_findings, _ = conc_cli.analyze_paths(paths, analysis=analysis)
+    per_tool = [
+        ("repro-lint", Path(DEFAULT_BASELINE_NAME), lint_paths(paths), _lint_catalog()),
+        ("repro-flow", Path(DEFAULT_FLOW_BASELINE_NAME), flow_findings, dict(FLOW_RULES)),
+        ("repro-conc", Path(DEFAULT_CONC_BASELINE_NAME), conc_findings, dict(CONC_RULES)),
+    ]
+    results = []
+    for tool, baseline_path, findings, catalog in per_tool:
+        baseline = Baseline.load(baseline_path) if use_baselines else Baseline()
+        new, grandfathered = baseline.filter(findings)
+        results.append((tool, baseline_path, new, grandfathered, catalog))
+    return results
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.analyze",
+        description="Run repro-lint, repro-flow and repro-conc in one pass.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="package directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--sarif",
+        default=None,
+        metavar="PATH",
+        help="write a merged SARIF document (one run per tool) to PATH",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore all baseline files; report every finding",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = _build_parser().parse_args(argv)
+
+    missing = [raw for raw in args.paths if not Path(raw).is_dir()]
+    if missing:
+        sys.stderr.write(
+            f"error: not (a) director(y/ies): {', '.join(missing)}\n"
+        )
+        return 2
+
+    try:
+        results = run_all(args.paths, use_baselines=not args.no_baseline)
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        sys.stderr.write(f"error: {exc}\n")
+        return 2
+
+    if args.sarif:
+        runs = [
+            sarif_run(tool, new, catalog)
+            for tool, _, new, _, catalog in results
+        ]
+        Path(args.sarif).write_text(
+            render_sarif_document(runs) + "\n", encoding="utf-8"
+        )
+
+    total_new = sum(len(new) for _, _, new, _, _ in results)
+    if args.format == "json":
+        payload = {
+            tool: {
+                "new": [f.render() for f in new],
+                "baselined": len(grandfathered),
+            }
+            for tool, _, new, grandfathered, _ in results
+        }
+        payload["total_new"] = total_new
+        sys.stdout.write(json.dumps(payload, indent=2) + "\n")
+    else:
+        for tool, _, new, grandfathered, _ in results:
+            for finding in new:
+                sys.stdout.write(f"[{tool}] {finding.render()}\n")
+            suffix = (
+                f" ({len(grandfathered)} baselined)" if grandfathered else ""
+            )
+            status = f"{len(new)} new finding(s)" if new else "clean"
+            sys.stdout.write(f"{tool}: {status}{suffix}\n")
+        if total_new:
+            sys.stdout.write(f"found {total_new} new finding(s) in total\n")
+
+    return 1 if total_new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

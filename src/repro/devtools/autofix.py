@@ -1,10 +1,15 @@
-"""Autofixes for cheap-to-rewrite rules (currently R001).
+"""Autofixes for cheap-to-rewrite rules (R001 and R009).
 
 The R001 fix swaps a banned builtin exception for its
 :mod:`repro.exceptions` replacement on the ``raise`` line and ensures
 the replacement is imported, merging into an existing
 ``from repro.exceptions import ...`` statement when the module already
 has one.
+
+The R009 fix converts a mutated mutable default to the ``None``
+sentinel: the default expression is replaced by ``None`` on the
+``def`` line and an ``if param is None: param = <original>`` guard is
+inserted at the top of the body (below the docstring).
 """
 
 from __future__ import annotations
@@ -16,7 +21,7 @@ from typing import Sequence
 from repro.devtools.findings import Finding
 from repro.devtools.rules import R001_FIX_MAP
 
-__all__ = ["apply_r001_fixes"]
+__all__ = ["apply_r001_fixes", "apply_r009_fixes"]
 
 _EXCEPTIONS_MODULE = "repro.exceptions"
 _MAX_LINE = 79
@@ -109,6 +114,106 @@ def apply_r001_fixes(source: str, findings: Sequence[Finding]) -> str:
             lines[0:0] = rendered
         else:
             lines[after:after] = rendered
+    result = "\n".join(lines)
+    if trailing_newline and not result.endswith("\n"):
+        result += "\n"
+    return result
+
+
+def _function_for_default(
+    tree: ast.Module, line: int, column: int
+) -> tuple[ast.FunctionDef | ast.AsyncFunctionDef, str, ast.expr] | None:
+    """Locate ``(function, param_name, default_node)`` for a finding.
+
+    R009 findings anchor on the default expression, so the match is by
+    the default node's exact position.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        args = node.args
+        positional = args.posonlyargs + args.args
+        paired = list(
+            zip(positional, [None] * (len(positional) - len(args.defaults)) + list(args.defaults))
+        ) + list(zip(args.kwonlyargs, args.kw_defaults))
+        for arg, default in paired:
+            if (
+                default is not None
+                and default.lineno == line
+                and default.col_offset == column
+            ):
+                return node, arg.arg, default
+    return None
+
+
+def apply_r009_fixes(source: str, findings: Sequence[Finding]) -> str:
+    """Rewrite ``source`` fixing the given R009 findings.
+
+    Each fix replaces the default with ``None`` and inserts a sentinel
+    guard re-creating the original expression at the top of the body.
+    Multi-line defaults are left alone (``fixable`` is already False
+    for them, but the guard here keeps the rewrite safe regardless).
+
+    Returns:
+        The fixed source (unchanged when nothing was fixable).
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return source
+    lines = source.splitlines()
+    trailing_newline = source.endswith("\n")
+
+    replacements: list[tuple[int, int, int, str]] = []  # line, start, end, text
+    guards: list[tuple[int, list[str]]] = []  # insert-before line (1-based), lines
+    for finding in findings:
+        if finding.rule != "R009" or not finding.fixable:
+            continue
+        located = _function_for_default(tree, finding.line, finding.column)
+        if located is None:
+            continue
+        func, param, default = located
+        if default.lineno != (default.end_lineno or default.lineno):
+            continue
+        literal = ast.get_source_segment(source, default)
+        if literal is None:
+            continue
+        replacements.append(
+            (default.lineno, default.col_offset, default.end_col_offset or 0, "None")
+        )
+        body = func.body
+        if body[0].lineno <= default.lineno:
+            # One-line def: no body line to insert the guard before.
+            replacements.pop()
+            continue
+        insert_at = body[0].lineno
+        if (
+            isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+            and len(body) > 1
+        ):
+            insert_at = body[1].lineno
+        indent = " " * body[-1].col_offset
+        guards.append(
+            (
+                insert_at,
+                [
+                    f"{indent}if {param} is None:",
+                    f"{indent}    {param} = {literal}",
+                ],
+            )
+        )
+    if not replacements:
+        return source
+
+    # Same-line replacements right-to-left so earlier offsets stay valid.
+    for line, start, end, text in sorted(replacements, reverse=True):
+        idx = line - 1
+        lines[idx] = lines[idx][:start] + text + lines[idx][end:]
+    # Guards bottom-up so earlier insertion points stay valid.
+    for insert_at, guard_lines in sorted(guards, reverse=True):
+        lines[insert_at - 1 : insert_at - 1] = guard_lines
     result = "\n".join(lines)
     if trailing_newline and not result.endswith("\n"):
         result += "\n"

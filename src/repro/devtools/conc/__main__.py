@@ -1,0 +1,10 @@
+"""``python -m repro.devtools.conc`` entry point."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.devtools.conc.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

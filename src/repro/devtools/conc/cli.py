@@ -1,18 +1,18 @@
-"""repro-flow: interprocedural taint + determinism analysis CLI.
+"""repro-conc: parallel-safety & cache-coherence analysis CLI.
 
 Usage::
 
-    python -m repro.devtools.flow [package-dirs ...]
+    python -m repro.devtools.conc [package-dirs ...]
         [--baseline PATH] [--no-baseline] [--write-baseline]
-        [--justification TEXT] [--entry QUALNAME ...]
-        [--format text|json|sarif|github] [--list-rules]
+        [--justification TEXT] [--format text|json|sarif|github]
+        [--list-rules]
 
 With no paths, ``src/repro`` is analyzed.  Exit status mirrors
-repro-lint: 0 when no new findings (baselined findings do not fail the
-run), 1 when new findings exist, 2 on usage errors.
+repro-lint/repro-flow: 0 when no new findings (baselined findings do
+not fail the run), 1 when new findings exist, 2 on usage errors.
 
-The default baseline file is ``.repro-flow-baseline.json`` so flow and
-lint baselines never collide.
+The default baseline file is ``.repro-conc-baseline.json`` so the
+three analyzers' baselines never collide.
 """
 
 from __future__ import annotations
@@ -24,41 +24,31 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.devtools.baseline import Baseline
+from repro.devtools.conc.analyzer import conc_findings
+from repro.devtools.conc.registry import CONC_RULES
 from repro.devtools.emit import render_github, render_sarif
-from repro.devtools.findings import Finding, assign_occurrences
+from repro.devtools.findings import Finding
 from repro.devtools.flow.analysis import ProjectAnalysis, analyze_project
-from repro.devtools.flow.determinism import determinism_findings
-from repro.devtools.flow.registry import FLOW_RULES
 
-__all__ = ["main", "analyze_paths", "DEFAULT_FLOW_BASELINE_NAME"]
+__all__ = ["main", "analyze_paths", "DEFAULT_CONC_BASELINE_NAME"]
 
-DEFAULT_FLOW_BASELINE_NAME = ".repro-flow-baseline.json"
+DEFAULT_CONC_BASELINE_NAME = ".repro-conc-baseline.json"
 
-_TOOL_NAME = "repro-flow"
+_TOOL_NAME = "repro-conc"
 
 
 def analyze_paths(
-    paths: Sequence[str],
-    entrypoints: Sequence[str] = (),
-    analysis: ProjectAnalysis | None = None,
+    paths: Sequence[str], analysis: ProjectAnalysis | None = None
 ) -> tuple[list[Finding], list[tuple[str, int, str]]]:
-    """Run both flow analyses over package directories.
+    """Run the concurrency analysis over package directories.
 
     Returns (findings, load_errors); findings are occurrence-stamped
-    and sorted in report order.  Pass a pre-built ``analysis`` (from
-    :func:`repro.devtools.flow.analysis.analyze_project`) to share one
-    front-end pass with other analyzers.
+    and sorted in report order.  Pass a pre-built ``analysis`` to share
+    one front-end pass with repro-flow.
     """
     if analysis is None:
         analysis = analyze_project(paths)
-    findings = list(analysis.result.taint_findings)
-    findings.extend(
-        determinism_findings(
-            analysis.project, analysis.result, analysis.graph, entrypoints
-        )
-    )
-    findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
-    return assign_occurrences(findings), analysis.project.errors
+    return conc_findings(analysis)
 
 
 def _render_text(
@@ -105,10 +95,10 @@ def _render_json(
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="python -m repro.devtools.flow",
+        prog="python -m repro.devtools.conc",
         description=(
-            "Interprocedural taint + determinism dataflow analysis for the "
-            "repro codebase."
+            "Parallel-safety and cache-coherence static analysis for the "
+            "repro codebase (rules C001-C006)."
         ),
     )
     parser.add_argument(
@@ -120,7 +110,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--baseline",
         default=None,
-        help=f"baseline file (default: ./{DEFAULT_FLOW_BASELINE_NAME} when present)",
+        help=f"baseline file (default: ./{DEFAULT_CONC_BASELINE_NAME} when present)",
     )
     parser.add_argument(
         "--no-baseline",
@@ -136,16 +126,6 @@ def _build_parser() -> argparse.ArgumentParser:
         "--justification",
         default="",
         help="note recorded on every entry written by --write-baseline",
-    )
-    parser.add_argument(
-        "--entry",
-        action="append",
-        default=[],
-        metavar="QUALNAME",
-        help=(
-            "extra determinism entrypoint (fully qualified function name); "
-            "repeatable"
-        ),
     )
     parser.add_argument(
         "--format",
@@ -166,7 +146,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
     if args.list_rules:
-        for rule_id, summary in FLOW_RULES.items():
+        for rule_id, summary in CONC_RULES.items():
             sys.stdout.write(f"{rule_id}  {summary}\n")
         return 0
 
@@ -177,12 +157,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         return 2
 
-    findings, load_errors = analyze_paths(args.paths, entrypoints=args.entry)
+    findings, load_errors = analyze_paths(args.paths)
     for path, line, message in load_errors:
         sys.stderr.write(f"warning: {path}:{line}: {message}\n")
 
     baseline_path = (
-        Path(args.baseline) if args.baseline else Path(DEFAULT_FLOW_BASELINE_NAME)
+        Path(args.baseline) if args.baseline else Path(DEFAULT_CONC_BASELINE_NAME)
     )
     if args.write_baseline:
         Baseline.from_findings(findings, justification=args.justification).save(
@@ -203,7 +183,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     stale = baseline.stale_fingerprints(findings)
 
     if args.format == "sarif":
-        sys.stdout.write(render_sarif(_TOOL_NAME, new, FLOW_RULES) + "\n")
+        sys.stdout.write(render_sarif(_TOOL_NAME, new, CONC_RULES) + "\n")
     elif args.format == "github":
         sys.stdout.write(render_github(new) + "\n")
     elif args.format == "json":

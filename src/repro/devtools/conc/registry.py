@@ -1,0 +1,136 @@
+"""Rule catalogue and shared configuration for ``repro-conc``.
+
+The concurrency analyzer guards the two contracts the perf layer
+documents but nothing verifies statically:
+
+* :func:`repro.perf.pmap` is deterministic and order-stable **only
+  if** worker callables are picklable, draw no ambient state, and
+  write nothing the parent expects to observe (fork semantics: child
+  mutations of globals silently vanish);
+* :class:`repro.perf.FeatureCache` hits are correct **only if** every
+  input the memoized computation reads is folded into the key.
+
+Rules C001–C006 each police one way those contracts break.  Findings
+are suppressed with ``# repro-conc: disable=C003`` comments (same
+syntax as repro-lint/repro-flow, different marker).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CONC_RULES",
+    "SUPPRESSION_MARKER",
+    "MUTATOR_METHODS",
+    "MUTABLE_FACTORIES",
+    "EXECUTOR_FACTORIES",
+    "FORK_UNSAFE_FACTORIES",
+    "EXECUTION_KNOBS",
+    "ATOMIC_IO_EXEMPT_SUFFIXES",
+    "WRITE_MODE_CHARS",
+]
+
+#: Marker recognised in suppression comments.
+SUPPRESSION_MARKER = "repro-conc"
+
+CONC_RULES: dict[str, str] = {
+    "C001": (
+        "worker-reachable code mutates shared module-level mutable state "
+        "(in-place writes diverge or vanish across process boundaries)"
+    ),
+    "C002": (
+        "worker-reachable code rebinds a global or writes a class "
+        "attribute (the write is lost in the parent under fork)"
+    ),
+    "C003": (
+        "nondeterminism (unseeded RNG, wall clock, unordered iteration) "
+        "reachable from a parallel worker — fork-divergent results"
+    ),
+    "C004": (
+        "non-atomic file write in worker- or cache-reachable code; use "
+        "repro.io atomic helpers (torn artifacts on crash or overlap)"
+    ),
+    "C005": (
+        "cache key omits an input the memoized computation reads "
+        "(stale hits when the omitted input changes)"
+    ),
+    "C006": (
+        "unpicklable or fork-unsafe callable submitted to a process "
+        "pool (lambda, nested function, or captured handle/lock)"
+    ),
+}
+
+#: Method names that mutate their receiver in place.
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "add",
+        "discard",
+        "appendleft",
+        "extendleft",
+        "sort",
+        "reverse",
+    }
+)
+
+#: Callables whose result is a shared mutable container when assigned
+#: at module level.
+MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter", "OrderedDict"}
+)
+
+#: Constructors that create a process/thread pool executor.
+EXECUTOR_FACTORIES = frozenset({"ProcessPoolExecutor", "ThreadPoolExecutor"})
+
+#: Constructors whose instances cannot cross a pickle/fork boundary
+#: when captured in a submitted callable's defaults.
+FORK_UNSAFE_FACTORIES = frozenset(
+    {
+        "Lock",
+        "RLock",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Condition",
+        "Event",
+        "Barrier",
+        "open",
+        "ProcessPoolExecutor",
+        "ThreadPoolExecutor",
+    }
+)
+
+#: Parameter names that tune *how* a computation runs, never *what* it
+#: computes — legitimately absent from cache keys (pmap is order-stable
+#: at any worker count, so ``jobs`` cannot change a cached value).
+EXECUTION_KNOBS = frozenset(
+    {
+        "jobs",
+        "n_jobs",
+        "workers",
+        "max_workers",
+        "chunksize",
+        "executor",
+        "pool",
+        "verbose",
+        "progress",
+        "cache",
+        "cache_dir",
+        "cache_fingerprint",
+        "timeout",
+        "logger",
+    }
+)
+
+#: Module-path suffixes exempt from C004: the atomic helpers themselves
+#: must open temp files with write modes.
+ATOMIC_IO_EXEMPT_SUFFIXES: tuple[str, ...] = ("repro/io.py",)
+
+#: ``open()`` mode characters that make the call a write.
+WRITE_MODE_CHARS = frozenset("wax+")

@@ -1,11 +1,14 @@
 """Shared report emitters for the devtools CLIs.
 
-Both ``repro.devtools.lint`` and ``repro.devtools.flow`` produce
+``repro.devtools.lint``, ``repro.devtools.flow`` and
+``repro.devtools.conc`` all produce
 :class:`~repro.devtools.findings.Finding` objects; this module renders
 them in the machine formats CI consumes:
 
-* :func:`render_sarif` — SARIF 2.1.0, for GitHub code-scanning upload
-  (inline PR annotations on exactly the offending lines);
+* :func:`sarif_run` / :func:`render_sarif_document` — one SARIF run per
+  tool and the enclosing 2.1.0 document; ``repro-analyze`` merges the
+  three analyzers into a single upload this way;
+* :func:`render_sarif` — single-tool convenience wrapper over the two;
 * :func:`render_github` — GitHub Actions workflow commands
   (``::error file=...``), the zero-setup alternative when the
   code-scanning feature is unavailable.
@@ -21,7 +24,14 @@ from typing import Mapping, Sequence
 
 from repro.devtools.findings import Finding
 
-__all__ = ["render_sarif", "render_github", "SARIF_SCHEMA_URI", "SARIF_VERSION"]
+__all__ = [
+    "sarif_run",
+    "render_sarif_document",
+    "render_sarif",
+    "render_github",
+    "SARIF_SCHEMA_URI",
+    "SARIF_VERSION",
+]
 
 SARIF_VERSION = "2.1.0"
 SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
@@ -29,21 +39,22 @@ SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
 _INFO_URI = "https://github.com/repro/repro/blob/main/docs/devtools.md"
 
 
-def render_sarif(
+def sarif_run(
     tool_name: str,
     findings: Sequence[Finding],
     rule_catalog: Mapping[str, str],
-) -> str:
-    """Render ``findings`` as a SARIF 2.1.0 document.
+) -> dict:
+    """Build one SARIF ``run`` object for a single tool.
 
     Args:
-        tool_name: SARIF driver name (``"repro-lint"`` / ``"repro-flow"``).
+        tool_name: SARIF driver name (``"repro-lint"`` / ``"repro-flow"``
+            / ``"repro-conc"``).
         findings: baseline-filtered findings to report.
         rule_catalog: rule id -> one-line description, for the driver's
             rule metadata (ids missing from the catalog still emit).
 
     Returns:
-        The SARIF JSON text (stable key order, 2-space indent).
+        A dict suitable for the ``runs`` array of a SARIF document.
     """
     rule_ids = sorted(set(rule_catalog) | {f.rule for f in findings})
     rules = [
@@ -84,23 +95,39 @@ def render_sarif(
         }
         for finding in findings
     ]
+    return {
+        "tool": {
+            "driver": {
+                "name": tool_name,
+                "informationUri": _INFO_URI,
+                "rules": rules,
+            }
+        },
+        "results": results,
+    }
+
+
+def render_sarif_document(runs: Sequence[Mapping]) -> str:
+    """Render SARIF ``run`` objects as one SARIF 2.1.0 document.
+
+    Returns:
+        The SARIF JSON text (stable key order, 2-space indent).
+    """
     document = {
         "$schema": SARIF_SCHEMA_URI,
         "version": SARIF_VERSION,
-        "runs": [
-            {
-                "tool": {
-                    "driver": {
-                        "name": tool_name,
-                        "informationUri": _INFO_URI,
-                        "rules": rules,
-                    }
-                },
-                "results": results,
-            }
-        ],
+        "runs": list(runs),
     }
     return json.dumps(document, indent=2)
+
+
+def render_sarif(
+    tool_name: str,
+    findings: Sequence[Finding],
+    rule_catalog: Mapping[str, str],
+) -> str:
+    """Render a single tool's findings as a complete SARIF document."""
+    return render_sarif_document([sarif_run(tool_name, findings, rule_catalog)])
 
 
 def _escape_property(text: str) -> str:

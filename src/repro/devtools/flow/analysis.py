@@ -1,0 +1,43 @@
+"""Shared project-analysis pipeline for the dataflow-based analyzers.
+
+``repro-flow`` and ``repro-conc`` both need the same expensive
+front-end: parse the package trees into a :class:`~repro.devtools.flow.
+project.Project`, run the summary fixpoint (:func:`~repro.devtools.
+flow.interp.run_analysis`), and build the call graph.  This module
+exposes that pipeline once so the concurrency analyzer reuses flow's
+summaries instead of re-deriving them, and so a combined driver
+(``repro-analyze``) can share one pass per package tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.devtools.flow.callgraph import CallGraph, build_call_graph
+from repro.devtools.flow.interp import AnalysisResult, run_analysis
+from repro.devtools.flow.project import Project, load_project
+
+__all__ = ["ProjectAnalysis", "analyze_project"]
+
+
+@dataclass(slots=True)
+class ProjectAnalysis:
+    """One fully analyzed package tree: structure, summaries, graph."""
+
+    project: Project
+    result: AnalysisResult
+    graph: CallGraph
+
+    @property
+    def load_errors(self) -> list[tuple[str, int, str]]:
+        """(path, line, message) for files that failed to parse."""
+        return self.project.errors
+
+
+def analyze_project(paths: Sequence[str]) -> ProjectAnalysis:
+    """Load, summarize, and graph the package tree(s) under ``paths``."""
+    project = load_project(paths)
+    result = run_analysis(project)
+    graph = build_call_graph(project, result)
+    return ProjectAnalysis(project=project, result=result, graph=graph)

@@ -35,6 +35,12 @@ __all__ = [
 
 _SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist"}
 
+#: Suppression-comment markers parsed for every module.  ``repro-flow``
+#: feeds :attr:`ModuleUnit.line_suppressions`; the rest are reachable
+#: through :meth:`ModuleUnit.is_suppressed_marker` (the concurrency
+#: analyzer reads ``repro-conc``).
+SUPPRESSION_MARKERS = ("repro-flow", "repro-conc")
+
 #: Module path suffixes whose public functions/methods are experiment
 #: entrypoints for the determinism analysis.
 ENTRY_MODULE_SUFFIXES = ("cli.py", "runner.py", "_pipeline.py")
@@ -104,6 +110,11 @@ class ModuleUnit:
     functions: dict[str, FunctionUnit] = field(default_factory=dict)
     line_suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
     file_suppressions: frozenset[str] = frozenset()
+    #: marker -> (per-line suppressions, file-wide suppressions) for
+    #: every entry of :data:`SUPPRESSION_MARKERS`.
+    marker_suppressions: dict[
+        str, tuple[dict[int, frozenset[str]], frozenset[str]]
+    ] = field(default_factory=dict)
 
     def source_line(self, lineno: int) -> str:
         """The stripped source text at 1-based ``lineno``."""
@@ -112,10 +123,19 @@ class ModuleUnit:
         return ""
 
     def is_suppressed(self, rule_id: str, lineno: int) -> bool:
-        """Whether ``rule_id`` is disabled at ``lineno``."""
+        """Whether ``rule_id`` is disabled at ``lineno`` (repro-flow)."""
         if rule_id in self.file_suppressions or "all" in self.file_suppressions:
             return True
         ids = self.line_suppressions.get(lineno, frozenset())
+        return rule_id in ids or "all" in ids
+
+    def is_suppressed_marker(self, marker: str, rule_id: str, lineno: int) -> bool:
+        """Whether ``rule_id`` is disabled at ``lineno`` for ``marker``
+        (e.g. a ``# repro-conc: disable=C003`` comment)."""
+        per_line, file_wide = self.marker_suppressions.get(marker, ({}, frozenset()))
+        if rule_id in file_wide or "all" in file_wide:
+            return True
+        ids = per_line.get(lineno, frozenset())
         return rule_id in ids or "all" in ids
 
 
@@ -329,7 +349,11 @@ def load_project(paths: Sequence[str]) -> Project:
                 )
                 continue
             lines = source.splitlines()
-            per_line, file_wide = parse_suppressions(lines, marker="repro-flow")
+            by_marker = {
+                marker: parse_suppressions(lines, marker=marker)
+                for marker in SUPPRESSION_MARKERS
+            }
+            per_line, file_wide = by_marker["repro-flow"]
             module = ModuleUnit(
                 name=_module_name(root, file_path),
                 path=posix,
@@ -338,6 +362,7 @@ def load_project(paths: Sequence[str]) -> Project:
                 is_package=file_path.name == "__init__.py",
                 line_suppressions=per_line,
                 file_suppressions=file_wide,
+                marker_suppressions=by_marker,
             )
             project.modules[module.name] = module
             _collect_imports(module)

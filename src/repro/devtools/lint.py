@@ -20,7 +20,7 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from repro.devtools.autofix import apply_r001_fixes
+from repro.devtools.autofix import apply_r001_fixes, apply_r009_fixes
 from repro.devtools.baseline import DEFAULT_BASELINE_NAME, Baseline
 from repro.devtools.emit import render_github, render_sarif
 from repro.devtools.findings import Finding, assign_occurrences
@@ -62,8 +62,11 @@ def lint_paths(
 
     Args:
         paths: files or directories to lint.
-        fix: apply cheap autofixes (R001) in place, then re-lint the
-            fixed source so the report reflects the post-fix tree.
+        fix: apply cheap autofixes (R001, R009) in place, then re-lint
+            the fixed source so the report reflects the post-fix tree.
+            Fixers run one at a time with a re-lint in between, so the
+            findings each fixer sees carry line numbers valid for the
+            source it rewrites.
         fixed_files: when given, paths of files ``--fix`` rewrote are
             appended (lets the CLI exit non-zero on applied fixes).
 
@@ -99,12 +102,17 @@ def lint_paths(
             )
             continue
         findings = _lint_module(module)
-        if fix and any(f.fixable for f in findings):
-            fixed = apply_r001_fixes(source, findings)
-            if fixed != source:
+        if fix:
+            for apply_fn in (apply_r001_fixes, apply_r009_fixes):
+                if not any(f.fixable for f in findings):
+                    break
+                fixed = apply_fn(source, findings)
+                if fixed == source:
+                    continue
                 file_path.write_text(fixed, encoding="utf-8")
-                if fixed_files is not None:
+                if fixed_files is not None and str(file_path) not in fixed_files:
                     fixed_files.append(str(file_path))
+                source = fixed
                 module = parse_module(str(file_path), fixed)
                 findings = _lint_module(module)
         all_findings.extend(findings)
@@ -188,7 +196,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--fix",
         action="store_true",
-        help="apply cheap autofixes in place (currently R001)",
+        help="apply cheap autofixes in place (R001, R009)",
     )
     parser.add_argument(
         "--format",

@@ -23,6 +23,11 @@ R008      no bare or over-broad exception handlers (``except:``,
           ``except Exception:``, ``except BaseException:``) in library
           code — handlers that re-raise (cleanup blocks ending in a
           bare ``raise``) and the ``devtools`` layer are exempt
+R009      mutable default argument that the function body *mutates*
+          (``def f(x, acc=[]): acc.append(x)``) — state leaks across
+          calls; autofixable to a ``None`` sentinel.  The syntactic
+          superset (any mutable default) is R004; R009 is the
+          escalation repro-conc's C001 generalizes across processes
 ========  ==============================================================
 
 Violations are suppressed line-by-line with ``# repro-lint:
@@ -528,6 +533,117 @@ def _check_r004(module: ModuleInfo) -> list[Finding]:
 
 
 # --------------------------------------------------------------------------
+# R009 — mutable default arguments that the body mutates
+# --------------------------------------------------------------------------
+
+#: Method names that mutate their receiver in place (R009).
+_PARAM_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "add",
+        "discard",
+        "sort",
+        "reverse",
+    }
+)
+
+
+def _iter_own_scope(body: Sequence[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk a function body without entering nested defs/classes."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _mutated_params(
+    node: ast.FunctionDef | ast.AsyncFunctionDef, candidates: frozenset[str]
+) -> set[str]:
+    """Which of ``candidates`` the function body mutates in place."""
+    mutated: set[str] = set()
+    for child in _iter_own_scope(node.body):
+        if (
+            isinstance(child, ast.Call)
+            and isinstance(child.func, ast.Attribute)
+            and child.func.attr in _PARAM_MUTATOR_METHODS
+            and isinstance(child.func.value, ast.Name)
+            and child.func.value.id in candidates
+        ):
+            mutated.add(child.func.value.id)
+        elif isinstance(child, (ast.Assign, ast.AugAssign)):
+            targets = child.targets if isinstance(child, ast.Assign) else [child.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in candidates
+                ):
+                    mutated.add(target.value.id)
+        elif isinstance(child, ast.Delete):
+            for target in child.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in candidates
+                ):
+                    mutated.add(target.value.id)
+    return mutated
+
+
+def _check_r009(module: ModuleInfo) -> list[Finding]:
+    findings = []
+    for node, symbol in _walk_scoped(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        qualname = node.name if symbol == "<module>" else f"{symbol}.{node.name}"
+        args = node.args
+        paired = list(
+            zip(
+                args.posonlyargs + args.args,
+                [None] * (len(args.posonlyargs) + len(args.args) - len(args.defaults))
+                + list(args.defaults),
+            )
+        ) + list(zip(args.kwonlyargs, args.kw_defaults))
+        defaults_by_param = {
+            arg.arg: default
+            for arg, default in paired
+            if default is not None and _is_mutable_default(default)
+        }
+        if not defaults_by_param:
+            continue
+        for name in sorted(
+            _mutated_params(node, frozenset(defaults_by_param))
+        ):
+            default = defaults_by_param[name]
+            findings.append(
+                _finding(
+                    module,
+                    "R009",
+                    default,
+                    f"mutable default for `{name}` of {qualname}() is "
+                    "mutated in the body — state leaks across calls; use a "
+                    "None sentinel and create inside",
+                    symbol,
+                    fixable=default.lineno == (default.end_lineno or default.lineno),
+                )
+            )
+    return findings
+
+
+# --------------------------------------------------------------------------
 # R005 — no print() in library code
 # --------------------------------------------------------------------------
 
@@ -792,4 +908,9 @@ RULES: tuple[Rule, ...] = (
     Rule("R006", "no exact float equality on score values", _check_r006),
     Rule("R007", "public functions need type hints and a docstring", _check_r007),
     Rule("R008", "no bare or over-broad exception handlers", _check_r008),
+    Rule(
+        "R009",
+        "no mutable default arguments mutated by the function body",
+        _check_r009,
+    ),
 )

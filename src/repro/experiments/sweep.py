@@ -225,6 +225,11 @@ def run_tfidf_sweep(
             "n_folds": n_folds,
             "cv_seed": cv_seed,
             "roster": [entry.describe() for entry in entries],
+            # Everything compute() reads must be keyed: the fold labels
+            # drive the CV split, and shared=False refits per entry —
+            # identical tables, but the flag is an input all the same.
+            "labels": [int(v) for v in np.asarray(labels).ravel()],
+            "shared": shared,
         },
     )
     return cache.get_or_compute(key, compute)

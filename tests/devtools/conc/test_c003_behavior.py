@@ -1,0 +1,46 @@
+"""Behavioral proof for C003: the fixture's hazards are real.
+
+The concpkg package is not just parsed — it runs.  The unseeded
+worker's output changes between identical invocations, while the
+seeded near-miss worker is bit-stable.  This is the ground truth the
+static C003 rule encodes.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from tests.devtools.conc.conftest import CONCPKG
+
+
+@pytest.fixture(scope="module")
+def driver():
+    fixtures_dir = str(CONCPKG.parent)
+    if fixtures_dir not in sys.path:
+        sys.path.insert(0, fixtures_dir)
+    from concpkg import driver as mod
+
+    return mod
+
+
+def test_unseeded_worker_diverges_between_runs(driver):
+    items = list(range(6))
+    first = driver.run_all(items, jobs=2)
+    second = driver.run_all(items, jobs=2)
+    assert first != second, "unseeded default_rng() should not be bit-stable"
+
+
+def test_seeded_worker_is_bit_stable(driver):
+    items = list(range(6))
+    first = driver.run_seeded(items, jobs=2)
+    second = driver.run_seeded(items, jobs=2)
+    assert first == second
+
+
+def test_seeded_worker_matches_serial_execution(driver):
+    from concpkg.workers import work_seeded
+
+    items = list(range(6))
+    assert driver.run_seeded(items, jobs=2) == [work_seeded(i) for i in items]

@@ -1,0 +1,128 @@
+"""CLI behaviors: baseline round-trip, SARIF shape, exit codes, and the
+repo-tree regression gate (src/repro must stay conc-clean)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.devtools.conc.cli import main
+from repro.devtools.conc.registry import CONC_RULES
+
+from tests.devtools.conc.conftest import CONCPKG, REPO_ROOT
+
+
+class TestExitCodes:
+    def test_fixture_package_fails(self, capsys):
+        assert main([str(CONCPKG), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "found 11 new finding(s)" in out
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert main(["does/not/exist"]) == 2
+
+    def test_file_path_is_usage_error(self, tmp_path):
+        target = tmp_path / "single.py"
+        target.write_text("x = 1\n")
+        assert main([str(target)]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in CONC_RULES:
+            assert rule_id in out
+
+
+class TestBaselineRoundTrip:
+    def test_write_then_gate(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        baseline = tmp_path / "conc-baseline.json"
+        assert (
+            main(
+                [
+                    str(CONCPKG),
+                    "--write-baseline",
+                    "--baseline",
+                    str(baseline),
+                    "--justification",
+                    "seeded fixture hazards",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(baseline.read_text())
+        assert len(payload["findings"]) == 11
+        assert all(
+            e["justification"] == "seeded fixture hazards"
+            for e in payload["findings"]
+        )
+        # Same tree against the fresh baseline: everything grandfathered.
+        capsys.readouterr()
+        assert main([str(CONCPKG), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "(11 baselined finding(s) suppressed)" in out
+        assert "clean" in out
+
+
+class TestSarif:
+    def test_sarif_document_shape(self, capsys):
+        assert main([str(CONCPKG), "--no-baseline", "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-conc"
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert set(CONC_RULES) <= rule_ids
+        assert {r["ruleId"] for r in run["results"]} == set(CONC_RULES)
+        for result in run["results"]:
+            region = result["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] >= 1
+            assert "reproFingerprint/v1" in result["partialFingerprints"]
+
+    def test_github_format(self, capsys):
+        main([str(CONCPKG), "--no-baseline", "--format", "github"])
+        out = capsys.readouterr().out
+        assert out.startswith("::error file=")
+        assert "C001" in out
+
+
+class TestRepoTreeIsClean:
+    def test_src_repro_has_no_unbaselined_findings(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["src/repro", "--no-baseline"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+
+class TestUmbrella:
+    @pytest.fixture()
+    def analyze_main(self):
+        from repro.devtools.analyze import main as _main
+
+        return _main
+
+    def test_repo_tree_clean_and_merged_sarif(
+        self, analyze_main, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(REPO_ROOT)
+        sarif_path = tmp_path / "analysis.sarif"
+        assert analyze_main(["src/repro", "--sarif", str(sarif_path)]) == 0
+        out = capsys.readouterr().out
+        for tool in ("repro-lint", "repro-flow", "repro-conc"):
+            assert f"{tool}: clean" in out
+        doc = json.loads(sarif_path.read_text())
+        assert [run["tool"]["driver"]["name"] for run in doc["runs"]] == [
+            "repro-lint",
+            "repro-flow",
+            "repro-conc",
+        ]
+        assert all(run["results"] == [] for run in doc["runs"])
+
+    def test_fixture_tree_fails_without_baselines(
+        self, analyze_main, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)  # no baseline files here
+        status = analyze_main([str(CONCPKG), "--no-baseline"])
+        assert status == 1
+        out = capsys.readouterr().out
+        assert "repro-conc: 11 new finding(s)" in out

@@ -1,0 +1,66 @@
+"""Memoization sites for the cache-key completeness rule (C005).
+
+``TinyCache`` duck-types ``repro.perf.FeatureCache``'s ``key`` /
+``get_or_compute`` surface, which is exactly what the analyzer keys on.
+
+* ``summarize`` — true positive: ``compute`` reads the ``limit``
+  parameter but the key only covers ``texts``.
+* ``decorate`` — true positive: ``compute`` reads the module global
+  ``_SUFFIX``, absent from the key.
+* ``summarize_keyed`` — near-miss: every input ``compute`` reads is in
+  the key, and the ``jobs`` execution knob is legitimately unkeyed
+  (``pmap`` is order-stable at any worker count).
+"""
+
+from __future__ import annotations
+
+from repro.perf.parallel import pmap
+
+_SUFFIX = " [summary]"
+
+
+class TinyCache:
+    def __init__(self) -> None:
+        self._store: dict = {}
+
+    def key(self, kind: str, content: str, params: dict) -> tuple:
+        return (kind, content, repr(sorted(params.items())))
+
+    def get_or_compute(self, key, compute):
+        if key not in self._store:
+            self._store[key] = compute()
+        return self._store[key]
+
+
+def summarize(texts, limit, cache=None):
+    def compute():
+        return [text[:limit] for text in texts]
+
+    if cache is None:
+        return compute()
+    key = cache.key("summaries", str(len(texts)), {"n_texts": len(texts)})
+    return cache.get_or_compute(key, compute)
+
+
+def decorate(texts, cache=None):
+    def compute():
+        return [text + _SUFFIX for text in texts]
+
+    if cache is None:
+        return compute()
+    key = cache.key("decorated", str(len(texts)), {"n_texts": len(texts)})
+    return cache.get_or_compute(key, compute)
+
+
+def summarize_keyed(texts, limit, jobs=None, cache=None):
+    def compute():
+        return pmap(len, [text[:limit] for text in texts], jobs=jobs)
+
+    if cache is None:
+        return compute()
+    key = cache.key(
+        "summaries-keyed",
+        str(len(texts)),
+        {"n_texts": len(texts), "limit": limit},
+    )
+    return cache.get_or_compute(key, compute)

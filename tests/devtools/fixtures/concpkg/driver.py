@@ -1,0 +1,51 @@
+"""Submission sites: every way this package ships work to a pool.
+
+C006 true positives: ``run_lambda`` (lambda), ``run_nested`` (closure),
+``run_locked`` (fork-unsafe default capture).  Near-misses:
+``run_all``/``run_scaled`` submit module-level functions through
+``functools.partial`` and ``submit_all`` uses a real executor with a
+picklable callable — none may be flagged.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+
+from repro.perf.parallel import pmap
+
+from concpkg.workers import locked_worker, scale_item, work, work_seeded
+
+
+def run_all(items, jobs=None, out_dir=None):
+    fn = partial(work, out_dir=out_dir)
+    return pmap(fn, items, jobs=jobs)
+
+
+def run_seeded(items, jobs=None):
+    return pmap(work_seeded, items, jobs=jobs)
+
+
+def run_lambda(items):
+    return pmap(lambda item: item + 1, items)
+
+
+def run_nested(items):
+    def helper(item):
+        return item - 1
+
+    return pmap(helper, items)
+
+
+def run_locked(items):
+    return pmap(locked_worker, items)
+
+
+def run_scaled(items, scale):
+    return pmap(partial(scale_item, scale=scale), items)
+
+
+def submit_all(items):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        futures = [pool.submit(work_seeded, item) for item in items]
+        return [future.result() for future in futures]

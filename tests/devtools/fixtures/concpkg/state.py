@@ -1,0 +1,16 @@
+"""Module-level state shared (or not) with worker processes.
+
+``_RESULT_CACHE`` is mutated inside the worker call tree — the C001
+true positive: each pool worker fills its own copy-on-write copy and
+the parent never sees the writes.  ``_CONFIG`` is only ever *read* by
+workers (reads of forked state are fine), and ``TALLY`` is mutated
+only by a function no worker reaches — both near-miss negatives.
+"""
+
+from __future__ import annotations
+
+_RESULT_CACHE: dict[int, object] = {}
+
+_CONFIG = {"mode": "fast", "scale": 3}
+
+TALLY: list[int] = []

@@ -1,9 +1,13 @@
-"""Seeded R004 violation: mutable default argument."""
+"""Seeded R004 violation: mutable default argument.
+
+The default is only *read* here so the escalation rule (R009, mutated
+mutable default) stays quiet — its own fixture lives in
+``r009_mutated_default.py``.
+"""
 
 from __future__ import annotations
 
 
 def collect(item: str, bucket: list[str] = []) -> list[str]:
-    """Append to a shared default list (the classic footgun)."""
-    bucket.append(item)
-    return bucket
+    """Return a new list; the shared default is never mutated."""
+    return bucket + [item]

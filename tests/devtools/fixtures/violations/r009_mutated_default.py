@@ -1,0 +1,28 @@
+"""Fixture for R009: mutable defaults the function body mutates.
+
+``gather`` and ``tally`` are true positives (append / subscript-store
+into the default).  ``read_only`` is the R004-only near-miss: its
+mutable default is never mutated, so R009 must stay quiet.
+
+R004 (the syntactic superset) and R007 are file-suppressed so this
+fixture exercises exactly one rule.
+"""
+# repro-lint: disable-file=R004,R007
+
+from __future__ import annotations
+
+
+def gather(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def tally(name, counts={}):
+    """Count occurrences per name."""
+    counts[name] = counts.get(name, 0) + 1
+    return counts
+
+
+def read_only(labels=["a", "b"]):
+    # Near-miss: mutable default, but only read.
+    return labels[0]

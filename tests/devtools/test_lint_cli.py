@@ -164,6 +164,27 @@ class TestAutofix:
         lint_paths([str(target)], fix=True)
         assert target.read_text() == once
 
+    def test_fix_rewrites_mutated_default_to_sentinel(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text((VIOLATIONS / "r009_mutated_default.py").read_text())
+        findings = lint_paths([str(target)], fix=True)
+        fixed = target.read_text()
+        assert "def gather(item, bucket=None):" in fixed
+        assert "    if bucket is None:\n        bucket = []\n" in fixed
+        # Guard lands below the docstring, not above it.
+        assert '    """Count occurrences per name."""\n    if counts is None:' in fixed
+        # The read-only near-miss keeps its (R004-suppressed) default.
+        assert 'def read_only(labels=["a", "b"]):' in fixed
+        assert all(f.rule != "R009" for f in findings)
+
+    def test_r009_fix_is_idempotent(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text((VIOLATIONS / "r009_mutated_default.py").read_text())
+        lint_paths([str(target)], fix=True)
+        once = target.read_text()
+        lint_paths([str(target)], fix=True)
+        assert target.read_text() == once
+
 
 class TestMachineFormats:
     def test_sarif_output(self, capsys):

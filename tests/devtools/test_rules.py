@@ -21,6 +21,7 @@ RULE_FIXTURES = {
     "R006": VIOLATIONS / "r006_float_eq.py",
     "R007": VIOLATIONS / "r007_api.py",
     "R008": VIOLATIONS / "web" / "r008_except.py",
+    "R009": VIOLATIONS / "r009_mutated_default.py",
 }
 
 
@@ -127,6 +128,33 @@ class TestR004:
     def test_none_default_is_fine(self):
         source = "def f(cache: dict | None = None) -> None:\n    '''doc'''\n"
         assert _run_rule("R004", "x.py", source) == []
+
+
+class TestR009:
+    def test_mutated_default_is_flagged_and_fixable(self):
+        source = "def f(x, acc=[]):\n    '''doc'''\n    acc.append(x)\n"
+        (finding,) = _run_rule("R009", "x.py", source)
+        assert finding.fixable
+
+    def test_read_only_default_is_fine(self):
+        source = "def f(x, acc=[]):\n    '''doc'''\n    return acc + [x]\n"
+        assert _run_rule("R009", "x.py", source) == []
+
+    def test_subscript_store_counts_as_mutation(self):
+        source = "def f(k, cache={}):\n    '''doc'''\n    cache[k] = 1\n"
+        assert _run_rule("R009", "x.py", source)
+
+    def test_nested_function_mutation_is_not_attributed(self):
+        source = (
+            "def f(x, acc=[]):\n"
+            "    '''doc'''\n"
+            "    def g(acc=[]):\n"
+            "        acc.append(x)\n"
+            "    return g\n"
+        )
+        findings = _run_rule("R009", "x.py", source)
+        # Only the inner default is mutated in its own scope.
+        assert [f.symbol for f in findings] == ["f"]
 
 
 class TestR005:
