@@ -23,6 +23,9 @@ Benchmarks:
   AUC vs the per-candidate loop (:func:`reference_ensemble_select`).
 * ``smote`` — chunked-GEMM neighbour search + vectorized interpolation
   vs the per-row loop (:class:`ReferenceSMOTE`).
+* ``densify`` — dtype-aware single-pass CSR densification vs the
+  ``np.matrix``-routed double pass (:func:`reference_ensure_dense`),
+  on an integer count matrix.
 * ``sweep_end_to_end`` — the shared-matrix TF-IDF sweep scheduler vs
   per-config refitting (``shared=False``), identical tables.
 * ``table12_end_to_end`` — full network-classification table
@@ -45,12 +48,14 @@ from pathlib import Path
 from typing import Any, Callable
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.core.config import ExperimentConfig, preset
 from repro.data.loaders import make_dataset
 from repro.experiments import tables
 from repro.experiments.sweep import run_tfidf_sweep
 from repro.io import atomic_write_text
+from repro.ml.base import ensure_dense
 from repro.ml.ensemble import EnsembleSelection, LibraryModel
 from repro.ml.sampling import SMOTE
 from repro.ml.svm import pegasos_weights
@@ -63,6 +68,7 @@ from repro.perf.reference import (
     ReferenceNGramGraph,
     ReferenceSMOTE,
     reference_ensemble_select,
+    reference_ensure_dense,
     reference_pegasos_fit,
     reference_personalized_pagerank,
 )
@@ -96,6 +102,15 @@ SMOTE_SIZES = {"tiny": (60, 30), "small": (120, 50), "medium": (250, 50)}
 
 #: Sweep benchmark term-subset truncations per scale.
 SWEEP_SUBSETS = {"tiny": (100, 250), "small": (100, 250, 1_000), "medium": (250, 1_000, 2_000)}
+
+#: Densify benchmark size per scale: (rows, features).  Sized so the
+#: dense buffer dominates the timing (MBs, not KBs) — the op measures
+#: memory traffic, and tiny matrices would time allocator noise.
+DENSIFY_SIZES = {
+    "tiny": (2_000, 600),
+    "small": (4_000, 1_200),
+    "medium": (8_000, 2_400),
+}
 
 
 def _best_of(repeat: int, fn: Callable[[], Any]) -> tuple[float, Any]:
@@ -294,6 +309,27 @@ def bench_smote(scale: str, repeat: int) -> dict[str, Any]:
     return _result("smote", scale, fast_s, base_s, n_items=n_minority)
 
 
+def bench_densify(scale: str, repeat: int) -> dict[str, Any]:
+    """Dtype-aware densify vs the np.matrix-routed reference.
+
+    Uses an integer count matrix — the regime where the old
+    ``np.asarray(X.todense(), dtype=np.float64)`` path paid a second
+    full-matrix conversion pass on top of the dense write.  (On
+    float64 input both paths cost one dense write and tie.)
+    """
+    n_rows, n_features = DENSIFY_SIZES[scale]
+    X = sp.random(
+        n_rows, n_features, density=0.05, format="csr", random_state=11
+    )
+    counts = (X * 20).astype(np.int64)
+
+    fast_s, fast_out = _best_of(repeat, lambda: ensure_dense(counts))
+    base_s, base_out = _best_of(repeat, lambda: reference_ensure_dense(counts))
+    np.testing.assert_array_equal(fast_out, base_out)
+    assert fast_out.dtype == base_out.dtype == np.float64
+    return _result("densify", scale, fast_s, base_s, n_items=n_rows)
+
+
 def bench_sweep(scale: str, repeat: int) -> dict[str, Any]:
     """Shared-matrix sweep scheduling vs per-config refitting."""
     corpus = make_dataset(preset(scale).generator)
@@ -394,6 +430,7 @@ def main(argv: list[str] | None = None) -> int:
     results.append(bench_tree_fit(args.scale, args.repeat))
     results.append(bench_ensemble_select(args.scale, args.repeat))
     results.append(bench_smote(args.scale, args.repeat))
+    results.append(bench_densify(args.scale, args.repeat))
     results.append(bench_sweep(args.scale, args.repeat))
     results.append(bench_end_to_end(args.scale))
 

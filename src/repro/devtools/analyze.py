@@ -1,4 +1,4 @@
-"""repro-analyze: one invocation for all three analyzers.
+"""repro-analyze: one invocation for all four analyzers.
 
 Usage::
 
@@ -6,14 +6,15 @@ Usage::
         [--sarif PATH] [--format text|json] [--no-baseline]
 
 Runs ``repro-lint`` (per-module rules), ``repro-flow`` (interprocedural
-taint/determinism) and ``repro-conc`` (concurrency-safety) over the
-same paths.  The two interprocedural analyzers share a single parsed
-project and call graph, so the umbrella costs one front-end pass, not
-three.
+taint/determinism), ``repro-conc`` (concurrency-safety) and
+``repro-hot`` (hot-path performance) over the same paths.  The three
+interprocedural analyzers share a single parsed project and call
+graph, so the umbrella costs one front-end pass, not four.
 
 Each tool is gated against *its own* baseline file
 (``.repro-lint-baseline.json`` / ``.repro-flow-baseline.json`` /
-``.repro-conc-baseline.json``; a missing file is an empty baseline).
+``.repro-conc-baseline.json`` / ``.repro-hot-baseline.json``; a
+missing file is an empty baseline).
 Exit status: 0 when no tool has new findings, 1 when any does, 2 on
 usage errors.
 
@@ -39,6 +40,9 @@ from repro.devtools.flow import cli as flow_cli
 from repro.devtools.flow.analysis import analyze_project
 from repro.devtools.flow.cli import DEFAULT_FLOW_BASELINE_NAME
 from repro.devtools.flow.registry import FLOW_RULES
+from repro.devtools.hot import cli as hot_cli
+from repro.devtools.hot.cli import DEFAULT_HOT_BASELINE_NAME
+from repro.devtools.hot.registry import HOT_RULES
 from repro.devtools.lint import lint_paths
 from repro.devtools.rules import RULES
 
@@ -52,20 +56,22 @@ def _lint_catalog() -> dict[str, str]:
 def run_all(
     paths: Sequence[str], use_baselines: bool = True
 ) -> list[tuple[str, Path, list[Finding], list[Finding], dict[str, str]]]:
-    """Run lint, flow and conc over ``paths``.
+    """Run lint, flow, conc and hot over ``paths``.
 
     Returns one ``(tool, baseline_path, new, grandfathered, catalog)``
-    tuple per tool, in fixed lint/flow/conc order.  Baseline files are
-    resolved relative to the current directory, matching each tool's
-    standalone CLI.
+    tuple per tool, in fixed lint/flow/conc/hot order.  Baseline files
+    are resolved relative to the current directory, matching each
+    tool's standalone CLI.
     """
     analysis = analyze_project(paths)
     flow_findings, _ = flow_cli.analyze_paths(paths, analysis=analysis)
     conc_findings, _ = conc_cli.analyze_paths(paths, analysis=analysis)
+    hot_findings, _ = hot_cli.analyze_paths(paths, analysis=analysis)
     per_tool = [
         ("repro-lint", Path(DEFAULT_BASELINE_NAME), lint_paths(paths), _lint_catalog()),
         ("repro-flow", Path(DEFAULT_FLOW_BASELINE_NAME), flow_findings, dict(FLOW_RULES)),
         ("repro-conc", Path(DEFAULT_CONC_BASELINE_NAME), conc_findings, dict(CONC_RULES)),
+        ("repro-hot", Path(DEFAULT_HOT_BASELINE_NAME), hot_findings, dict(HOT_RULES)),
     ]
     results = []
     for tool, baseline_path, findings, catalog in per_tool:
@@ -78,7 +84,7 @@ def run_all(
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.devtools.analyze",
-        description="Run repro-lint, repro-flow and repro-conc in one pass.",
+        description="Run repro-lint, repro-flow, repro-conc and repro-hot in one pass.",
     )
     parser.add_argument(
         "paths",

@@ -1,4 +1,4 @@
-"""Autofixes for cheap-to-rewrite rules (R001 and R009).
+"""Autofixes for cheap-to-rewrite rules (R001, R009, and hot P003).
 
 The R001 fix swaps a banned builtin exception for its
 :mod:`repro.exceptions` replacement on the ``raise`` line and ensures
@@ -10,6 +10,13 @@ The R009 fix converts a mutated mutable default to the ``None``
 sentinel: the default expression is replaced by ``None`` on the
 ``def`` line and an ``if param is None: param = <original>`` guard is
 inserted at the top of the body (below the docstring).
+
+The P003 fix (repro-hot) rewrites the list/tuple literal behind a
+loop-nested membership test into a set literal.  Fixability is
+re-verified against the current source before rewriting: the container
+must be bound exactly once, to a single-line literal of hashable
+constants, and never mutated in its scope — so a stale finding can
+never corrupt a file.
 """
 
 from __future__ import annotations
@@ -21,7 +28,7 @@ from typing import Sequence
 from repro.devtools.findings import Finding
 from repro.devtools.rules import R001_FIX_MAP
 
-__all__ = ["apply_r001_fixes", "apply_r009_fixes"]
+__all__ = ["apply_r001_fixes", "apply_r009_fixes", "apply_p003_fixes"]
 
 _EXCEPTIONS_MODULE = "repro.exceptions"
 _MAX_LINE = 79
@@ -114,6 +121,151 @@ def apply_r001_fixes(source: str, findings: Sequence[Finding]) -> str:
             lines[0:0] = rendered
         else:
             lines[after:after] = rendered
+    result = "\n".join(lines)
+    if trailing_newline and not result.endswith("\n"):
+        result += "\n"
+    return result
+
+
+_P003_MUTATORS = frozenset(
+    {"append", "extend", "insert", "remove", "pop", "clear", "sort", "reverse"}
+)
+_P003_HASHABLE = (str, int, float, bool, bytes, type(None))
+
+
+def _iter_scope(body: Sequence[ast.stmt]):
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _enclosing_scope_body(
+    tree: ast.Module, line: int
+) -> Sequence[ast.stmt]:
+    """Body of the innermost function containing ``line`` (module body
+    when the line is at top level)."""
+    body: Sequence[ast.stmt] = tree.body
+    found = True
+    while found:
+        found = False
+        for node in _iter_scope(body):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.lineno <= line <= (node.end_lineno or node.lineno)
+            ):
+                body = node.body
+                found = True
+                break
+    return body
+
+
+def _p003_literal_for(
+    tree: ast.Module, line: int, column: int
+) -> tuple[ast.List, str] | tuple[ast.Tuple, str] | None:
+    """Re-verify one P003 finding against the source and return the
+    (literal, container-name) to rewrite, or ``None``."""
+    compare: ast.Compare | None = None
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Compare)
+            and node.lineno == line
+            and node.col_offset == column
+            and any(isinstance(op, (ast.In, ast.NotIn)) for op in node.ops)
+        ):
+            compare = node
+            break
+    if compare is None:
+        return None
+    name: str | None = None
+    for op, comparator in zip(compare.ops, compare.comparators):
+        if isinstance(op, (ast.In, ast.NotIn)) and isinstance(comparator, ast.Name):
+            name = comparator.id
+            break
+    if name is None:
+        return None
+
+    body = _enclosing_scope_body(tree, line)
+    assignments: list[ast.expr] = []
+    stores = 0
+    for node in _iter_scope(body):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            if node.id == name:
+                stores += 1
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    assignments.append(node.value)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _P003_MUTATORS
+                and isinstance(func.value, ast.Name)
+                and func.value.id == name
+            ):
+                return None
+    if stores != 1 or len(assignments) != 1:
+        return None
+    value = assignments[0]
+    if not isinstance(value, (ast.List, ast.Tuple)) or not value.elts:
+        return None
+    if value.lineno != (value.end_lineno or value.lineno):
+        return None
+    if not all(
+        isinstance(elt, ast.Constant) and isinstance(elt.value, _P003_HASHABLE)
+        for elt in value.elts
+    ):
+        return None
+    return value, name
+
+
+def apply_p003_fixes(source: str, findings: Sequence[Finding]) -> str:
+    """Rewrite ``source`` fixing the given P003 findings (list->set).
+
+    Each finding anchors on the membership test; the container's single
+    literal binding is re-located and re-verified before the literal's
+    brackets are rewritten to a set literal.
+
+    Returns:
+        The fixed source (unchanged when nothing was fixable).
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return source
+    lines = source.splitlines()
+    trailing_newline = source.endswith("\n")
+
+    rewrites: dict[tuple[int, int], tuple[int, str]] = {}
+    for finding in findings:
+        if finding.rule != "P003" or not finding.fixable:
+            continue
+        located = _p003_literal_for(tree, finding.line, finding.column)
+        if located is None:
+            continue
+        value, _name = located
+        idx = value.lineno - 1
+        start, end = value.col_offset, value.end_col_offset or 0
+        text = lines[idx][start:end]
+        if text.startswith(("[", "(")) and text.endswith(("]", ")")):
+            inner = text[1:-1].rstrip()
+            inner = inner[:-1] if inner.endswith(",") else inner
+        else:  # unparenthesized tuple
+            inner = text
+        rewrites[(value.lineno, start)] = (end, "{" + inner + "}")
+    if not rewrites:
+        return source
+
+    # Same-line rewrites right-to-left so earlier offsets stay valid.
+    for (line, start), (end, text) in sorted(rewrites.items(), reverse=True):
+        idx = line - 1
+        lines[idx] = lines[idx][:start] + text + lines[idx][end:]
     result = "\n".join(lines)
     if trailing_newline and not result.endswith("\n"):
         result += "\n"

@@ -38,8 +38,8 @@ _SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist"}
 #: Suppression-comment markers parsed for every module.  ``repro-flow``
 #: feeds :attr:`ModuleUnit.line_suppressions`; the rest are reachable
 #: through :meth:`ModuleUnit.is_suppressed_marker` (the concurrency
-#: analyzer reads ``repro-conc``).
-SUPPRESSION_MARKERS = ("repro-flow", "repro-conc")
+#: analyzer reads ``repro-conc``, the hot-path analyzer ``repro-hot``).
+SUPPRESSION_MARKERS = ("repro-flow", "repro-conc", "repro-hot")
 
 #: Module path suffixes whose public functions/methods are experiment
 #: entrypoints for the determinism analysis.

@@ -1,0 +1,8 @@
+"""``python -m repro.devtools.hot`` entry point."""
+
+import sys
+
+from repro.devtools.hot.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

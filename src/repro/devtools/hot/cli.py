@@ -1,0 +1,256 @@
+"""repro-hot: hot-path performance analysis CLI.
+
+Usage::
+
+    python -m repro.devtools.hot [package-dirs ...]
+        [--baseline PATH] [--no-baseline] [--write-baseline]
+        [--justification TEXT] [--format text|json|sarif|github]
+        [--entry SUFFIX ...] [--fix] [--list-rules]
+
+With no paths, ``src/repro`` is analyzed.  Exit status mirrors the
+other analyzers: 0 when no new findings (baselined findings do not
+fail the run), 1 when new findings exist **or** ``--fix`` rewrote any
+file, 2 on usage errors.
+
+``--entry`` registers extra hot-entry qualname suffixes on top of the
+built-in registry, so a one-off investigation can rank findings
+against any root.  The default baseline file is
+``.repro-hot-baseline.json`` so the four analyzers' baselines never
+collide.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.devtools.autofix import apply_p003_fixes
+from repro.devtools.baseline import Baseline
+from repro.devtools.emit import render_github, render_sarif
+from repro.devtools.findings import Finding
+from repro.devtools.flow.analysis import ProjectAnalysis, analyze_project
+from repro.devtools.hot.analyzer import hot_findings
+from repro.devtools.hot.registry import HOT_RULES
+
+__all__ = ["main", "analyze_paths", "apply_fixes", "DEFAULT_HOT_BASELINE_NAME"]
+
+DEFAULT_HOT_BASELINE_NAME = ".repro-hot-baseline.json"
+
+_TOOL_NAME = "repro-hot"
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    analysis: ProjectAnalysis | None = None,
+    entries: Iterable[str] = (),
+) -> tuple[list[Finding], list[tuple[str, int, str]]]:
+    """Run the hot-path analysis over package directories.
+
+    Returns (findings, load_errors); findings are occurrence-stamped
+    and ordered by descending static cost.  Pass a pre-built
+    ``analysis`` to share one front-end pass with the other analyzers;
+    ``entries`` adds hot-entry qualname suffixes to the registry.
+    """
+    if analysis is None:
+        analysis = analyze_project(paths)
+    return hot_findings(analysis, extra_entries=entries)
+
+
+def apply_fixes(
+    findings: Sequence[Finding], fixed_files: list[str]
+) -> None:
+    """Apply the P003 list->set autofix for every fixable finding.
+
+    Files are rewritten in place; rewritten paths are appended to
+    ``fixed_files``.  Callers should re-run the analysis afterwards so
+    the report reflects the post-fix tree.
+    """
+    by_path: dict[str, list[Finding]] = {}
+    for finding in findings:
+        if finding.rule == "P003" and finding.fixable:
+            by_path.setdefault(finding.path, []).append(finding)
+    for path, path_findings in sorted(by_path.items()):
+        file_path = Path(path)
+        source = file_path.read_text(encoding="utf-8")
+        fixed = apply_p003_fixes(source, path_findings)
+        if fixed == source:
+            continue
+        file_path.write_text(fixed, encoding="utf-8")
+        if path not in fixed_files:
+            fixed_files.append(path)
+
+
+def _render_text(
+    new: list[Finding], grandfathered: list[Finding], stale: list[str]
+) -> str:
+    out = [finding.render() for finding in new]
+    if grandfathered:
+        out.append(f"({len(grandfathered)} baselined finding(s) suppressed)")
+    if stale:
+        out.append(
+            f"warning: {len(stale)} stale baseline entr(y/ies) no longer "
+            "observed; refresh with --write-baseline"
+        )
+    if new:
+        out.append(f"found {len(new)} new finding(s)")
+    else:
+        out.append("clean")
+    return "\n".join(out)
+
+
+def _render_json(
+    new: list[Finding], grandfathered: list[Finding], stale: list[str]
+) -> str:
+    return json.dumps(
+        {
+            "new": [
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "line": f.line,
+                    "column": f.column,
+                    "message": f.message,
+                    "symbol": f.symbol,
+                    "fixable": f.fixable,
+                    "fingerprint": f.fingerprint(),
+                }
+                for f in new
+            ],
+            "baselined": len(grandfathered),
+            "stale_baseline_entries": stale,
+        },
+        indent=2,
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.hot",
+        description=(
+            "Hot-path performance static analysis for the repro codebase "
+            "(rules P001-P008), ranked by a static cost model."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="package directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: ./{DEFAULT_HOT_BASELINE_NAME} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="grandfather all current findings into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--justification",
+        default="",
+        help="note recorded on every entry written by --write-baseline",
+    )
+    parser.add_argument(
+        "--entry",
+        action="append",
+        default=[],
+        metavar="SUFFIX",
+        help=(
+            "extra hot-entry qualname suffix (repeatable); added to the "
+            "built-in registry for the reachability pass"
+        ),
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply the P003 list->set autofix in place, then re-analyze",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif", "github"),
+        default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, summary in HOT_RULES.items():
+            sys.stdout.write(f"{rule_id}  {summary}\n")
+        return 0
+
+    missing = [raw for raw in args.paths if not Path(raw).is_dir()]
+    if missing:
+        sys.stderr.write(
+            f"error: not a package directory: {', '.join(missing)}\n"
+        )
+        return 2
+
+    findings, load_errors = analyze_paths(args.paths, entries=args.entry)
+    fixed_files: list[str] = []
+    if args.fix:
+        apply_fixes(findings, fixed_files)
+        if fixed_files:
+            findings, load_errors = analyze_paths(args.paths, entries=args.entry)
+    for path, line, message in load_errors:
+        sys.stderr.write(f"warning: {path}:{line}: {message}\n")
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else Path(DEFAULT_HOT_BASELINE_NAME)
+    )
+    if args.write_baseline:
+        Baseline.from_findings(findings, justification=args.justification).save(
+            baseline_path, tool=_TOOL_NAME
+        )
+        sys.stdout.write(f"wrote {len(findings)} finding(s) to {baseline_path}\n")
+        return 0
+
+    if args.no_baseline:
+        baseline = Baseline()
+    else:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except Exception as exc:  # noqa: BLE001 - CLI boundary
+            sys.stderr.write(f"error: {exc}\n")
+            return 2
+    new, grandfathered = baseline.filter(findings)
+    stale = baseline.stale_fingerprints(findings)
+
+    if args.format == "sarif":
+        sys.stdout.write(render_sarif(_TOOL_NAME, new, HOT_RULES) + "\n")
+    elif args.format == "github":
+        sys.stdout.write(render_github(new) + "\n")
+    elif args.format == "json":
+        sys.stdout.write(_render_json(new, grandfathered, stale) + "\n")
+    else:
+        sys.stdout.write(_render_text(new, grandfathered, stale) + "\n")
+    if fixed_files:
+        sys.stdout.write(
+            f"note: --fix rewrote {len(fixed_files)} file(s); review and "
+            "commit the changes\n"
+        )
+        return 1
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

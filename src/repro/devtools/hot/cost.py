@@ -1,0 +1,53 @@
+"""Static cost model ranking repro-hot findings.
+
+A finding's cost is the product of two static multipliers:
+
+* **depth weight** — ``DEPTH_BASE ** min(depth, MAX_DEPTH_WEIGHTED)``
+  where ``depth`` is the syntactic loop-nesting depth at the finding
+  site.  Each enclosing loop multiplies how often the site executes, so
+  a densification three loops deep inside the sweep outranks the same
+  call at top level.
+* **reach weight** — ``1 / (1 + distance)`` when the enclosing function
+  is reachable from a registered hot entry point through the flow call
+  graph (``distance`` = number of calls from the nearest entry), and
+  :data:`~repro.devtools.hot.registry.COLD_WEIGHT` otherwise.  Cold
+  findings stay reported, but every hot site of equal depth outranks
+  them.
+
+Both inputs are integers derived deterministically from the AST and the
+call graph, so ranking is reproducible across runs and machines.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.hot.registry import (
+    COLD_WEIGHT,
+    DEPTH_BASE,
+    MAX_DEPTH_WEIGHTED,
+)
+
+__all__ = ["depth_weight", "reach_weight", "site_cost", "format_cost"]
+
+
+def depth_weight(depth: int) -> float:
+    """Multiplier for a site nested under ``depth`` loops (capped so
+    pathological nesting cannot overflow the ranking)."""
+    return float(DEPTH_BASE ** min(max(depth, 0), MAX_DEPTH_WEIGHTED))
+
+
+def reach_weight(entry_distance: int | None) -> float:
+    """Multiplier for hot reachability; ``None`` means not reachable
+    from any registered hot entry point."""
+    if entry_distance is None:
+        return COLD_WEIGHT
+    return 1.0 / (1.0 + max(entry_distance, 0))
+
+
+def site_cost(depth: int, entry_distance: int | None) -> float:
+    """Combined static cost of one finding site."""
+    return depth_weight(depth) * reach_weight(entry_distance)
+
+
+def format_cost(cost: float) -> str:
+    """Render a cost for finding messages (stable, short)."""
+    return f"{cost:g}"

@@ -1,0 +1,474 @@
+"""Per-scope syntactic scanner for the hot-path rules.
+
+For one function (or one module's top-level code) the scanner walks the
+statement tree with an explicit loop stack, recording the loop-nesting
+depth of every candidate site.  It emits :class:`HotSite` records for
+the purely syntactic rules (P001, P003, P004, P007, P008) and
+*candidates* for P005 (loop-invariant calls), which the analyzer then
+filters by purity and hot reachability.
+
+Nested function and class bodies are skipped — they are separate
+call-graph units scanned on their own — so each site attributes to
+exactly one unit and the cost model can gate it on that unit's
+reachability.  Comprehension bodies count as part of the enclosing
+statement (their implicit loop does not increment the depth; the model
+under-counts rather than guesses).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.devtools.conc.registry import MUTATOR_METHODS
+from repro.devtools.hot.registry import (
+    ARRAY_GROWTH_FUNCTIONS,
+    BATCH_SIBLINGS,
+)
+from repro.devtools.flow.project import FunctionUnit, ModuleUnit, Project
+
+__all__ = ["HotSite", "scan_function", "scan_module_level"]
+
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+_HASHABLE_CONST = (str, int, float, bool, bytes, type(None))
+
+#: Assignment values that build a sequential (scan-per-lookup) container.
+_SEQ_LITERALS = (ast.List, ast.Tuple, ast.ListComp)
+_SEQ_FACTORIES = frozenset({"list", "sorted"})
+#: ...and ones that already hash their members (P003 near-misses).
+_HASHED_LITERALS = (ast.Set, ast.SetComp, ast.Dict, ast.DictComp)
+_HASHED_FACTORIES = frozenset({"set", "frozenset", "dict"})
+
+
+@dataclass(slots=True)
+class HotSite:
+    """One candidate finding before cost ranking and gating."""
+
+    rule: str
+    line: int
+    column: int
+    depth: int
+    message: str
+    fixable: bool = False
+    #: P005 only: resolved project qualname of the invariant call.
+    callee: str | None = None
+    #: Stable tie-break payload for deduplication.
+    extra: str = ""
+
+
+@dataclass(slots=True)
+class _ScopeIndex:
+    """Name-level facts about one scope, gathered in a single walk."""
+
+    assignments: dict[str, list[tuple[int, ast.expr]]] = field(default_factory=dict)
+    stores: dict[str, list[int]] = field(default_factory=dict)
+    mutations: dict[str, list[int]] = field(default_factory=dict)
+
+
+def _iter_scope_nodes(body: Sequence[ast.stmt]) -> Iterable[ast.AST]:
+    """Walk ``body`` without entering nested def/class/lambda bodies."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _index_scope(body: Sequence[ast.stmt]) -> _ScopeIndex:
+    index = _ScopeIndex()
+    for node in _iter_scope_nodes(body):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            index.stores.setdefault(node.id, []).append(node.lineno)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    index.assignments.setdefault(target.id, []).append(
+                        (node.lineno, node.value)
+                    )
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                index.assignments.setdefault(node.target.id, []).append(
+                    (node.lineno, node.value)
+                )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in MUTATOR_METHODS
+                and isinstance(func.value, ast.Name)
+            ):
+                index.mutations.setdefault(func.value.id, []).append(node.lineno)
+    return index
+
+
+def _call_name(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _rooted_at(node: ast.expr, names: set[str]) -> bool:
+    """Whether ``node`` is a name in ``names`` or an attribute/subscript
+    chain rooted at one (``doc``, ``doc.text``, ``doc["body"]``)."""
+    current: ast.expr = node
+    while isinstance(current, (ast.Attribute, ast.Subscript)):
+        current = current.value
+    return isinstance(current, ast.Name) and current.id in names
+
+
+def _loaded_names(node: ast.AST) -> set[str]:
+    return {
+        child.id
+        for child in ast.walk(node)
+        if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Load)
+    }
+
+
+class _ScopeScanner:
+    def __init__(
+        self,
+        project: Project,
+        module: ModuleUnit,
+        body: Sequence[ast.stmt],
+        scope_name: str,
+        own_qualname: str | None,
+    ) -> None:
+        self.project = project
+        self.module = module
+        self.body = body
+        self.scope_name = scope_name  # bare name ("" at module level)
+        self.own_qualname = own_qualname
+        self.index = _index_scope(body)
+        self.sites: list[HotSite] = []
+
+    # -- driver ------------------------------------------------------------
+
+    def run(self) -> list[HotSite]:
+        self._visit_stmts(self.body, [])
+        return self.sites
+
+    def _visit_stmts(self, stmts: Sequence[ast.stmt], loops: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._scan_exprs([stmt.iter], loops)
+                inner = loops + [stmt]
+                self._visit_stmts(stmt.body, inner)
+                self._visit_stmts(stmt.orelse, loops)
+            elif isinstance(stmt, ast.While):
+                self._scan_exprs([stmt.test], loops)
+                inner = loops + [stmt]
+                self._visit_stmts(stmt.body, inner)
+                self._visit_stmts(stmt.orelse, loops)
+            elif isinstance(stmt, ast.If):
+                self._scan_exprs([stmt.test], loops)
+                self._visit_stmts(stmt.body, loops)
+                self._visit_stmts(stmt.orelse, loops)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                self._scan_exprs(
+                    [item.context_expr for item in stmt.items], loops
+                )
+                self._visit_stmts(stmt.body, loops)
+            elif isinstance(stmt, ast.Try):
+                self._visit_stmts(stmt.body, loops)
+                for handler in stmt.handlers:
+                    self._visit_stmts(handler.body, loops)
+                self._visit_stmts(stmt.orelse, loops)
+                self._visit_stmts(stmt.finalbody, loops)
+            else:
+                self._scan_statement(stmt, loops)
+
+    # -- statement-level rules ---------------------------------------------
+
+    def _scan_statement(self, stmt: ast.stmt, loops: list[ast.stmt]) -> None:
+        depth = len(loops)
+        if depth >= 1 and isinstance(stmt, ast.Assign):
+            self._check_p004(stmt, depth)
+        if depth >= 1 and isinstance(stmt, ast.AugAssign):
+            self._check_p008(stmt, depth)
+        self._scan_exprs(
+            [child for child in ast.iter_child_nodes(stmt) if isinstance(child, ast.expr)],
+            loops,
+        )
+
+    def _check_p004(self, stmt: ast.Assign, depth: int) -> None:
+        if len(stmt.targets) != 1 or not isinstance(stmt.targets[0], ast.Name):
+            return
+        target = stmt.targets[0].id
+        call = stmt.value
+        if not isinstance(call, ast.Call) or not isinstance(call.func, ast.Attribute):
+            return
+        func = call.func
+        if func.attr not in ARRAY_GROWTH_FUNCTIONS:
+            return
+        if not isinstance(func.value, ast.Name):
+            return
+        base = self.module.imports.get(func.value.id, func.value.id)
+        if base != "numpy":
+            return
+        arg_names: set[str] = set()
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            arg_names |= _loaded_names(arg)
+        if target not in arg_names:
+            return
+        self.sites.append(
+            HotSite(
+                rule="P004",
+                line=stmt.lineno,
+                column=stmt.col_offset,
+                depth=depth,
+                message=(
+                    f"'{target} = np.{func.attr}({target}, ...)' grows an "
+                    "array incrementally inside a loop (quadratic copying) "
+                    "— collect parts in a list and concatenate once after"
+                ),
+                extra=target,
+            )
+        )
+
+    def _check_p008(self, stmt: ast.AugAssign, depth: int) -> None:
+        if not isinstance(stmt.op, ast.Add) or not isinstance(stmt.target, ast.Name):
+            return
+        name = stmt.target.id
+        initialized_str = any(
+            line <= stmt.lineno
+            and (
+                (isinstance(value, ast.Constant) and isinstance(value.value, str))
+                or isinstance(value, ast.JoinedStr)
+            )
+            for line, value in self.index.assignments.get(name, ())
+        )
+        if not initialized_str:
+            return
+        self.sites.append(
+            HotSite(
+                rule="P008",
+                line=stmt.lineno,
+                column=stmt.col_offset,
+                depth=depth,
+                message=(
+                    f"'{name} += ...' accumulates a string inside a loop "
+                    "(quadratic copying) — collect parts and ''.join() once"
+                ),
+                extra=name,
+            )
+        )
+
+    # -- expression-level rules --------------------------------------------
+
+    def _scan_exprs(self, exprs: Sequence[ast.expr], loops: list[ast.stmt]) -> None:
+        depth = len(loops)
+        for expr in exprs:
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Call):
+                    self._check_call(node, depth, loops)
+                elif isinstance(node, ast.Compare) and depth >= 1:
+                    self._check_p003(node, depth, loops)
+
+    def _check_call(
+        self, node: ast.Call, depth: int, loops: list[ast.stmt]
+    ) -> None:
+        name = _call_name(node)
+        if name is None:
+            return
+        if depth >= 1 and name in BATCH_SIBLINGS:
+            self._check_p001(node, name, depth, loops)
+        if name == "todense":
+            self._emit_p007(node, depth, name)
+        elif name == "toarray" and depth >= 1:
+            self._emit_p007(node, depth, name)
+        if depth >= 1 and isinstance(node.func, ast.Name):
+            self._check_p005(node, node.func.id, depth, loops)
+
+    def _check_p001(
+        self, node: ast.Call, name: str, depth: int, loops: list[ast.stmt]
+    ) -> None:
+        sibling = BATCH_SIBLINGS[name]
+        if sibling not in self.project.by_name:
+            return
+        # The batch API's own body may loop over the per-item form.
+        if self.scope_name == sibling:
+            return
+        # Per-*item* signature: an argument must be (rooted at) a loop
+        # target.  A call passing a whole collection inside a loop —
+        # ``vectorizer.transform(fold_docs)`` per fold — is already
+        # batched and must not fire.
+        loop_targets: set[str] = set()
+        for loop in loops:
+            if isinstance(loop, (ast.For, ast.AsyncFor)):
+                loop_targets |= {
+                    child.id
+                    for child in ast.walk(loop.target)
+                    if isinstance(child, ast.Name)
+                }
+        if not any(
+            _rooted_at(arg, loop_targets)
+            for arg in list(node.args) + [kw.value for kw in node.keywords]
+        ):
+            return
+        self.sites.append(
+            HotSite(
+                rule="P001",
+                line=node.lineno,
+                column=node.col_offset,
+                depth=depth,
+                message=(
+                    f"per-item '{name}()' inside a loop — batch sibling "
+                    f"'{sibling}()' exists; call it once on the whole batch"
+                ),
+                extra=name,
+            )
+        )
+
+    def _emit_p007(self, node: ast.Call, depth: int, kind: str) -> None:
+        self.sites.append(
+            HotSite(
+                rule="P007",
+                line=node.lineno,
+                column=node.col_offset,
+                depth=depth,
+                message=f".{kind}() densifies a sparse operand",
+                extra=kind,
+            )
+        )
+
+    def _check_p005(
+        self, node: ast.Call, name: str, depth: int, loops: list[ast.stmt]
+    ) -> None:
+        callee = self._resolve_local_call(name)
+        if callee is None or callee == self.own_qualname:
+            return
+        if node.keywords and any(kw.arg is None for kw in node.keywords):
+            return  # **kwargs: cannot prove invariance
+        args = list(node.args) + [kw.value for kw in node.keywords]
+        if any(isinstance(arg, ast.Starred) for arg in args):
+            return
+        for arg in args:
+            if isinstance(arg, ast.Constant):
+                continue
+            if isinstance(arg, ast.Name) and not self._stored_in_loops(
+                arg.id, loops
+            ):
+                continue
+            return  # non-trivial or loop-varying argument
+        self.sites.append(
+            HotSite(
+                rule="P005",
+                line=node.lineno,
+                column=node.col_offset,
+                depth=depth,
+                message=(
+                    f"loop-invariant call to pure '{name}()' inside a hot "
+                    "loop — hoist it above the loop"
+                ),
+                callee=callee,
+                extra=name,
+            )
+        )
+
+    def _resolve_local_call(self, name: str) -> str | None:
+        unit = self.module.functions.get(name)
+        if unit is not None:
+            return unit.qualname
+        target = self.module.imports.get(name)
+        if target is not None and target in self.project.functions:
+            return target
+        return None
+
+    def _stored_in_loops(self, name: str, loops: list[ast.stmt]) -> bool:
+        lines = self.index.stores.get(name, ()) or ()
+        mutation_lines = self.index.mutations.get(name, ()) or ()
+        for loop in loops:
+            end = loop.end_lineno or loop.lineno
+            for line in list(lines) + list(mutation_lines):
+                if loop.lineno <= line <= end:
+                    return True
+        return False
+
+    def _check_p003(
+        self, node: ast.Compare, depth: int, loops: list[ast.stmt]
+    ) -> None:
+        comparators = node.comparators
+        for op, comparator in zip(node.ops, comparators):
+            if not isinstance(op, (ast.In, ast.NotIn)):
+                continue
+            if not isinstance(comparator, ast.Name):
+                continue
+            name = comparator.id
+            innermost = loops[-1]
+            prior = [
+                (line, value)
+                for line, value in self.index.assignments.get(name, ())
+                if line < innermost.lineno
+            ]
+            if not prior:
+                continue
+            if self._stored_in_loops(name, [innermost]):
+                continue  # built or mutated inside the loop: not a scan bug
+            _line, value = max(prior, key=lambda pair: pair[0])
+            if not self._is_sequential(value):
+                continue
+            self.sites.append(
+                HotSite(
+                    rule="P003",
+                    line=node.lineno,
+                    column=node.col_offset,
+                    depth=depth,
+                    message=(
+                        f"membership test scans list '{name}' built outside "
+                        "the loop on every iteration — use a set"
+                    ),
+                    fixable=self._p003_fixable(name, value),
+                    extra=name,
+                )
+            )
+
+    def _is_sequential(self, value: ast.expr) -> bool:
+        if isinstance(value, _SEQ_LITERALS):
+            return True
+        if isinstance(value, _HASHED_LITERALS):
+            return False
+        if isinstance(value, ast.Call):
+            name = _call_name(value)
+            if name in _SEQ_FACTORIES:
+                return True
+        return False
+
+    def _p003_fixable(self, name: str, value: ast.expr) -> bool:
+        if len(self.index.assignments.get(name, ())) != 1:
+            return False
+        if len(self.index.stores.get(name, ())) != 1:
+            return False
+        if self.index.mutations.get(name):
+            return False
+        if not isinstance(value, (ast.List, ast.Tuple)) or not value.elts:
+            return False
+        if value.lineno != (value.end_lineno or value.lineno):
+            return False
+        return all(
+            isinstance(elt, ast.Constant) and isinstance(elt.value, _HASHABLE_CONST)
+            for elt in value.elts
+        )
+
+
+def scan_function(project: Project, unit: FunctionUnit) -> list[HotSite]:
+    """All candidate sites in one function body."""
+    return _ScopeScanner(
+        project, unit.module, unit.node.body, unit.name, unit.qualname
+    ).run()
+
+
+def scan_module_level(project: Project, module: ModuleUnit) -> list[HotSite]:
+    """All candidate sites in one module's top-level code."""
+    return _ScopeScanner(project, module, module.tree.body, "", None).run()

@@ -38,7 +38,17 @@ __all__ = [
 def ensure_dense(X: Any) -> np.ndarray:
     """Return ``X`` as a 2-D float64 ndarray (densifying CSR input)."""
     if sp.issparse(X):
-        return np.asarray(X.todense(), dtype=np.float64)
+        # Densify with exactly one full-width pass.  The old
+        # np.asarray(X.todense(), dtype=...) route materialized an
+        # intermediate np.matrix and, for non-float64 input, re-read
+        # the whole dense matrix to convert it.  Wide dtypes convert
+        # per-nonzero before densifying; narrow dtypes densify first
+        # so the big write stays small, then widen once.
+        if X.dtype == np.float64:
+            return X.toarray()
+        if X.dtype.itemsize >= 8:
+            return X.astype(np.float64).toarray()
+        return np.asarray(X.toarray(), dtype=np.float64)
     arr = np.asarray(X, dtype=np.float64)
     if arr.ndim == 1:
         arr = arr.reshape(-1, 1)

@@ -12,7 +12,6 @@ from __future__ import annotations
 from typing import Any
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.exceptions import NotFittedError, ValidationError
 from repro.ml.base import BaseClassifier, check_X, check_X_y
@@ -92,10 +91,9 @@ class LogisticRegression(BaseClassifier):
         mu = self._momentum
         XT = X.T  # cached transpose view (cheap for CSR too)
         for _ in range(self._n_iterations):
-            margin = X @ w
-            if sp.issparse(margin):
-                margin = np.asarray(margin.todense()).ravel()
-            proba = _sigmoid(np.asarray(margin).ravel() + b)
+            # CSR @ dense vector yields a dense ndarray directly.
+            margin = np.asarray(X @ w).ravel()
+            proba = _sigmoid(margin + b)
             error = (proba - target) * weight
             grad_w = np.asarray(XT @ error).ravel() + self._l2 * w
             grad_b = float(error.sum())
@@ -119,10 +117,8 @@ class LogisticRegression(BaseClassifier):
                 f"feature-count mismatch: fitted on {self._w.shape[0]}, "
                 f"got {X.shape[1]}"
             )
-        scores = X @ self._w
-        if sp.issparse(scores):
-            scores = np.asarray(scores.todense()).ravel()
-        return np.asarray(scores).ravel() + self._b
+        scores = np.asarray(X @ self._w).ravel()
+        return scores + self._b
 
     def predict_proba(self, X: Any) -> np.ndarray:
         pos = _sigmoid(self.decision_function(X))

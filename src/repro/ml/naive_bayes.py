@@ -77,10 +77,9 @@ class MultinomialNB(BaseClassifier):
                 f"feature-count mismatch: fitted on "
                 f"{self._log_likelihood.shape[1]}, got {X.shape[1]}"
             )
-        jll = X @ self._log_likelihood.T
-        if sp.issparse(jll):
-            jll = np.asarray(jll.todense())
-        return np.asarray(jll) + self._log_prior
+        # CSR @ dense matrix yields a dense ndarray directly.
+        jll = np.asarray(X @ self._log_likelihood.T)
+        return jll + self._log_prior
 
     def predict_proba(self, X: Any) -> np.ndarray:
         jll = self._joint_log_likelihood(X)

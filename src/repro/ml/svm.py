@@ -176,10 +176,9 @@ class LinearSVC(BaseClassifier):
                 f"feature-count mismatch: fitted on {self._w.shape[0]}, "
                 f"got {X.shape[1]}"
             )
-        scores = X @ self._w
-        if sp.issparse(scores):
-            scores = np.asarray(scores.todense()).ravel()
-        return np.asarray(scores).ravel() + self._b
+        # CSR @ dense vector yields a dense ndarray directly.
+        scores = np.asarray(X @ self._w).ravel()
+        return scores + self._b
 
     def predict_proba(self, X: Any) -> np.ndarray:
         """Sigmoid of the margin (fixed-slope Platt approximation)."""

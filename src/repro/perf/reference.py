@@ -18,6 +18,8 @@ sequential formulations the fast kernels must reproduce):
   Chawla et al. pseudocode shape).
 * :func:`reference_tfidf_transform` — the per-document dict +
   ``sorted(counts)`` CSR assembly loop.
+* :func:`reference_ensure_dense` — the ``np.matrix``-routed densify
+  helper that converted dtypes with a second full-matrix pass.
 
 They exist for two reasons: the property tests in ``tests/perf`` assert
 the fast paths match them within tight tolerances on randomized inputs,
@@ -28,7 +30,7 @@ reported against.  They are *not* wired into any pipeline.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 import scipy.sparse as sp
@@ -50,6 +52,7 @@ __all__ = [
     "reference_ensemble_select",
     "ReferenceSMOTE",
     "reference_tfidf_transform",
+    "reference_ensure_dense",
 ]
 
 
@@ -537,3 +540,23 @@ def reference_tfidf_transform(
     if normalize:
         matrix = _l2_normalize_rows(matrix)
     return matrix
+
+
+def reference_ensure_dense(X: Any) -> np.ndarray:
+    """The pre-optimization densify helper, verbatim.
+
+    ``np.asarray(X.todense(), dtype=np.float64)`` materializes an
+    intermediate :class:`numpy.matrix` and, whenever the sparse input
+    is not already float64 (integer count matrices, float32 blocks),
+    re-reads the entire dense result to convert it — a second
+    full-matrix pass that :func:`repro.ml.base.ensure_dense` now
+    avoids by choosing the conversion order per dtype.  On float64
+    input both routes cost one dense write, so the benchmarked win is
+    specifically the dtype-converting regime.
+    """
+    if sp.issparse(X):
+        return np.asarray(X.todense(), dtype=np.float64)
+    arr = np.asarray(X, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    return arr

@@ -108,13 +108,14 @@ class TestUmbrella:
         sarif_path = tmp_path / "analysis.sarif"
         assert analyze_main(["src/repro", "--sarif", str(sarif_path)]) == 0
         out = capsys.readouterr().out
-        for tool in ("repro-lint", "repro-flow", "repro-conc"):
+        for tool in ("repro-lint", "repro-flow", "repro-conc", "repro-hot"):
             assert f"{tool}: clean" in out
         doc = json.loads(sarif_path.read_text())
         assert [run["tool"]["driver"]["name"] for run in doc["runs"]] == [
             "repro-lint",
             "repro-flow",
             "repro-conc",
+            "repro-hot",
         ]
         assert all(run["results"] == [] for run in doc["runs"])
 

@@ -1,0 +1,1 @@
+"""Benchmark segment: reference-kernel imports are sanctioned here."""

@@ -1,0 +1,9 @@
+"""near-miss for P002: the module's dotted name contains a
+'benchmarks' segment, so the reference import is the oracle it should
+be."""
+
+from repro.perf.reference import reference_pegasos_fit
+
+
+def bench_fit(X, y):
+    return reference_pegasos_fit(X, y, lam=0.01, n_epochs=3, seed=0)

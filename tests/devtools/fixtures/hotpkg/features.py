@@ -1,0 +1,40 @@
+"""Batch/per-item feature APIs and vocabulary state (P001/P006)."""
+
+
+class Model:
+    def __init__(self, size):
+        self.size = size
+
+    def transform(self, doc):
+        """Per-item API with a registered batch sibling."""
+        return len(doc) * self.size
+
+    def transform_many(self, docs):
+        """Batch sibling: its own loop over transform() is sanctioned."""
+        out = []
+        for doc in docs:
+            out.append(self.transform(doc))  # near-miss: sibling's body
+        return out
+
+
+class Vocabulary:
+    """Frozen after construction: re-sorting per call is pure waste."""
+
+    def __init__(self, docs):
+        self._terms = [term for doc in docs for term in doc]
+
+    def ordered(self):
+        return sorted(self._terms)  # P006: invariant state re-derived
+
+
+class GrowingVocabulary:
+    """Mutated after construction: re-sorting per call is required."""
+
+    def __init__(self):
+        self._terms = []
+
+    def add(self, term):
+        self._terms.append(term)
+
+    def ordered(self):
+        return sorted(self._terms)  # near-miss: attribute grows

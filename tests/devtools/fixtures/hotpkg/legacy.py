@@ -1,0 +1,7 @@
+"""Production-looking module leaning on a reference kernel (P002)."""
+
+from repro.perf.reference import reference_pegasos_fit
+
+
+def legacy_fit(X, y):
+    return reference_pegasos_fit(X, y, lam=0.01, n_epochs=3, seed=0)

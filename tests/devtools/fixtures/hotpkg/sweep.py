@@ -1,0 +1,13 @@
+"""Sweep driver: the hot entry point rooting the reachability pass."""
+
+from hotpkg import pipeline
+from hotpkg.features import Vocabulary
+
+
+def run_tfidf_sweep(model, docs, matrix, size):
+    """Matches the registered 'sweep.run_tfidf_sweep' entry suffix."""
+    scores = pipeline.per_item_scores(model, docs)
+    grid = pipeline.densify_grid(matrix, docs)
+    weights = pipeline.weight_documents(docs, size)
+    vocab = Vocabulary(docs)
+    return scores, grid, weights, vocab.ordered()

@@ -1,0 +1,25 @@
+"""Shared fixtures: the hotpkg fixture package, analyzed once."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.flow.analysis import analyze_project
+from repro.devtools.hot.analyzer import hot_findings
+
+HOTPKG = Path(__file__).parent.parent / "fixtures" / "hotpkg"
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+@pytest.fixture(scope="session")
+def hot_analysis():
+    return analyze_project([str(HOTPKG)])
+
+
+@pytest.fixture(scope="session")
+def hotpkg_findings(hot_analysis):
+    findings, load_errors = hot_findings(hot_analysis)
+    assert load_errors == []
+    return findings

@@ -17,12 +17,14 @@ import scipy.sparse as sp
 from repro.ml.ensemble import EnsembleSelection, LibraryModel
 from repro.ml.metrics import auc_roc, auc_roc_many
 from repro.ml.sampling import SMOTE
+from repro.ml.base import ensure_dense
 from repro.ml.svm import pegasos_weights
 from repro.ml.tree import C45Tree
 from repro.perf.reference import (
     ReferenceC45Tree,
     ReferenceSMOTE,
     reference_ensemble_select,
+    reference_ensure_dense,
     reference_pegasos_fit,
     reference_tfidf_transform,
 )
@@ -277,3 +279,31 @@ class TestAucManyEquivalence:
         batched = auc_roc_many(y, scores)
         looped = np.array([auc_roc(y, row) for row in scores])
         np.testing.assert_allclose(batched, looped, atol=1e-9)
+
+
+class TestEnsureDenseEquivalence:
+    """The dtype-aware densify must match the np.matrix-routed
+    reference bit-for-bit on every dtype branch it dispatches on."""
+
+    @pytest.mark.parametrize(
+        "dtype",
+        [np.float64, np.float32, np.int64, np.int32, np.bool_],
+    )
+    def test_sparse_input_matches_reference(self, dtype):
+        base = sp.random(40, 17, density=0.2, format="csr", random_state=7)
+        X = (base * 10).astype(dtype)
+        fast = ensure_dense(X)
+        slow = reference_ensure_dense(X)
+        assert fast.dtype == slow.dtype == np.float64
+        np.testing.assert_array_equal(fast, slow)
+
+    def test_dense_and_1d_inputs_match_reference(self):
+        rng = np.random.default_rng(5)
+        dense = rng.normal(size=(12, 4))
+        np.testing.assert_array_equal(
+            ensure_dense(dense), reference_ensure_dense(dense)
+        )
+        column = rng.normal(size=9)
+        fast = ensure_dense(column)
+        assert fast.shape == (9, 1)
+        np.testing.assert_array_equal(fast, reference_ensure_dense(column))
