@@ -1,0 +1,1 @@
+"""Load-harness package for the serving layer (`repro serve`)."""

@@ -1,0 +1,578 @@
+"""Load harness for the serving layer: drive a real server, gate on SLOs.
+
+Boots a :func:`repro.serve.build_server` instance on a loopback
+ephemeral port and drives it with a deterministic, seeded request
+schedule over the synthetic web.  Four scenarios, each a full
+client/server round trip through sockets (the one place real wall
+time is the point, unlike the VirtualClock test suite):
+
+* ``cold_cache`` — healthy host, empty verdict cache: every request
+  pays feature extraction and scoring.
+* ``warm_cache`` — the same schedule replayed against the same
+  server: clean verdicts now replay from the
+  :class:`~repro.perf.FeatureCache`.  The ``--min-throughput`` and
+  ``--max-p99`` gates bind here.
+* ``faulty_host`` — crawl-on-miss through a seeded
+  :class:`~repro.web.resilience.FaultInjectingWebHost` (transient
+  faults plus permanently dead seeds): responses must degrade
+  honestly, never error.
+* ``overload`` — a deliberately undersized bulkhead and a stingy
+  rate-limit tier under maximum client pressure: 429s and shed 503s
+  are *expected* here; what is gated is that nothing else leaks out.
+
+Two gates hold across **every** scenario, overloaded or not:
+
+1. zero unhandled 500s — client-observed and the server's own
+   ``http_unhandled_errors_total`` counter;
+2. zero deadline-exceeding requests — every verify response must
+   land within its ``X-Request-Budget`` plus a fixed transport grace.
+
+Results land in ``benchmarks/output/BENCH_serve.json``.
+
+Run::
+
+    python -m benchmarks.serve.harness --scale tiny
+    python -m benchmarks.serve.harness --scale tiny \
+        --min-throughput 5 --max-p99 2.5      # the CI serve-smoke gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import random
+import sys
+import tempfile
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.core import PharmacyVerifier
+from repro.data import GeneratorConfig, SyntheticWebGenerator, crawl_snapshot
+from repro.io import atomic_write_text
+from repro.serve import Authenticator, ServiceConfig, build_server
+from repro.web.resilience import (
+    FaultInjectingWebHost,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+)
+
+DEFAULT_OUTPUT = Path("benchmarks/output/BENCH_serve.json")
+
+#: Seconds of slack on top of a request's budget before its latency
+#: counts as a deadline violation: socket + JSON + one scoring chunk
+#: of overshoot, none of which the in-service deadline can trim.
+DEADLINE_GRACE = 2.0
+
+#: API keys the harness serves with (internal tier = no rate limit in
+#: the way; the "limited" tier exists to be exhausted in overload).
+BENCH_AUTH = {
+    "keys": {"bench-internal": "internal", "bench-limited": "limited"},
+    "tiers": {
+        "limited": {
+            "rate_limit": 25,
+            "window_seconds": 60.0,
+            "max_batch": 5,
+            "request_budget": 2.0,
+            "batch_budget": 5.0,
+        }
+    },
+}
+
+
+@dataclass(frozen=True)
+class Scale:
+    """One harness size: synthetic web config + request volume."""
+
+    generator: GeneratorConfig
+    requests: int
+    clients: int
+
+
+SCALES = {
+    "tiny": Scale(
+        generator=GeneratorConfig(
+            n_legitimate=6,
+            n_illegitimate=44,
+            n_affiliate_hubs=3,
+            min_pages=3,
+            max_pages=6,
+            min_terms_per_page=40,
+            max_terms_per_page=80,
+            seed=23,
+        ),
+        requests=80,
+        clients=4,
+    ),
+    "small": Scale(
+        generator=GeneratorConfig(
+            n_legitimate=12,
+            n_illegitimate=88,
+            n_affiliate_hubs=3,
+            min_pages=3,
+            max_pages=6,
+            min_terms_per_page=60,
+            max_terms_per_page=120,
+            seed=7,
+        ),
+        requests=320,
+        clients=8,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Call:
+    """One scheduled request."""
+
+    method: str
+    path: str
+    body: dict | None
+    key: str
+    budget: float | None  # None = exempt from the deadline gate
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One completed round trip."""
+
+    status: int
+    latency_s: float
+    budget: float | None
+
+
+def build_schedule(
+    rng: random.Random,
+    indexed: Sequence[str],
+    missing: Sequence[str],
+    dead: Sequence[str],
+    n: int,
+    key: str,
+    budget: float,
+) -> list[Call]:
+    """A deterministic mix of verify, batch, and review-queue calls.
+
+    ``missing`` domains force crawl-on-miss; ``dead`` domains force
+    honest degradation.  Either may be empty (the healthy scenarios).
+    """
+    weighted = [(p, w) for p, w in ((indexed, 6), (missing, 2), (dead, 2)) if p]
+    pools = [pool for pool, _ in weighted]
+    weights = [weight for _, weight in weighted]
+    schedule: list[Call] = []
+    for i in range(n):
+        if i % 10 == 9:
+            domains = [rng.choice(indexed) for _ in range(3)]
+            schedule.append(
+                Call(
+                    "POST",
+                    "/v1/verify/batch",
+                    {"domains": domains},
+                    key,
+                    budget,
+                )
+            )
+        elif i % 25 == 13:
+            schedule.append(Call("GET", "/v1/review-queue?limit=5", None, key, None))
+        else:
+            pool = rng.choices(pools, weights=weights, k=1)[0]
+            schedule.append(
+                Call(
+                    "POST",
+                    "/v1/verify",
+                    {"domain": rng.choice(pool)},
+                    key,
+                    budget,
+                )
+            )
+    return schedule
+
+
+def _round_trip(port: int, call: Call) -> Observation:
+    """Issue one call and time the full socket round trip."""
+    headers = {"X-API-Key": call.key}
+    if call.budget is not None:
+        headers["X-Request-Budget"] = f"{call.budget:g}"
+    body = None
+    if call.body is not None:
+        body = json.dumps(call.body)
+        headers["Content-Type"] = "application/json"
+    started = time.monotonic()
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        conn.request(call.method, call.path, body=body, headers=headers)
+        response = conn.getresponse()
+        response.read()
+        status = response.status
+    finally:
+        conn.close()
+    return Observation(status, time.monotonic() - started, call.budget)
+
+
+def drive(
+    port: int,
+    schedule: Sequence[Call],
+    clients: int,
+    mode: str,
+    rate: float,
+) -> tuple[list[Observation], float]:
+    """Run the schedule through ``clients`` worker threads.
+
+    Closed loop: each worker fires its next request the moment the
+    previous response lands (throughput is demand-matched).  Open
+    loop: arrivals are paced at ``rate`` requests/second regardless
+    of response times, so a slow server builds queueing pressure.
+    """
+    observations: list[list[Observation]] = [[] for _ in range(clients)]
+    started = time.monotonic()
+
+    def worker(worker_id: int) -> None:
+        for index in range(worker_id, len(schedule), clients):
+            if mode == "open":
+                due = started + index / rate
+                delay = due - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+            observations[worker_id].append(_round_trip(port, schedule[index]))
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), name=f"bench-client-{i}")
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.monotonic() - started
+    merged = [obs for per_worker in observations for obs in per_worker]
+    return merged, wall
+
+
+def summarize(
+    name: str,
+    observations: Sequence[Observation],
+    wall: float,
+    counters: dict[str, float],
+) -> dict:
+    """Scenario result row: throughput, quantiles, status accounting."""
+    statuses = Counter(str(o.status) for o in observations)
+    latencies = np.asarray([o.latency_s for o in observations], dtype=np.float64)
+    p50, p95, p99 = np.quantile(latencies, (0.5, 0.95, 0.99))
+    violations = sum(
+        1
+        for o in observations
+        if o.budget is not None and o.latency_s > o.budget + DEADLINE_GRACE
+    )
+    return {
+        "scenario": name,
+        "requests": len(observations),
+        "wall_time_s": round(wall, 4),
+        "throughput_rps": round(len(observations) / wall, 2),
+        "p50_s": round(float(p50), 4),
+        "p95_s": round(float(p95), 4),
+        "p99_s": round(float(p99), 4),
+        "status_counts": dict(sorted(statuses.items())),
+        "client_500s": statuses.get("500", 0),
+        "rate_limited": counters.get("http_rate_limited_total", 0.0),
+        "shed": counters.get("http_shed_total", 0.0),
+        "unhandled_errors": counters.get("http_unhandled_errors_total", 0.0),
+        "cache_hits": counters.get("service_cache_hits_total", 0.0),
+        "deadline_violations": violations,
+    }
+
+
+def _counters(server) -> dict[str, float]:
+    """Flatten the label-free view of the counters the gates read."""
+    names = (
+        "http_rate_limited_total",
+        "http_shed_total",
+        "http_unhandled_errors_total",
+        "service_cache_hits_total",
+    )
+    return {name: server.metrics.counter_value(name) for name in names}
+
+
+def _counter_delta(
+    after: dict[str, float], before: dict[str, float]
+) -> dict[str, float]:
+    return {name: after[name] - before[name] for name in after}
+
+
+def run_cache_scenarios(
+    verifier: PharmacyVerifier,
+    corpus,
+    cache_dir: str,
+    schedule: Sequence[Call],
+    clients: int,
+    mode: str,
+    rate: float,
+) -> list[dict]:
+    """Cold then warm pass of the same schedule against one server."""
+    server = build_server(
+        verifier,
+        sites=corpus.sites,
+        port=0,
+        authenticator=Authenticator.from_config(BENCH_AUTH),
+        cache_dir=cache_dir,
+    )
+    server.start_background()
+    try:
+        rows = []
+        for name in ("cold_cache", "warm_cache"):
+            before = _counters(server)
+            observations, wall = drive(server.port, schedule, clients, mode, rate)
+            delta = _counter_delta(_counters(server), before)
+            rows.append(summarize(name, observations, wall, delta))
+    finally:
+        server.drain(timeout=30.0)
+    return rows
+
+
+def run_faulty_scenario(
+    verifier: PharmacyVerifier,
+    snapshot,
+    indexed_sites,
+    missing_domains: Sequence[str],
+    schedule: Sequence[Call],
+    clients: int,
+    mode: str,
+    rate: float,
+    seed: int,
+) -> dict:
+    """Crawl-on-miss through seeded transient + permanent faults."""
+    plan = FaultPlan.seeded(
+        snapshot.host.urls(), seed=seed, transient_rate=0.3, max_recover_after=2
+    )
+    for domain in missing_domains[: max(1, len(missing_domains) // 3)]:
+        plan.add(f"https://www.{domain}/", FaultSpec(FaultKind.PERMANENT))
+    server = build_server(
+        verifier,
+        sites=indexed_sites,
+        host=FaultInjectingWebHost(snapshot.host, plan),
+        port=0,
+        authenticator=Authenticator.from_config(BENCH_AUTH),
+        retry_policy=RetryPolicy(
+            max_attempts=3, base_delay=0.02, max_delay=0.1, seed=17
+        ),
+        service_config=ServiceConfig(crawl_max_pages=8, crawl_fetch_budget=40),
+    )
+    server.start_background()
+    try:
+        before = _counters(server)
+        observations, wall = drive(server.port, schedule, clients, mode, rate)
+        delta = _counter_delta(_counters(server), before)
+        return summarize("faulty_host", observations, wall, delta)
+    finally:
+        server.drain(timeout=30.0)
+
+
+def run_overload_scenario(
+    verifier: PharmacyVerifier,
+    corpus,
+    schedule: Sequence[Call],
+    clients: int,
+) -> dict:
+    """Hammer an undersized server: sheds and 429s, never a 500."""
+    server = build_server(
+        verifier,
+        sites=corpus.sites,
+        port=0,
+        authenticator=Authenticator.from_config(BENCH_AUTH),
+        jobs=2,
+        max_queue=2,
+        admission_timeout=0.02,
+    )
+    server.start_background()
+    try:
+        before = _counters(server)
+        # Always closed-loop at double client pressure: the point is
+        # saturation, not pacing.
+        observations, wall = drive(
+            server.port, schedule, clients * 2, "closed", rate=0.0
+        )
+        delta = _counter_delta(_counters(server), before)
+        return summarize("overload", observations, wall, delta)
+    finally:
+        server.drain(timeout=30.0)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+    parser.add_argument(
+        "--mode",
+        choices=("closed", "open"),
+        default="closed",
+        help="closed: demand-matched clients; open: paced arrivals",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=20.0,
+        help="open-loop arrival rate in requests/second",
+    )
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--clients", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=1319)
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--min-throughput",
+        type=float,
+        default=None,
+        help="gate: warm-cache throughput floor in requests/second",
+    )
+    parser.add_argument(
+        "--max-p99",
+        type=float,
+        default=None,
+        help="gate: warm-cache p99 latency ceiling in seconds",
+    )
+    args = parser.parse_args(argv)
+
+    scale = SCALES[args.scale]
+    requests = args.requests if args.requests is not None else scale.requests
+    clients = args.clients if args.clients is not None else scale.clients
+
+    print(f"generating synthetic web at scale={args.scale} ...")
+    snapshot = SyntheticWebGenerator(scale.generator).generate_snapshot()
+    corpus = crawl_snapshot(snapshot)
+    verifier = PharmacyVerifier().fit(corpus)
+
+    # Hold back a quarter of the corpus from the faulty server's index
+    # so those domains exercise crawl-on-miss through the fault plan.
+    split = max(1, (3 * len(corpus.sites)) // 4)
+    indexed_sites = corpus.sites[:split]
+    indexed = [site.domain for site in indexed_sites]
+    missing = [site.domain for site in corpus.sites[split:]]
+    dead = [f"dead-{i}.bench.example.com" for i in range(4)]
+
+    rng = random.Random(args.seed)
+    healthy_schedule = build_schedule(
+        rng,
+        indexed=[site.domain for site in corpus.sites],
+        missing=(),
+        dead=(),
+        n=requests,
+        key="bench-internal",
+        budget=10.0,
+    )
+    faulty_schedule = build_schedule(
+        random.Random(args.seed + 1),
+        indexed=indexed,
+        missing=missing,
+        dead=dead,
+        n=requests,
+        key="bench-internal",
+        budget=10.0,
+    )
+    overload_schedule = build_schedule(
+        random.Random(args.seed + 2),
+        indexed=indexed,
+        missing=(),
+        dead=(),
+        n=requests,
+        key="bench-limited",
+        budget=10.0,
+    )
+
+    rows: list[dict] = []
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as tmp:
+        print(f"cache scenarios: {requests} requests x {clients} clients ...")
+        rows.extend(
+            run_cache_scenarios(
+                verifier,
+                corpus,
+                cache_dir=f"{tmp}/verdicts",
+                schedule=healthy_schedule,
+                clients=clients,
+                mode=args.mode,
+                rate=args.rate,
+            )
+        )
+        print("faulty-host scenario ...")
+        rows.append(
+            run_faulty_scenario(
+                verifier,
+                snapshot,
+                indexed_sites,
+                missing_domains=missing,
+                schedule=faulty_schedule,
+                clients=clients,
+                mode=args.mode,
+                rate=args.rate,
+                seed=args.seed,
+            )
+        )
+        print("overload scenario ...")
+        rows.append(
+            run_overload_scenario(verifier, corpus, overload_schedule, clients)
+        )
+
+    print()
+    print(
+        f"{'scenario':<14} {'req':>5} {'rps':>8} {'p50':>8} {'p99':>8} "
+        f"{'429':>5} {'shed':>5} {'500':>4} {'late':>5}"
+    )
+    for row in rows:
+        print(
+            f"{row['scenario']:<14} {row['requests']:>5} "
+            f"{row['throughput_rps']:>8.2f} {row['p50_s']:>8.4f} "
+            f"{row['p99_s']:>8.4f} {row['rate_limited']:>5.0f} "
+            f"{row['shed']:>5.0f} "
+            f"{row['client_500s'] + row['unhandled_errors']:>4.0f} "
+            f"{row['deadline_violations']:>5}"
+        )
+
+    payload = {
+        "suite": "serve",
+        "scale": args.scale,
+        "mode": args.mode,
+        "seed": args.seed,
+        "requests_per_scenario": requests,
+        "clients": clients,
+        "deadline_grace_s": DEADLINE_GRACE,
+        "scenarios": rows,
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    atomic_write_text(args.output, json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+    failures: list[str] = []
+    for row in rows:
+        if row["unhandled_errors"] or row["client_500s"]:
+            failures.append(
+                f"{row['scenario']}: "
+                f"{row['unhandled_errors'] + row['client_500s']:g} unhandled 500s"
+            )
+        if row["deadline_violations"]:
+            failures.append(
+                f"{row['scenario']}: {row['deadline_violations']} responses "
+                f"past budget + {DEADLINE_GRACE}s grace"
+            )
+    warm = next(row for row in rows if row["scenario"] == "warm_cache")
+    if args.min_throughput is not None and warm["throughput_rps"] < args.min_throughput:
+        failures.append(
+            f"warm_cache throughput {warm['throughput_rps']} rps "
+            f"< floor {args.min_throughput}"
+        )
+    if args.max_p99 is not None and warm["p99_s"] > args.max_p99:
+        failures.append(
+            f"warm_cache p99 {warm['p99_s']}s > ceiling {args.max_p99}s"
+        )
+    if failures:
+        for failure in failures:
+            print(f"GATE FAIL: {failure}")
+        return 1
+    print("all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,216 @@
+"""Serving-layer fault soak: seeded chaos in, honest statuses out.
+
+Companion to ``test_fault_injection_soak.py`` one layer up the stack:
+the same seeded :class:`~repro.web.resilience.FaultInjectingWebHost`
+(40% transient failure rate plus permanently dead seeds) sits behind a
+live verification service, and every response must be one of the
+documented outcomes — a 2xx payload whose ``degradation_reasons``
+honestly describe what was skipped, a 400 for bad input, a 429 for an
+exhausted quota, or a 503 shed.  Never an unhandled 500 (the
+``http_unhandled_errors_total`` counter is pinned to zero), and never
+a response that outlives its deadline budget.
+
+Runs in the CI ``fault-soak`` job.  Service-level passes use a
+:class:`~repro.web.resilience.clock.VirtualClock` end to end, so the
+soak is bit-deterministic; the HTTP pass runs on the wall clock to
+check the real transport honours budgets.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+import pytest
+
+from repro.core import PharmacyVerifier
+from repro.data.loaders import crawl_snapshot
+from repro.data.synthesis import GeneratorConfig, SyntheticWebGenerator
+from repro.serve import ServiceConfig, VerificationService, build_server
+from repro.web.resilience import (
+    FaultInjectingWebHost,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+)
+from repro.web.resilience.clock import VirtualClock
+
+SOAK_CONFIG = GeneratorConfig(
+    n_legitimate=6,
+    n_illegitimate=44,
+    n_affiliate_hubs=3,
+    min_pages=3,
+    max_pages=8,
+    min_terms_per_page=40,
+    max_terms_per_page=80,
+    seed=23,
+)
+
+TRANSIENT_RATE = 0.4
+RETRY = RetryPolicy(max_attempts=5, seed=17)
+
+#: Verify-call budget and the transport slack the HTTP soak allows on
+#: top of it before a response counts as having outlived its deadline.
+BUDGET_S = 5.0
+DEADLINE_GRACE_S = 2.0
+
+
+@pytest.fixture(scope="module")
+def soak_snapshot():
+    return SyntheticWebGenerator(SOAK_CONFIG).generate_snapshot()
+
+
+@pytest.fixture(scope="module")
+def soak_corpus(soak_snapshot):
+    return crawl_snapshot(soak_snapshot)
+
+
+@pytest.fixture(scope="module")
+def soak_verifier(soak_corpus):
+    return PharmacyVerifier().fit(soak_corpus)
+
+
+def _faulty_host(snapshot, seed, dead=()):
+    plan = FaultPlan.seeded(
+        snapshot.host.urls(),
+        seed=seed,
+        transient_rate=TRANSIENT_RATE,
+        max_recover_after=3,
+    )
+    for domain in dead:
+        plan.add(f"https://www.{domain}/", FaultSpec(FaultKind.PERMANENT))
+    return FaultInjectingWebHost(snapshot.host, plan)
+
+
+def _soak_service(soak_verifier, soak_corpus, soak_snapshot, seed):
+    """Half the corpus indexed, the rest crawled through the faults."""
+    split = len(soak_corpus.sites) // 2
+    dead = [site.domain for site in soak_corpus.sites[-3:]]
+    service = VerificationService(
+        soak_verifier,
+        sites=soak_corpus.sites[:split],
+        host=_faulty_host(soak_snapshot, seed, dead=dead),
+        clock=VirtualClock(),
+        retry_policy=RETRY,
+        config=ServiceConfig(crawl_max_pages=8, crawl_fetch_budget=60),
+    )
+    missing = [site.domain for site in soak_corpus.sites[split:]]
+    return service, missing, dead
+
+
+class TestServiceSoak:
+    def test_every_domain_answers_with_honest_degradation(
+        self, soak_verifier, soak_corpus, soak_snapshot
+    ):
+        service, missing, dead = _soak_service(
+            soak_verifier, soak_corpus, soak_snapshot, seed=101
+        )
+        for domain in missing:
+            payload = service.verify_domain(domain, budget=BUDGET_S)
+            assert payload["domain"] == domain
+            if payload["degraded"]:
+                assert payload["degradation_reasons"]
+                assert payload["confidence"] < 1.0
+        # Permanently dead seeds must degrade, not raise.
+        for domain in dead:
+            payload = service.verify_domain(domain, budget=BUDGET_S)
+            assert payload["degraded"] is True
+            assert "seed_unreachable" in payload["degradation_reasons"]
+        assert service.backend_states()["verify"] == "closed"
+
+    def test_soak_is_deterministic(
+        self, soak_verifier, soak_corpus, soak_snapshot
+    ):
+        def one_pass():
+            service, missing, dead = _soak_service(
+                soak_verifier, soak_corpus, soak_snapshot, seed=101
+            )
+            return [
+                (
+                    p["domain"],
+                    p["verdict"],
+                    p["degraded"],
+                    tuple(p["degradation_reasons"]),
+                )
+                for p in (
+                    service.verify_domain(d, budget=BUDGET_S)
+                    for d in missing + dead
+                )
+            ]
+
+        assert one_pass() == one_pass()
+
+    def test_budgeted_batches_always_complete(
+        self, soak_verifier, soak_corpus, soak_snapshot
+    ):
+        service, missing, _ = _soak_service(
+            soak_verifier, soak_corpus, soak_snapshot, seed=77
+        )
+        domains = missing[:10]
+        payloads = service.verify_batch(domains, budget=BUDGET_S)
+        assert [p["domain"] for p in payloads] == domains
+
+
+class TestHTTPSoak:
+    def test_only_documented_statuses_and_no_deadline_overruns(
+        self, soak_verifier, soak_corpus, soak_snapshot
+    ):
+        split = len(soak_corpus.sites) // 2
+        dead = ["dead-0.soak.example.com", "dead-1.soak.example.com"]
+        server = build_server(
+            soak_verifier,
+            sites=soak_corpus.sites[:split],
+            host=_faulty_host(soak_snapshot, seed=5, dead=dead),
+            port=0,
+            retry_policy=RetryPolicy(
+                max_attempts=3, base_delay=0.01, max_delay=0.05, seed=17
+            ),
+            service_config=ServiceConfig(crawl_max_pages=8, crawl_fetch_budget=40),
+        )
+        server.start_background()
+        try:
+            calls = [("POST", "/v1/verify", {"domain": s.domain})
+                     for s in soak_corpus.sites[split : split + 12]]
+            calls += [("POST", "/v1/verify", {"domain": d}) for d in dead]
+            calls += [
+                ("POST", "/v1/verify", {"domain": "not a domain!"}),  # 400
+                ("POST", "/v1/verify", {"domains": []}),  # 400 (wrong field)
+                ("GET", "/nope", None),  # 404
+                ("GET", "/v1/review-queue?limit=5", None),
+                ("GET", "/healthz", None),
+            ]
+            statuses = []
+            for method, path, body in calls:
+                started = time.monotonic()
+                status, payload = self._request(server.port, method, path, body)
+                elapsed = time.monotonic() - started
+                statuses.append(status)
+                assert status in (200, 400, 404, 429, 503), (path, payload)
+                assert elapsed <= BUDGET_S + DEADLINE_GRACE_S, path
+                if status == 200 and path == "/v1/verify" and payload["degraded"]:
+                    assert payload["degradation_reasons"]
+            assert statuses.count(200) >= len(calls) - 4
+            assert (
+                server.metrics.counter_value("http_unhandled_errors_total") == 0.0
+            )
+        finally:
+            server.drain(timeout=30.0)
+
+    @staticmethod
+    def _request(port, method, path, body):
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        try:
+            headers = {"X-Request-Budget": str(BUDGET_S)}
+            payload = None
+            if body is not None:
+                payload = json.dumps(body)
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            parsed = json.loads(raw) if raw.strip().startswith(b"{") else raw
+            return response.status, parsed
+        finally:
+            conn.close()

@@ -60,8 +60,15 @@ from repro.core import (
     effort_to_find_fraction,
     simulate_review,
 )
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, ServiceUnavailableError
 from repro.io import export_corpus, import_corpus, load_model, save_model
+from repro.serve import (
+    Authenticator,
+    Bulkhead,
+    SlidingWindowRateLimiter,
+    VerificationService,
+    build_server,
+)
 from repro.ml import (
     C45Tree,
     GaussianNB,
@@ -121,6 +128,7 @@ __all__ = [
     "make_dataset_pair",
     # errors
     "ReproError",
+    "ServiceUnavailableError",
     # io
     "export_corpus",
     "import_corpus",
@@ -136,6 +144,12 @@ __all__ = [
     "SMOTE",
     "RandomUnderSampler",
     "inject_label_noise",
+    # serve
+    "Authenticator",
+    "Bulkhead",
+    "SlidingWindowRateLimiter",
+    "VerificationService",
+    "build_server",
     # review workflow
     "ReviewQueue",
     "degraded_domains",

@@ -9,6 +9,9 @@ Subcommands:
   model; print a triage table.
 * ``rank``      — rank a corpus by legitimacy; print the list with
   pairwise orderedness when labels are present.
+* ``serve``     — run the verification API server over a saved model
+  and corpus (tiered auth, rate limiting, admission control; see
+  :mod:`repro.serve`).
 * ``experiments`` — delegate to the table/figure regeneration runner.
 
 Example session::
@@ -17,6 +20,7 @@ Example session::
     python -m repro.cli train corpus.jsonl -o verifier.pkl
     python -m repro.cli verify verifier.pkl corpus.jsonl --top 10
     python -m repro.cli rank verifier.pkl corpus.jsonl
+    python -m repro.cli serve verifier.pkl corpus.jsonl --port 8470
 """
 
 from __future__ import annotations
@@ -59,6 +63,32 @@ def build_parser() -> argparse.ArgumentParser:
     rank.add_argument("model", help="model .pkl path")
     rank.add_argument("corpus", help="corpus .jsonl path")
     rank.add_argument("--top", type=int, default=20, help="rows to print")
+
+    serve = sub.add_parser("serve", help="run the verification API server")
+    serve.add_argument("model", help="model .pkl path")
+    serve.add_argument("corpus", help="corpus .jsonl path (pre-crawled sites)")
+    serve.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    serve.add_argument("--port", type=int, default=8470, help="port (0 = free)")
+    serve.add_argument(
+        "--tier-config", default=None, help="JSON tier/key table (see docs/api.md)"
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, help="verdict cache directory (warm serving)"
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=8, help="max concurrent verifications"
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=16, help="max requests queued for a slot"
+    )
+    serve.add_argument(
+        "--metrics-output", default=None, help="drain-time metrics snapshot path"
+    )
+    serve.add_argument(
+        "--check",
+        action="store_true",
+        help="bind, report the address, drain, and exit (smoke test)",
+    )
 
     exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
     exp.add_argument("ids", nargs="*", default=[])
@@ -122,6 +152,48 @@ def _cmd_rank(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import Authenticator, build_server
+
+    verifier = load_model(args.model)
+    corpus = import_corpus(args.corpus)
+    authenticator = (
+        Authenticator.from_file(args.tier_config) if args.tier_config else None
+    )
+    server = build_server(
+        verifier,
+        sites=list(corpus.sites),
+        bind_host=args.host,
+        port=args.port,
+        authenticator=authenticator,
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        max_queue=args.max_queue,
+    )
+    print(
+        f"serving {len(corpus)} pharmacies on "
+        f"http://{args.host}:{server.port} "
+        f"(jobs={args.jobs}, queue={args.max_queue})"
+    )
+    if args.check:
+        server.start_background()
+        drained = server.drain()
+        if args.metrics_output:
+            server.metrics.flush(args.metrics_output)
+        print("check ok: bound, served, drained cleanly")
+        return 0 if drained else 1
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("draining...")
+        server.draining = True
+    drained = server.drain()
+    if args.metrics_output:
+        server.metrics.flush(args.metrics_output)
+    print("drained" if drained else "drain timed out")
+    return 0 if drained else 1
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runner import main as runner_main
 
@@ -134,6 +206,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "verify": _cmd_verify,
     "rank": _cmd_rank,
+    "serve": _cmd_serve,
     "experiments": _cmd_experiments,
 }
 

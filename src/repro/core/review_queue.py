@@ -70,13 +70,25 @@ class ReviewQueue:
             raise ValidationError("review simulation requires oracle labels")
         # Most suspicious first: ascending rank score.
         ordered = tuple(reversed(ranking.entries))
+        bumped_order: tuple[str, ...] = ()
         if priority_domains:
             bumped = frozenset(priority_domains)
-            ordered = tuple(
-                e for e in ordered if e.domain in bumped
-            ) + tuple(e for e in ordered if e.domain not in bumped)
+            head = tuple(e for e in ordered if e.domain in bumped)
+            ordered = head + tuple(e for e in ordered if e.domain not in bumped)
+            bumped_order = tuple(e.domain for e in head)
         self._entries = ordered
+        self._priority_domains = bumped_order
         self._cursor = 0
+
+    @property
+    def priority_domains(self) -> tuple[str, ...]:
+        """Domains bumped to the head of the queue, in queue order.
+
+        The serving layer's ``GET /v1/review-queue`` route surfaces
+        this set: the verdicts the system itself flagged as needing
+        human eyes first.
+        """
+        return self._priority_domains
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -38,6 +38,7 @@ from repro.network.trustrank import trustrank
 from repro.text.summarization import Summarizer
 from repro.web.crawler import Crawler, CrawlStats
 from repro.web.host import WebHost
+from repro.web.resilience.clock import Clock, VirtualClock
 from repro.web.resilience.retry import RetryPolicy
 from repro.web.site import Website
 
@@ -53,6 +54,7 @@ _CONFIDENCE_PENALTIES = {
     "partial_crawl": 0.3,
     "no_text": 0.4,
     "no_network_signal": 0.2,
+    "deadline_exceeded": 0.5,
 }
 
 MIN_CONFIDENCE = 0.1
@@ -194,6 +196,10 @@ class PharmacyVerifier:
         self,
         sites: Sequence[Website],
         crawl_stats: Sequence[CrawlStats | None] | None = None,
+        *,
+        deadline: float | None = None,
+        clock: Clock | None = None,
+        deadline_chunk: int = 8,
     ) -> list[VerificationReport]:
         """Verify a batch of crawled websites.
 
@@ -202,12 +208,28 @@ class PharmacyVerifier:
         fall back to network-only scoring with ``degraded=True`` — this
         method does not raise on thin or partial content.
 
+        With a ``deadline``, the batch is scored in ``deadline_chunk``
+        chunks and the clock is checked between them: chunks whose turn
+        comes after the deadline skip the text pipeline and get cheap
+        network-only reports flagged ``deadline_exceeded`` — the serving
+        layer's guarantee that an overloaded verifier returns partial
+        degraded results instead of hanging past its budget.  Per-site
+        results are independent, so the chunked path scores exactly as
+        the unchunked one for every site the budget covers.
+
         Args:
             sites: crawled websites.
             crawl_stats: optional per-site crawl statistics, aligned
                 with ``sites``; partial crawls (see
                 :attr:`~repro.web.crawler.CrawlStats.is_partial`) mark
                 their reports degraded.
+            deadline: absolute ``clock.monotonic()`` reading after
+                which remaining sites degrade (``None`` = no budget).
+            clock: time source for the deadline (default: a fresh
+                :class:`~repro.web.resilience.VirtualClock`, under
+                which a deadline in the future never expires —
+                production servers inject a real clock).
+            deadline_chunk: sites scored between deadline checks.
         """
         if self._trust_scores is None:
             raise NotFittedError("PharmacyVerifier has not been fitted")
@@ -215,7 +237,35 @@ class PharmacyVerifier:
             raise ValidationError(
                 f"crawl_stats and sites disagree: {len(crawl_stats)} vs {len(sites)}"
             )
+        if deadline_chunk < 1:
+            raise ValidationError(
+                f"deadline_chunk must be >= 1, got {deadline_chunk}"
+            )
+        if deadline is None:
+            return self._verify_batch(sites, crawl_stats)
+        timer: Clock = clock if clock is not None else VirtualClock()
+        reports: list[VerificationReport] = []
+        for start in range(0, len(sites), deadline_chunk):
+            chunk = sites[start : start + deadline_chunk]
+            chunk_stats = (
+                crawl_stats[start : start + deadline_chunk]
+                if crawl_stats is not None
+                else None
+            )
+            # Time is injected: deterministic VirtualClock unless the
+            # caller opts into real time (the serving layer does).
+            if timer.monotonic() >= deadline:  # repro-flow: disable=D002
+                reports.extend(self._expired_reports(chunk, chunk_stats))
+            else:
+                reports.extend(self._verify_batch(chunk, chunk_stats))
+        return reports
 
+    def _verify_batch(
+        self,
+        sites: Sequence[Website],
+        crawl_stats: Sequence[CrawlStats | None] | None,
+    ) -> list[VerificationReport]:
+        """Score one batch with no deadline bookkeeping."""
         reasons: list[list[str]] = []
         scorable: list[int] = []
         for i, site in enumerate(sites):
@@ -274,6 +324,47 @@ class PharmacyVerifier:
                     degraded=bool(site_reasons),
                     confidence=max(MIN_CONFIDENCE, confidence),
                     degradation_reasons=site_reasons,
+                )
+            )
+        return reports
+
+    def _expired_reports(
+        self,
+        sites: Sequence[Website],
+        crawl_stats: Sequence[CrawlStats | None] | None,
+    ) -> list[VerificationReport]:
+        """Cheap network-only reports for sites past their deadline.
+
+        No text pipeline, no summarization — just the trust-score
+        lookups (dict reads), so emitting these consumes effectively
+        none of an exhausted budget.  Reports carry the
+        ``deadline_exceeded`` reason on top of any ``partial_crawl``
+        flag their stats earned.
+        """
+        network_ranks = self._network_ranks(sites)
+        reports = []
+        for i, site in enumerate(sites):
+            site_reasons = ["deadline_exceeded"]
+            stats = crawl_stats[i] if crawl_stats is not None else None
+            if stats is not None and stats.is_partial:
+                site_reasons.append("partial_crawl")
+            network_rank = float(network_ranks[i])
+            confidence = 1.0
+            for reason in site_reasons:
+                confidence -= _CONFIDENCE_PENALTIES.get(reason, 0.0)
+            reports.append(
+                VerificationReport(
+                    domain=site.domain,
+                    predicted_label=(
+                        LEGITIMATE if network_rank > 0.0 else ILLEGITIMATE
+                    ),
+                    legitimacy_probability=0.5,
+                    text_rank=0.0,
+                    network_rank=network_rank,
+                    rank_score=network_rank,
+                    degraded=True,
+                    confidence=max(MIN_CONFIDENCE, confidence),
+                    degradation_reasons=tuple(site_reasons),
                 )
             )
         return reports

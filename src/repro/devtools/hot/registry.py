@@ -87,6 +87,12 @@ HOT_ENTRY_SUFFIXES: tuple[str, ...] = (
     "svm.pegasos_weights",
     "ngram_graph.ClassGraphModel.transform_many",
     "metrics.auc_roc_many",
+    # the serving request path: every HTTP request funnels through the
+    # handler dispatch and the service batch entry point (registered
+    # explicitly since BaseHTTPRequestHandler invokes do_GET/do_POST
+    # reflectively, invisible to the call graph)
+    "http.VerificationRequestHandler._dispatch",
+    "service.VerificationService.verify_batch",
 )
 
 #: The reference-kernel module P002 polices.

@@ -112,21 +112,35 @@ LAYERS = frozenset(
         "cli",
         "devtools",
         "perf",
+        "serve",
     }
 )
 
 #: layer -> layers it must NOT import.  Absent layers are unrestricted.
+#: ``serve`` sits above ``core`` (it wraps the verifier) but below
+#: ``experiments``/``cli``; nothing below it may reach up into it.
 FORBIDDEN_IMPORTS: dict[str, frozenset[str]] = {
-    "perf": frozenset({"core", "experiments", "cli"}),
-    "text": frozenset({"core", "experiments", "cli"}),
-    "network": frozenset({"core", "experiments", "cli"}),
-    "ml": frozenset({"core", "experiments", "cli"}),
-    "web": frozenset({"core", "experiments", "cli"}),
-    "data": frozenset({"core", "experiments", "cli"}),
-    "core": frozenset({"experiments", "cli"}),
-    "experiments": frozenset({"cli"}),
+    "perf": frozenset({"core", "experiments", "cli", "serve"}),
+    "text": frozenset({"core", "experiments", "cli", "serve"}),
+    "network": frozenset({"core", "experiments", "cli", "serve"}),
+    "ml": frozenset({"core", "experiments", "cli", "serve"}),
+    "web": frozenset({"core", "experiments", "cli", "serve"}),
+    "data": frozenset({"core", "experiments", "cli", "serve"}),
+    "core": frozenset({"experiments", "cli", "serve"}),
+    "serve": frozenset({"experiments", "cli"}),
+    "experiments": frozenset({"cli", "serve"}),
     "devtools": frozenset(
-        {"text", "network", "ml", "web", "data", "core", "experiments", "cli"}
+        {
+            "text",
+            "network",
+            "ml",
+            "web",
+            "data",
+            "core",
+            "experiments",
+            "cli",
+            "serve",
+        }
     ),
 }
 

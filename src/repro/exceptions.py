@@ -86,6 +86,25 @@ class MissingKeyError(ReproError, KeyError):
     """
 
 
+class ServiceUnavailableError(ReproError):
+    """Raised by the serving layer when a backend cannot take the call.
+
+    Carries what an HTTP edge needs to answer 503 honestly: which
+    backend refused (``backend``) and how long the client should wait
+    before retrying (``retry_after`` seconds — the breaker cooldown, or
+    a load-shedding hint).
+
+    Attributes:
+        backend: name of the refusing backend route.
+        retry_after: suggested client wait in seconds.
+    """
+
+    def __init__(self, backend: str, reason: str, retry_after: float = 1.0) -> None:
+        super().__init__(f"backend {backend!r} unavailable: {reason}")
+        self.backend = backend
+        self.retry_after = retry_after
+
+
 class ContractViolationError(ReproError, AssertionError):
     """Raised by :mod:`repro.devtools.contracts` when a numeric
     contract (probability vector, row-stochastic matrix, score range)

@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 import os
 import pickle
+import tempfile
 from pathlib import Path
 from typing import Any, Callable, IO
 
@@ -55,6 +56,11 @@ def atomic_write(
     """Write via a sibling temp file + :func:`os.replace` (atomic on
     POSIX within one filesystem); the temp file is removed on failure.
 
+    The temp name is unique per writer (:func:`tempfile.mkstemp`), so
+    concurrent writers to the same destination never clobber each
+    other's half-written file — each replace lands a complete
+    artifact, last writer wins.
+
     Args:
         path: destination file.
         mode: ``open`` mode for the temp file (e.g. ``"w"``, ``"wb"``).
@@ -62,9 +68,12 @@ def atomic_write(
         open_kwargs: forwarded to :func:`open` (e.g. ``encoding``).
     """
     target = Path(path)
-    tmp = target.with_name(target.name + ".tmp")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=target.name + ".", suffix=".tmp"
+    )
+    tmp = Path(tmp_name)
     try:
-        with open(tmp, mode, **open_kwargs) as fh:
+        with os.fdopen(fd, mode, **open_kwargs) as fh:
             writer(fh)
         os.replace(tmp, target)
     except BaseException:

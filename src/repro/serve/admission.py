@@ -1,0 +1,194 @@
+"""Admission control: the bulkhead and the request deadline.
+
+Overload policy in one sentence: bound the work in progress, bound the
+work waiting, and shed the rest *immediately* with a retry hint.  A
+:class:`Bulkhead` wraps the verifier backend with a concurrency bound
+(``max_concurrent`` requests verifying at once) and a bounded wait
+queue (``max_queue`` requests parked for a slot); anything beyond that
+is shed — the server answers 503 + ``Retry-After`` in microseconds
+instead of letting queues grow without bound until every request times
+out (the classic overload collapse).
+
+:class:`Deadline` is the request-budget token threaded from the HTTP
+edge down into :meth:`~repro.core.verifier.PharmacyVerifier.verify_sites`:
+an absolute expiry on an injected clock, so an overloaded server
+returns partial, degraded-but-honest results rather than hanging.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.exceptions import ValidationError
+from repro.web.resilience.clock import Clock
+
+__all__ = ["AdmissionStats", "Bulkhead", "Deadline"]
+
+
+@dataclass(frozen=True, slots=True)
+class Deadline:
+    """An absolute request expiry on an injected clock.
+
+    Attributes:
+        at: clock reading (``clock.monotonic()`` seconds) at which the
+            request's budget is exhausted.
+        clock: the time source the expiry is measured against.
+    """
+
+    at: float
+    clock: Clock
+
+    @classmethod
+    def after(cls, budget: float, clock: Clock) -> "Deadline":
+        """The deadline ``budget`` seconds from now on ``clock``."""
+        if budget <= 0:
+            raise ValidationError(f"budget must be > 0, got {budget}")
+        return cls(at=clock.monotonic() + budget, clock=clock)
+
+    def remaining(self) -> float:
+        """Seconds of budget left (negative once expired)."""
+        return self.at - self.clock.monotonic()
+
+    def expired(self) -> bool:
+        """Whether the budget is exhausted."""
+        return self.remaining() <= 0.0
+
+
+@dataclass(slots=True)
+class AdmissionStats:
+    """Counters of one :class:`Bulkhead` instance.
+
+    ``max_in_flight``/``max_waiting`` are high-water marks; the shed
+    counters split rejections by cause (queue full vs. queue wait
+    timed out).
+    """
+
+    admitted: int = 0
+    shed_queue_full: int = 0
+    shed_timeout: int = 0
+    max_in_flight: int = 0
+    max_waiting: int = field(default=0)
+
+    @property
+    def shed_total(self) -> int:
+        """All rejections regardless of cause."""
+        return self.shed_queue_full + self.shed_timeout
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain dict (for metrics and reports)."""
+        return {
+            "admitted": self.admitted,
+            "shed_queue_full": self.shed_queue_full,
+            "shed_timeout": self.shed_timeout,
+            "shed_total": self.shed_total,
+            "max_in_flight": self.max_in_flight,
+            "max_waiting": self.max_waiting,
+        }
+
+
+class Bulkhead:
+    """Concurrency bound + bounded wait queue around a backend.
+
+    The invariant (pinned by the property tests in ``tests/serve``):
+    at any instant at most ``max_concurrent`` callers hold the
+    bulkhead and at most ``max_queue`` are waiting for it; everyone
+    else is rejected without blocking.
+
+    Waiting uses real thread wakeups (:class:`threading.Condition`), so
+    ``timeout`` is wall time — the one deliberately physical knob in
+    the serving layer, since parked OS threads cannot run on virtual
+    time.
+
+    Args:
+        max_concurrent: callers allowed inside at once (>= 1).
+        max_queue: callers allowed to wait for a slot (>= 0).
+    """
+
+    def __init__(self, max_concurrent: int = 8, max_queue: int = 16) -> None:
+        if max_concurrent < 1:
+            raise ValidationError(
+                f"max_concurrent must be >= 1, got {max_concurrent}"
+            )
+        if max_queue < 0:
+            raise ValidationError(f"max_queue must be >= 0, got {max_queue}")
+        self._max_concurrent = max_concurrent
+        self._max_queue = max_queue
+        self._condition = threading.Condition()
+        self._in_flight = 0
+        self._waiting = 0
+        self.stats = AdmissionStats()
+
+    @property
+    def max_concurrent(self) -> int:
+        """The concurrency bound."""
+        return self._max_concurrent
+
+    @property
+    def max_queue(self) -> int:
+        """The wait-queue bound."""
+        return self._max_queue
+
+    @property
+    def in_flight(self) -> int:
+        """Callers currently holding the bulkhead."""
+        with self._condition:
+            return self._in_flight
+
+    def try_acquire(self, timeout: float = 0.0) -> bool:
+        """Claim a slot, waiting up to ``timeout`` seconds in the queue.
+
+        Returns:
+            ``True`` when admitted (caller **must** :meth:`release`),
+            ``False`` when shed (queue full, or no slot freed in time).
+        """
+        if timeout < 0:
+            raise ValidationError(f"timeout must be >= 0, got {timeout}")
+        with self._condition:
+            if self._in_flight < self._max_concurrent:
+                self._admit_locked()
+                return True
+            if self._waiting >= self._max_queue or timeout <= 0.0:
+                self.stats.shed_queue_full += 1
+                return False
+            self._waiting += 1
+            self.stats.max_waiting = max(self.stats.max_waiting, self._waiting)
+            try:
+                got = self._condition.wait_for(
+                    lambda: self._in_flight < self._max_concurrent,
+                    timeout=timeout,
+                )
+            finally:
+                self._waiting -= 1
+            if not got:
+                self.stats.shed_timeout += 1
+                return False
+            self._admit_locked()
+            return True
+
+    def _admit_locked(self) -> None:
+        self._in_flight += 1
+        self.stats.admitted += 1
+        self.stats.max_in_flight = max(self.stats.max_in_flight, self._in_flight)
+
+    def release(self) -> None:
+        """Return a slot claimed by a successful :meth:`try_acquire`."""
+        with self._condition:
+            if self._in_flight <= 0:
+                raise ValidationError("release() without a matching acquire")
+            self._in_flight -= 1
+            self._condition.notify()
+
+    def drain(self, timeout: float) -> bool:
+        """Wait until nothing is in flight (for graceful shutdown).
+
+        Returns:
+            ``True`` when the bulkhead emptied within ``timeout``
+            seconds, ``False`` if stragglers remain.
+        """
+        if timeout < 0:
+            raise ValidationError(f"timeout must be >= 0, got {timeout}")
+        with self._condition:
+            return self._condition.wait_for(
+                lambda: self._in_flight == 0, timeout=timeout
+            )

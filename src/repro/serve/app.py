@@ -1,0 +1,94 @@
+"""Assembly: build a ready-to-run verification server in one call.
+
+:func:`build_server` is the one place the serving stack is wired
+together — the CLI (``repro serve``), the load harness, and the tests
+all go through it, so every entry point gets the same defaults: a
+wall-clock service unless a clock is injected, a sliding-window
+limiter on that same clock, a bulkhead sized by ``jobs``, and an
+optional verdict cache.
+"""
+
+from __future__ import annotations
+
+from repro.core.verifier import PharmacyVerifier
+from repro.perf import FeatureCache
+from repro.serve.admission import Bulkhead
+from repro.serve.auth import Authenticator
+from repro.serve.http import VerificationHTTPServer
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.ratelimit import SlidingWindowRateLimiter
+from repro.serve.service import ServiceConfig, VerificationService
+from repro.web.host import WebHost
+from repro.web.resilience.clock import Clock, SystemClock
+from repro.web.resilience.retry import RetryPolicy
+from repro.web.site import Website
+
+__all__ = ["build_server"]
+
+
+def build_server(
+    verifier: PharmacyVerifier,
+    sites: tuple[Website, ...] | list[Website] = (),
+    host: WebHost | None = None,
+    bind_host: str = "127.0.0.1",
+    port: int = 8470,
+    authenticator: Authenticator | None = None,
+    cache_dir: str | None = None,
+    jobs: int = 8,
+    max_queue: int = 16,
+    admission_timeout: float = 0.5,
+    clock: Clock | None = None,
+    retry_policy: RetryPolicy | None = None,
+    service_config: ServiceConfig | None = None,
+) -> VerificationHTTPServer:
+    """Wire service + edge and bind the listening socket.
+
+    Args:
+        verifier: a fitted verifier (the model backend).
+        sites: pre-crawled websites served from memory.
+        host: optional web host for crawl-on-miss verification.
+        bind_host: interface to bind.
+        port: port to bind (0 picks a free one; see
+            :attr:`~repro.serve.http.VerificationHTTPServer.port`).
+        authenticator: key/tier table (default: built-in tiers with
+            anonymous access).
+        cache_dir: when set, verdicts are cached here
+            (:class:`~repro.perf.FeatureCache`) for warm-path serving.
+        jobs: bulkhead concurrency bound (requests verifying at once).
+        max_queue: bulkhead wait-queue bound.
+        admission_timeout: seconds a request may queue before shedding.
+        clock: time source (default
+            :class:`~repro.web.resilience.clock.SystemClock` — this is
+            the one assembly point that defaults to real time, because
+            it exists to serve real traffic; tests inject a
+            :class:`~repro.web.resilience.clock.VirtualClock`).
+        retry_policy: crawl retry policy for on-miss crawls.
+        service_config: service knobs (default :class:`ServiceConfig`).
+
+    Returns:
+        A bound, not-yet-serving
+        :class:`~repro.serve.http.VerificationHTTPServer`; call
+        ``serve_forever()`` (or ``start_background()``) to serve and
+        ``drain()`` to stop.
+    """
+    resolved_clock: Clock = clock if clock is not None else SystemClock()
+    metrics = MetricsRegistry()
+    service = VerificationService(
+        verifier,
+        sites=tuple(sites),
+        host=host,
+        clock=resolved_clock,
+        cache=FeatureCache(cache_dir) if cache_dir else None,
+        retry_policy=retry_policy,
+        metrics=metrics,
+        config=service_config,
+    )
+    return VerificationHTTPServer(
+        (bind_host, port),
+        service,
+        authenticator=authenticator,
+        limiter=SlidingWindowRateLimiter(clock=resolved_clock),
+        bulkhead=Bulkhead(max_concurrent=jobs, max_queue=max_queue),
+        metrics=metrics,
+        admission_timeout=admission_timeout,
+    )

@@ -1,0 +1,299 @@
+"""Per-key tiered authentication for the serving layer.
+
+Clients present an API key in the ``X-API-Key`` header; the
+:class:`Authenticator` maps it to a :class:`Tier`, which bundles every
+per-client serving knob: the sliding-window rate quota, the maximum
+batch size, and the default request/batch deadline budgets.  Keyless
+requests fall back to a deliberately stingy ``anonymous`` tier (one
+bucket per client address) unless anonymous access is disabled.
+
+Key material never round-trips: the rate-limit principal derived for a
+key is ``<tier>:<sha256 prefix>``, so logs, metrics, and headers can
+name the bucket without echoing the credential.
+
+Tier and key tables load from a JSON config file (``repro serve
+--tier-config``)::
+
+    {
+      "tiers": {
+        "partner": {"rate_limit": 3000, "window_seconds": 60,
+                     "max_batch": 100, "request_budget": 5.0,
+                     "batch_budget": 30.0}
+      },
+      "keys": {"prn-live-123": "partner"},
+      "allow_anonymous": true
+    }
+
+Unknown fields are rejected; tiers referenced by keys must exist.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.exceptions import ConfigurationError, ValidationError
+
+__all__ = ["Tier", "AuthResult", "Authenticator", "DEFAULT_TIERS", "ANONYMOUS_TIER"]
+
+#: Name of the keyless fallback tier.
+ANONYMOUS_TIER = "anonymous"
+
+
+@dataclass(frozen=True, slots=True)
+class Tier:
+    """One service tier: quota, batch, and deadline policy.
+
+    Attributes:
+        name: tier identifier (also reported in responses).
+        rate_limit: admissions per sliding window.
+        window_seconds: rate-limit window length.
+        max_batch: maximum domains per ``/v1/verify/batch`` request.
+        request_budget: default deadline (seconds) for single verifies.
+        batch_budget: default deadline (seconds) for batch verifies.
+    """
+
+    name: str
+    rate_limit: int
+    window_seconds: float
+    max_batch: int
+    request_budget: float
+    batch_budget: float
+
+    def __post_init__(self) -> None:
+        if self.rate_limit < 1:
+            raise ValidationError(f"rate_limit must be >= 1, got {self.rate_limit}")
+        if self.window_seconds <= 0:
+            raise ValidationError(
+                f"window_seconds must be > 0, got {self.window_seconds}"
+            )
+        if self.max_batch < 1:
+            raise ValidationError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.request_budget <= 0 or self.batch_budget <= 0:
+            raise ValidationError("deadline budgets must be > 0")
+
+
+#: Built-in tiers, stingiest first.  Deployments override via config.
+DEFAULT_TIERS: dict[str, Tier] = {
+    "anonymous": Tier(
+        name="anonymous",
+        rate_limit=30,
+        window_seconds=60.0,
+        max_batch=5,
+        request_budget=2.0,
+        batch_budget=5.0,
+    ),
+    "standard": Tier(
+        name="standard",
+        rate_limit=300,
+        window_seconds=60.0,
+        max_batch=25,
+        request_budget=5.0,
+        batch_budget=15.0,
+    ),
+    "partner": Tier(
+        name="partner",
+        rate_limit=3000,
+        window_seconds=60.0,
+        max_batch=100,
+        request_budget=5.0,
+        batch_budget=30.0,
+    ),
+    "internal": Tier(
+        name="internal",
+        rate_limit=1_000_000,
+        window_seconds=60.0,
+        max_batch=1000,
+        request_budget=30.0,
+        batch_budget=120.0,
+    ),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class AuthResult:
+    """A resolved request identity.
+
+    Attributes:
+        principal: rate-limit bucket identity (never the raw key).
+        tier: the policy that applies to this request.
+        authenticated: whether a valid API key was presented.
+    """
+
+    principal: str
+    tier: Tier
+    authenticated: bool
+
+
+def _key_principal(tier_name: str, api_key: str) -> str:
+    digest = hashlib.sha256(api_key.encode("utf-8")).hexdigest()[:12]
+    return f"{tier_name}:{digest}"
+
+
+class Authenticator:
+    """Resolve API keys (or their absence) to tiers and principals.
+
+    Args:
+        keys: API key -> tier-name table.
+        tiers: tier-name -> :class:`Tier` table (default:
+            :data:`DEFAULT_TIERS`; an ``anonymous`` tier must exist
+            when anonymous access is allowed).
+        allow_anonymous: serve keyless requests on the anonymous tier
+            instead of rejecting them.
+    """
+
+    def __init__(
+        self,
+        keys: Mapping[str, str] | None = None,
+        tiers: Mapping[str, Tier] | None = None,
+        allow_anonymous: bool = True,
+    ) -> None:
+        self._tiers = dict(tiers) if tiers is not None else dict(DEFAULT_TIERS)
+        self._keys = dict(keys or {})
+        self._allow_anonymous = allow_anonymous
+        for api_key, tier_name in self._keys.items():
+            if tier_name not in self._tiers:
+                raise ConfigurationError(
+                    f"key {api_key[:4]}… references unknown tier {tier_name!r}"
+                )
+        if allow_anonymous and ANONYMOUS_TIER not in self._tiers:
+            raise ConfigurationError(
+                "anonymous access enabled but no 'anonymous' tier defined"
+            )
+
+    @property
+    def allow_anonymous(self) -> bool:
+        """Whether keyless requests are served."""
+        return self._allow_anonymous
+
+    def tier(self, name: str) -> Tier:
+        """The tier registered under ``name``.
+
+        Raises:
+            ConfigurationError: no such tier.
+        """
+        try:
+            return self._tiers[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown tier {name!r}") from None
+
+    def resolve(self, api_key: str | None, client_id: str = "unknown") -> AuthResult | None:
+        """Identify one request.
+
+        Args:
+            api_key: the ``X-API-Key`` header value, or ``None``.
+            client_id: transport-level client identity (e.g. remote
+                address) used to bucket anonymous traffic.
+
+        Returns:
+            The resolved identity, or ``None`` when the request must be
+            rejected (unknown key, or keyless with anonymous access
+            disabled).
+        """
+        if api_key:
+            tier_name = self._keys.get(api_key)
+            if tier_name is None:
+                return None
+            tier = self._tiers[tier_name]
+            return AuthResult(
+                principal=_key_principal(tier_name, api_key),
+                tier=tier,
+                authenticated=True,
+            )
+        if not self._allow_anonymous:
+            return None
+        return AuthResult(
+            principal=f"{ANONYMOUS_TIER}:{client_id}",
+            tier=self._tiers[ANONYMOUS_TIER],
+            authenticated=False,
+        )
+
+    # -- configuration loading ----------------------------------------------
+
+    @classmethod
+    def from_config(cls, payload: Mapping[str, Any]) -> "Authenticator":
+        """Build an authenticator from a parsed config mapping.
+
+        Config tiers override same-named defaults; unnamed defaults are
+        kept, so a config may define only its custom tiers and keys.
+
+        Raises:
+            ConfigurationError: unknown top-level or tier fields, or a
+                malformed tier definition.
+        """
+        unknown = set(payload) - {"tiers", "keys", "allow_anonymous"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown tier-config fields: {sorted(unknown)}"
+            )
+        tiers = dict(DEFAULT_TIERS)
+        for name, spec in dict(payload.get("tiers", {})).items():
+            if not isinstance(spec, Mapping):
+                raise ConfigurationError(f"tier {name!r} must be an object")
+            fields = {
+                "rate_limit",
+                "window_seconds",
+                "max_batch",
+                "request_budget",
+                "batch_budget",
+            }
+            bad = set(spec) - fields
+            if bad:
+                raise ConfigurationError(
+                    f"tier {name!r} has unknown fields: {sorted(bad)}"
+                )
+            base = tiers.get(name)
+            merged = {
+                "rate_limit": spec.get(
+                    "rate_limit", base.rate_limit if base else 60
+                ),
+                "window_seconds": spec.get(
+                    "window_seconds", base.window_seconds if base else 60.0
+                ),
+                "max_batch": spec.get("max_batch", base.max_batch if base else 10),
+                "request_budget": spec.get(
+                    "request_budget", base.request_budget if base else 5.0
+                ),
+                "batch_budget": spec.get(
+                    "batch_budget", base.batch_budget if base else 15.0
+                ),
+            }
+            try:
+                tiers[name] = Tier(
+                    name=name,
+                    rate_limit=int(merged["rate_limit"]),
+                    window_seconds=float(merged["window_seconds"]),
+                    max_batch=int(merged["max_batch"]),
+                    request_budget=float(merged["request_budget"]),
+                    batch_budget=float(merged["batch_budget"]),
+                )
+            except (TypeError, ValueError, ValidationError) as exc:
+                raise ConfigurationError(f"invalid tier {name!r}: {exc}") from exc
+        keys = payload.get("keys", {})
+        if not isinstance(keys, Mapping):
+            raise ConfigurationError("'keys' must map API keys to tier names")
+        return cls(
+            keys={str(k): str(v) for k, v in keys.items()},
+            tiers=tiers,
+            allow_anonymous=bool(payload.get("allow_anonymous", True)),
+        )
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "Authenticator":
+        """Load a tier/key config from a JSON file.
+
+        Raises:
+            ConfigurationError: unreadable file or invalid JSON/schema.
+        """
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read tier config {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid tier config {path}: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ConfigurationError("tier config must be a JSON object")
+        return cls.from_config(payload)

@@ -1,0 +1,154 @@
+"""Sliding-window rate limiting for the serving layer.
+
+A :class:`SlidingWindowRateLimiter` admits at most ``limit`` requests
+per rolling ``window`` seconds *per principal* (API key, anonymous
+client, …).  Unlike fixed buckets it has no reset-boundary burst: the
+window slides continuously, so at no instant can more than ``limit``
+admissions fall inside any ``window``-long interval — the invariant the
+property tests in ``tests/serve`` hammer with adversarial schedules.
+
+Time is injected (:class:`~repro.web.resilience.clock.Clock`), the
+same pattern as the retry/breaker machinery: deterministic
+:class:`~repro.web.resilience.clock.VirtualClock` by default, the
+wall-clock :class:`~repro.web.resilience.clock.SystemClock` only when a
+real server opts in.  Every decision carries the standard
+``X-RateLimit-Limit`` / ``X-RateLimit-Remaining`` / ``X-RateLimit-Reset``
+headers plus ``Retry-After`` on denial, ready to attach to a response.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+from repro.web.resilience.clock import Clock, VirtualClock
+
+__all__ = ["RateLimitDecision", "SlidingWindowRateLimiter"]
+
+
+@dataclass(frozen=True, slots=True)
+class RateLimitDecision:
+    """Outcome of one admission check.
+
+    Attributes:
+        allowed: whether the request may proceed.
+        limit: the window quota that applied.
+        remaining: admissions left in the current window (after this
+            one, when allowed).
+        reset_after: seconds until the oldest counted admission slides
+            out of the window (0 when the window is empty).
+        retry_after: seconds to wait before a retry can succeed
+            (0 when allowed).
+    """
+
+    allowed: bool
+    limit: int
+    remaining: int
+    reset_after: float
+    retry_after: float
+
+    def headers(self) -> dict[str, str]:
+        """The decision as HTTP response headers.
+
+        ``Retry-After`` (integral seconds, rounded up, minimum 1) is
+        present only on denials, per RFC 6585.
+        """
+        headers = {
+            "X-RateLimit-Limit": str(self.limit),
+            "X-RateLimit-Remaining": str(self.remaining),
+            "X-RateLimit-Reset": f"{max(0.0, self.reset_after):.3f}",
+        }
+        if not self.allowed:
+            headers["Retry-After"] = str(max(1, math.ceil(self.retry_after)))
+        return headers
+
+
+class SlidingWindowRateLimiter:
+    """Per-principal sliding-window admission counter.
+
+    The limiter holds one timestamp deque per principal and is safe to
+    call from many server threads at once (one internal lock; the
+    per-check work is O(evicted + 1)).
+
+    Quotas are supplied per call rather than fixed at construction so
+    one limiter instance serves every auth tier: the principal string
+    already encodes the tier (see
+    :meth:`~repro.serve.auth.Authenticator.resolve`), and a principal's
+    quota never changes mid-window unless its key is re-tiered.
+
+    Args:
+        clock: time source (default: a fresh
+            :class:`~repro.web.resilience.clock.VirtualClock`).
+    """
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self._clock = clock if clock is not None else VirtualClock()
+        self._lock = threading.Lock()
+        self._admitted: dict[str, deque[float]] = {}
+
+    def admit(self, principal: str, limit: int, window: float) -> RateLimitDecision:
+        """Admit or deny one request for ``principal`` right now.
+
+        Args:
+            principal: rate-limit identity (one bucket per value).
+            limit: admissions allowed per window (>= 1).
+            window: rolling window length in seconds (> 0).
+
+        Returns:
+            The decision, including header-ready quota arithmetic.
+        """
+        if limit < 1:
+            raise ValidationError(f"limit must be >= 1, got {limit}")
+        if window <= 0:
+            raise ValidationError(f"window must be > 0, got {window}")
+        now = self._clock.monotonic()
+        with self._lock:
+            admitted = self._admitted.setdefault(principal, deque())
+            cutoff = now - window
+            while admitted and admitted[0] <= cutoff:
+                admitted.popleft()
+            if len(admitted) < limit:
+                admitted.append(now)
+                reset_after = admitted[0] + window - now
+                return RateLimitDecision(
+                    allowed=True,
+                    limit=limit,
+                    remaining=limit - len(admitted),
+                    reset_after=reset_after,
+                    retry_after=0.0,
+                )
+            retry_after = admitted[0] + window - now
+            return RateLimitDecision(
+                allowed=False,
+                limit=limit,
+                remaining=0,
+                reset_after=retry_after,
+                retry_after=retry_after,
+            )
+
+    def window_count(self, principal: str, window: float) -> int:
+        """Admissions currently counted against ``principal``.
+
+        Purely observational (evicts expired stamps, admits nothing);
+        used by tests and the metrics route.
+        """
+        now = self._clock.monotonic()
+        with self._lock:
+            admitted = self._admitted.get(principal)
+            if admitted is None:
+                return 0
+            cutoff = now - window
+            while admitted and admitted[0] <= cutoff:
+                admitted.popleft()
+            return len(admitted)
+
+    def reset(self, principal: str | None = None) -> None:
+        """Forget admission history (one principal, or everyone)."""
+        with self._lock:
+            if principal is None:
+                self._admitted.clear()
+            else:
+                self._admitted.pop(principal, None)

@@ -1,0 +1,47 @@
+"""Fixtures for the serving-layer tests.
+
+The session-scoped verifier is fitted once on the shared tiny corpus;
+HTTP tests bind ephemeral ports (``port=0``) so suites can run in
+parallel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PharmacyVerifier
+from repro.web.resilience.clock import VirtualClock
+
+
+class TickingClock(VirtualClock):
+    """A virtual clock that advances a fixed amount per reading.
+
+    Deadline checks happen between scoring chunks; ticking on every
+    read makes budget exhaustion deterministic without real sleeping.
+    """
+
+    def __init__(self, tick: float, start: float = 0.0) -> None:
+        super().__init__(start=start)
+        self._tick = tick
+
+    def monotonic(self) -> float:
+        now = super().monotonic()
+        self.advance(self._tick)
+        return now
+
+
+@pytest.fixture(scope="session")
+def fitted_verifier(tiny_corpus):
+    """One fitted verifier shared by every serving test."""
+    return PharmacyVerifier().fit(tiny_corpus)
+
+
+@pytest.fixture(scope="session")
+def tiny_host(tiny_snapshot_pair):
+    """The synthetic web host behind Dataset 1 (for crawl-on-miss)."""
+    return tiny_snapshot_pair[0].host
+
+
+@pytest.fixture()
+def ticking_clock():
+    return TickingClock(tick=0.05)

@@ -1,0 +1,169 @@
+"""Bulkhead admission control: bounds that hold under real threads.
+
+The invariant pair pinned here: never more than ``max_concurrent``
+holders at once, never more than ``max_queue`` waiters, and everyone
+else is shed without blocking — under deterministic schedules and
+under seeded multithreaded hammering.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.serve import Bulkhead, Deadline
+from repro.web.resilience.clock import VirtualClock
+
+
+class TestDeadline:
+    def test_after_and_remaining(self):
+        clock = VirtualClock()
+        deadline = Deadline.after(2.0, clock)
+        assert deadline.remaining() == pytest.approx(2.0)
+        assert not deadline.expired()
+        clock.advance(1.5)
+        assert deadline.remaining() == pytest.approx(0.5)
+        clock.advance(0.5)
+        assert deadline.expired()
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            Deadline.after(0.0, VirtualClock())
+        with pytest.raises(ValidationError):
+            Deadline.after(-1.0, VirtualClock())
+
+
+class TestBulkheadDeterministic:
+    def test_constructor_validation(self):
+        with pytest.raises(ValidationError):
+            Bulkhead(max_concurrent=0)
+        with pytest.raises(ValidationError):
+            Bulkhead(max_queue=-1)
+
+    def test_admits_up_to_concurrency_bound(self):
+        bulkhead = Bulkhead(max_concurrent=2, max_queue=0)
+        assert bulkhead.try_acquire()
+        assert bulkhead.try_acquire()
+        assert not bulkhead.try_acquire()  # full, queue disabled
+        assert bulkhead.in_flight == 2
+        bulkhead.release()
+        assert bulkhead.try_acquire()
+        bulkhead.release()
+        bulkhead.release()
+        assert bulkhead.in_flight == 0
+
+    def test_zero_timeout_sheds_immediately(self):
+        bulkhead = Bulkhead(max_concurrent=1, max_queue=8)
+        assert bulkhead.try_acquire()
+        started = time.monotonic()
+        assert not bulkhead.try_acquire(timeout=0.0)
+        assert time.monotonic() - started < 0.5
+        assert bulkhead.stats.shed_queue_full == 1
+        bulkhead.release()
+
+    def test_wait_timeout_sheds(self):
+        bulkhead = Bulkhead(max_concurrent=1, max_queue=8)
+        assert bulkhead.try_acquire()
+        assert not bulkhead.try_acquire(timeout=0.05)
+        assert bulkhead.stats.shed_timeout == 1
+        bulkhead.release()
+
+    def test_waiter_gets_slot_on_release(self):
+        bulkhead = Bulkhead(max_concurrent=1, max_queue=1)
+        assert bulkhead.try_acquire()
+        outcome: list[bool] = []
+
+        def waiter() -> None:
+            outcome.append(bulkhead.try_acquire(timeout=5.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)  # let the waiter park
+        bulkhead.release()
+        thread.join(timeout=5.0)
+        assert outcome == [True]
+        bulkhead.release()
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValidationError):
+            Bulkhead().try_acquire(timeout=-1.0)
+
+    def test_unmatched_release_raises(self):
+        with pytest.raises(ValidationError):
+            Bulkhead().release()
+
+    def test_stats_dict_shape(self):
+        bulkhead = Bulkhead(max_concurrent=1, max_queue=0)
+        bulkhead.try_acquire()
+        bulkhead.try_acquire()
+        bulkhead.release()
+        stats = bulkhead.stats.as_dict()
+        assert stats["admitted"] == 1
+        assert stats["shed_queue_full"] == 1
+        assert stats["shed_total"] == 1
+        assert stats["max_in_flight"] == 1
+
+    def test_drain_empty_is_immediate(self):
+        assert Bulkhead().drain(timeout=0.0)
+
+    def test_drain_times_out_with_holder(self):
+        bulkhead = Bulkhead()
+        bulkhead.try_acquire()
+        assert not bulkhead.drain(timeout=0.05)
+        bulkhead.release()
+        assert bulkhead.drain(timeout=1.0)
+
+
+class TestBulkheadUnderLoad:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_concurrency_bound_holds_under_hammering(self, seed):
+        """Seeded thread storm: the in-flight count observed from
+        inside the critical section never exceeds the bound, waiters
+        never exceed the queue bound, and the books balance."""
+        rng = random.Random(seed)
+        max_concurrent = rng.randint(1, 4)
+        max_queue = rng.randint(0, 4)
+        bulkhead = Bulkhead(max_concurrent=max_concurrent, max_queue=max_queue)
+        holders_lock = threading.Lock()
+        holders = 0
+        peak = 0
+        violations: list[str] = []
+        attempts_per_worker = 25
+        n_workers = 12
+        worker_seeds = [rng.random() for _ in range(n_workers)]
+
+        def worker(worker_seed: float) -> None:
+            nonlocal holders, peak
+            wrng = random.Random(worker_seed)
+            for _ in range(attempts_per_worker):
+                if bulkhead.try_acquire(timeout=wrng.random() * 0.01):
+                    with holders_lock:
+                        holders += 1
+                        peak = max(peak, holders)
+                        if holders > max_concurrent:
+                            violations.append(
+                                f"{holders} holders > bound {max_concurrent}"
+                            )
+                    time.sleep(wrng.random() * 0.002)
+                    with holders_lock:
+                        holders -= 1
+                    bulkhead.release()
+
+        threads = [
+            threading.Thread(target=worker, args=(s,)) for s in worker_seeds
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not violations
+        assert bulkhead.in_flight == 0
+        stats = bulkhead.stats
+        assert stats.max_in_flight <= max_concurrent
+        assert stats.max_waiting <= max_queue
+        assert stats.admitted + stats.shed_total == attempts_per_worker * n_workers
+        assert stats.admitted > 0

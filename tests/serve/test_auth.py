@@ -1,0 +1,142 @@
+"""Tiered authentication: key resolution and config loading."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.serve import DEFAULT_TIERS, Authenticator, Tier
+
+
+class TestTier:
+    def test_defaults_are_ordered_stingiest_first(self):
+        limits = [t.rate_limit for t in DEFAULT_TIERS.values()]
+        assert limits == sorted(limits)
+        assert "anonymous" in DEFAULT_TIERS
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("rate_limit", 0),
+            ("window_seconds", 0.0),
+            ("max_batch", 0),
+            ("request_budget", 0.0),
+            ("batch_budget", -1.0),
+        ],
+    )
+    def test_validation(self, field, value):
+        spec = dict(
+            name="t", rate_limit=10, window_seconds=60.0, max_batch=5,
+            request_budget=2.0, batch_budget=5.0,
+        )
+        spec[field] = value
+        with pytest.raises(ValidationError):
+            Tier(**spec)
+
+
+class TestResolve:
+    def test_known_key(self):
+        auth = Authenticator(keys={"sk-live-abc": "partner"})
+        result = auth.resolve("sk-live-abc")
+        assert result is not None
+        assert result.authenticated
+        assert result.tier.name == "partner"
+        assert result.principal.startswith("partner:")
+        assert "sk-live-abc" not in result.principal  # never echo the key
+
+    def test_unknown_key_rejected(self):
+        auth = Authenticator(keys={"sk-live-abc": "partner"})
+        assert auth.resolve("sk-live-wrong") is None
+
+    def test_keyless_falls_back_to_anonymous(self):
+        result = Authenticator().resolve(None, client_id="10.0.0.9")
+        assert result is not None
+        assert not result.authenticated
+        assert result.tier.name == "anonymous"
+        assert result.principal == "anonymous:10.0.0.9"
+
+    def test_keyless_rejected_when_anonymous_disabled(self):
+        auth = Authenticator(allow_anonymous=False)
+        assert auth.resolve(None) is None
+        assert not auth.allow_anonymous
+
+    def test_key_to_unknown_tier_is_config_error(self):
+        with pytest.raises(ConfigurationError):
+            Authenticator(keys={"k": "gold"})
+
+    def test_anonymous_tier_required_when_enabled(self):
+        with pytest.raises(ConfigurationError):
+            Authenticator(tiers={"partner": DEFAULT_TIERS["partner"]})
+
+    def test_tier_lookup(self):
+        auth = Authenticator()
+        assert auth.tier("standard").name == "standard"
+        with pytest.raises(ConfigurationError):
+            auth.tier("gold")
+
+
+class TestConfigLoading:
+    def test_unknown_top_level_field(self):
+        with pytest.raises(ConfigurationError):
+            Authenticator.from_config({"nope": 1})
+
+    def test_unknown_tier_field(self):
+        with pytest.raises(ConfigurationError):
+            Authenticator.from_config({"tiers": {"t": {"burst": 10}}})
+
+    def test_tier_must_be_object(self):
+        with pytest.raises(ConfigurationError):
+            Authenticator.from_config({"tiers": {"t": 5}})
+
+    def test_invalid_tier_values(self):
+        with pytest.raises(ConfigurationError):
+            Authenticator.from_config({"tiers": {"t": {"rate_limit": 0}}})
+
+    def test_keys_must_be_mapping(self):
+        with pytest.raises(ConfigurationError):
+            Authenticator.from_config({"keys": ["k"]})
+
+    def test_partial_override_keeps_default_fields(self):
+        auth = Authenticator.from_config(
+            {"tiers": {"standard": {"rate_limit": 999}}}
+        )
+        tier = auth.tier("standard")
+        assert tier.rate_limit == 999
+        assert tier.max_batch == DEFAULT_TIERS["standard"].max_batch
+
+    def test_new_tier_with_keys_and_anonymous_off(self):
+        auth = Authenticator.from_config(
+            {
+                "tiers": {"gold": {"rate_limit": 5000}},
+                "keys": {"k1": "gold"},
+                "allow_anonymous": False,
+            }
+        )
+        result = auth.resolve("k1")
+        assert result is not None and result.tier.name == "gold"
+        assert auth.resolve(None) is None
+
+    def test_from_file_roundtrip(self, tmp_path):
+        path = tmp_path / "tiers.json"
+        path.write_text(json.dumps({"keys": {"k": "internal"}}))
+        auth = Authenticator.from_file(path)
+        resolved = auth.resolve("k")
+        assert resolved is not None and resolved.tier.name == "internal"
+
+    def test_from_file_missing(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            Authenticator.from_file(tmp_path / "absent.json")
+
+    def test_from_file_invalid_json(self, tmp_path):
+        path = tmp_path / "tiers.json"
+        path.write_text("{")
+        with pytest.raises(ConfigurationError):
+            Authenticator.from_file(path)
+
+    def test_from_file_non_object(self, tmp_path):
+        path = tmp_path / "tiers.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ConfigurationError):
+            Authenticator.from_file(path)

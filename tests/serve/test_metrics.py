@@ -1,0 +1,79 @@
+"""Metrics registry: counters, latency quantiles, exposition."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.serve import MetricsRegistry
+
+
+class TestCounters:
+    def test_increment_and_read(self):
+        registry = MetricsRegistry()
+        registry.increment("requests_total")
+        registry.increment("requests_total", 2.0)
+        assert registry.counter_value("requests_total") == pytest.approx(3.0)
+
+    def test_labels_partition_series(self):
+        registry = MetricsRegistry()
+        registry.increment("http_requests_total", route="/v1/verify", status="200")
+        registry.increment("http_requests_total", route="/v1/verify", status="429")
+        assert registry.counter_value(
+            "http_requests_total", route="/v1/verify", status="200"
+        ) == pytest.approx(1.0)
+        assert registry.counter_value("http_requests_total") == 0.0
+
+    def test_counters_only_go_up(self):
+        with pytest.raises(ValidationError):
+            MetricsRegistry().increment("x", -1.0)
+
+
+class TestLatency:
+    def test_quantiles_from_known_distribution(self):
+        registry = MetricsRegistry()
+        for ms in range(1, 101):  # 0.001 .. 0.100
+            registry.observe_latency("/v1/verify", ms / 1000.0)
+        stats = registry.snapshot()["latency"]["/v1/verify"]
+        assert stats["count"] == 100
+        assert stats["sum_seconds"] == pytest.approx(5.050)
+        assert stats["p50_seconds"] == pytest.approx(0.0505, abs=1e-3)
+        assert stats["p95_seconds"] == pytest.approx(0.095, abs=2e-3)
+        assert stats["p99_seconds"] == pytest.approx(0.099, abs=2e-3)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValidationError):
+            MetricsRegistry().observe_latency("/x", -0.1)
+
+    def test_count_survives_reservoir_eviction(self):
+        from repro.serve.metrics import RESERVOIR_SIZE
+
+        registry = MetricsRegistry()
+        registry._latency["/x"] = __import__("collections").deque(maxlen=8)
+        for _ in range(20):
+            registry.observe_latency("/x", 0.001)
+        stats = registry.snapshot()["latency"]["/x"]
+        assert stats["count"] == 20  # exact even though reservoir holds 8
+        assert RESERVOIR_SIZE >= 8
+
+
+class TestExposition:
+    def test_render_text_format(self):
+        registry = MetricsRegistry()
+        registry.increment("http_requests_total", route="/healthz", status="200")
+        registry.observe_latency("/healthz", 0.002)
+        text = registry.render_text()
+        assert 'http_requests_total{route="/healthz",status="200"} 1' in text
+        assert 'request_latency_seconds_count{route="/healthz"} 1' in text
+        assert 'quantile="0.99"' in text
+
+    def test_flush_writes_snapshot_json(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.increment("verdicts_total", 5.0)
+        path = tmp_path / "metrics.json"
+        registry.flush(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["counters"][0]["name"] == "verdicts_total"
+        assert payload["counters"][0]["value"] == 5.0

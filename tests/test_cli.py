@@ -34,17 +34,41 @@ class TestParser:
 
     def test_known_subcommands(self):
         parser = build_parser()
-        for command in ("generate", "train", "verify", "rank", "experiments"):
+        for command in (
+            "generate", "train", "verify", "rank", "serve", "experiments",
+        ):
             args = parser.parse_args(
                 {
                     "generate": ["generate", "-o", "x"],
                     "train": ["train", "c", "-o", "m"],
                     "verify": ["verify", "m", "c"],
                     "rank": ["rank", "m", "c"],
+                    "serve": ["serve", "m", "c"],
                     "experiments": ["experiments"],
                 }[command]
             )
             assert args.command == command
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "m.pkl", "c.jsonl",
+                "--host", "0.0.0.0",
+                "--port", "0",
+                "--tier-config", "tiers.json",
+                "--cache-dir", "/tmp/cache",
+                "--jobs", "4",
+                "--max-queue", "9",
+                "--check",
+            ]
+        )
+        assert args.host == "0.0.0.0"
+        assert args.port == 0
+        assert args.tier_config == "tiers.json"
+        assert args.cache_dir == "/tmp/cache"
+        assert args.jobs == 4
+        assert args.max_queue == 9
+        assert args.check is True
 
 
 class TestCommands:
@@ -75,6 +99,41 @@ class TestCommands:
         assert main(["rank", model_path, corpus_path, "--top", "5"]) == 0
         out = capsys.readouterr().out
         assert "pairwise orderedness" in out
+
+    def test_serve_check_binds_and_drains(self, cli_artifacts, capsys, tmp_path):
+        corpus_path, model_path = cli_artifacts
+        cache_dir = str(tmp_path / "verdicts")
+        assert (
+            main(
+                [
+                    "serve", model_path, corpus_path,
+                    "--port", "0",
+                    "--cache-dir", cache_dir,
+                    "--jobs", "2",
+                    "--check",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "serving 50 pharmacies" in out
+        assert "drained cleanly" in out
+
+    def test_serve_rejects_bad_tier_config(self, cli_artifacts, tmp_path):
+        corpus_path, model_path = cli_artifacts
+        bad = tmp_path / "tiers.json"
+        bad.write_text('{"nope": 1}')
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(
+                [
+                    "serve", model_path, corpus_path,
+                    "--port", "0",
+                    "--tier-config", str(bad),
+                    "--check",
+                ]
+            )
 
     def test_experiments_delegates(self, capsys):
         assert main(["experiments", "figure3", "--scale", "tiny"]) == 0

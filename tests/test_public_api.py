@@ -1,5 +1,7 @@
 """Public-API surface tests."""
 
+import pytest
+
 import repro
 
 
@@ -17,6 +19,28 @@ class TestPublicAPI:
         assert callable(repro.rank_pharmacies)
         assert callable(repro.trustrank)
 
+    def test_serving_surface(self):
+        assert callable(repro.build_server)
+        assert callable(repro.VerificationService)
+        assert callable(repro.SlidingWindowRateLimiter)
+        assert callable(repro.Bulkhead)
+        assert callable(repro.Authenticator)
+
+        from repro.serve import (
+            DEFAULT_TIERS,
+            Deadline,
+            MetricsRegistry,
+            ServiceConfig,
+            Tier,
+            VerificationHTTPServer,
+        )
+
+        assert "anonymous" in DEFAULT_TIERS
+        assert all(isinstance(t, Tier) for t in DEFAULT_TIERS.values())
+        for exported in (Deadline, MetricsRegistry, ServiceConfig,
+                         VerificationHTTPServer):
+            assert callable(exported)
+
     def test_error_hierarchy(self):
         from repro.exceptions import (
             ConfigurationError,
@@ -26,6 +50,7 @@ class TestPublicAPI:
             InvalidURLError,
             NotFittedError,
             ReproError,
+            ServiceUnavailableError,
         )
 
         for exc in (
@@ -35,5 +60,10 @@ class TestPublicAPI:
             GraphError,
             InvalidURLError,
             NotFittedError,
+            ServiceUnavailableError,
         ):
             assert issubclass(exc, ReproError)
+
+        unavailable = ServiceUnavailableError("verify", "poisoned", retry_after=7.0)
+        assert unavailable.backend == "verify"
+        assert unavailable.retry_after == pytest.approx(7.0)
