@@ -75,33 +75,63 @@ from repro.perf.reference import (
 from repro.text.ngram_graph import ClassGraphModel, NGramGraph
 
 #: Synthetic TrustRank graph size per scale: (nodes, edges).
+#: ``large`` sizes every kernel up but stays runnable against the
+#: pure-Python reference baselines; the 10^5–10^6-site regime (where
+#: the references are infeasible) is swept by
+#: ``benchmarks/perf/scale_harness.py`` instead.
 GRAPH_SIZES = {
     "tiny": (400, 2_000),
     "small": (2_000, 12_000),
     "medium": (8_000, 60_000),
+    "large": (20_000, 150_000),
 }
 
 #: Documents used for the NGG benchmarks per scale.
-DOC_COUNTS = {"tiny": 20, "small": 60, "medium": 150}
+DOC_COUNTS = {"tiny": 20, "small": 60, "medium": 150, "large": 300}
 
 #: Pegasos benchmark size per scale: (rows, features).
-SVM_SIZES = {"tiny": (150, 100), "small": (400, 300), "medium": (1_200, 600)}
+SVM_SIZES = {
+    "tiny": (150, 100),
+    "small": (400, 300),
+    "medium": (1_200, 600),
+    "large": (2_400, 1_000),
+}
 
 #: C4.5 benchmark size per scale: (rows, features).
-TREE_SIZES = {"tiny": (200, 40), "small": (400, 80), "medium": (800, 120)}
+TREE_SIZES = {
+    "tiny": (200, 40),
+    "small": (400, 80),
+    "medium": (800, 120),
+    "large": (1_600, 160),
+}
 
 #: Ensemble-selection benchmark size per scale: (models, instances).
 #: Hill-climb sets are small by construction (30% of a training fold),
 #: so these match the regime the selection actually runs in.
-ENSEMBLE_SIZES = {"tiny": (16, 120), "small": (24, 200), "medium": (48, 300)}
+ENSEMBLE_SIZES = {
+    "tiny": (16, 120),
+    "small": (24, 200),
+    "medium": (48, 300),
+    "large": (64, 400),
+}
 
 #: SMOTE benchmark size per scale: (minority rows, features).
 #: Minority blocks are small by definition — 12% of a training fold,
 #: i.e. ~120 rows even at the full paper scale (1459 sites / 3 folds).
-SMOTE_SIZES = {"tiny": (60, 30), "small": (120, 50), "medium": (250, 50)}
+SMOTE_SIZES = {
+    "tiny": (60, 30),
+    "small": (120, 50),
+    "medium": (250, 50),
+    "large": (400, 50),
+}
 
 #: Sweep benchmark term-subset truncations per scale.
-SWEEP_SUBSETS = {"tiny": (100, 250), "small": (100, 250, 1_000), "medium": (250, 1_000, 2_000)}
+SWEEP_SUBSETS = {
+    "tiny": (100, 250),
+    "small": (100, 250, 1_000),
+    "medium": (250, 1_000, 2_000),
+    "large": (100, 250, 1_000, 2_000),
+}
 
 #: Densify benchmark size per scale: (rows, features).  Sized so the
 #: dense buffer dominates the timing (MBs, not KBs) — the op measures
@@ -110,7 +140,21 @@ DENSIFY_SIZES = {
     "tiny": (2_000, 600),
     "small": (4_000, 1_200),
     "medium": (8_000, 2_400),
+    "large": (16_000, 4_800),
 }
+
+#: The ``large`` *preset* is the 100k-site sharded-pipeline profile
+#: (``repro.core.config``); materializing it with ``make_dataset``
+#: would hold 100k sites in RAM just to feed benchmarks that then
+#: sample a few hundred documents.  Corpus-backed benchmarks therefore
+#: cap corpus generation at ``medium`` while every synthetic kernel
+#: size above still grows.
+_CORPUS_SCALE_CAP = {"large": "medium"}
+
+
+def _corpus_scale(scale: str) -> str:
+    """The preset used for in-memory corpus generation at ``scale``."""
+    return _CORPUS_SCALE_CAP.get(scale, scale)
 
 
 def _best_of(repeat: int, fn: Callable[[], Any]) -> tuple[float, Any]:
@@ -126,7 +170,7 @@ def _best_of(repeat: int, fn: Callable[[], Any]) -> tuple[float, Any]:
 
 def _corpus_documents(scale: str) -> tuple[list[str], list[int]]:
     """Synthetic-corpus page texts + labels for the NGG benchmarks."""
-    corpus = make_dataset(preset(scale).generator)
+    corpus = make_dataset(preset(_corpus_scale(scale)).generator)
     n_docs = DOC_COUNTS[scale]
     texts: list[str] = []
     labels: list[int] = []
@@ -198,7 +242,7 @@ def bench_ngg_batch_similarity(scale: str, repeat: int) -> dict[str, Any]:
 
 def bench_trustrank(scale: str, repeat: int) -> list[dict[str, Any]]:
     results = []
-    corpus = make_dataset(preset(scale).generator)
+    corpus = make_dataset(preset(_corpus_scale(scale)).generator)
     corpus_graph = build_pharmacy_graph(corpus.sites)
     trusted = {
         d: 1.0 for d, y in zip(corpus.domains, corpus.labels) if int(y) == 1
@@ -332,7 +376,7 @@ def bench_densify(scale: str, repeat: int) -> dict[str, Any]:
 
 def bench_sweep(scale: str, repeat: int) -> dict[str, Any]:
     """Shared-matrix sweep scheduling vs per-config refitting."""
-    corpus = make_dataset(preset(scale).generator)
+    corpus = make_dataset(preset(_corpus_scale(scale)).generator)
     labels = corpus.labels
     tokens = [
         " ".join(page.text for page in site.pages).split()
@@ -366,7 +410,7 @@ def bench_sweep(scale: str, repeat: int) -> dict[str, Any]:
 
 def bench_end_to_end(scale: str) -> dict[str, Any]:
     tables.clear_cache()
-    config = ExperimentConfig(scale=scale)
+    config = ExperimentConfig(scale=_corpus_scale(scale))
     start = time.perf_counter()
     tables.table12(config)
     elapsed = time.perf_counter() - start

@@ -27,11 +27,14 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
+from typing import Sequence
 
 from repro.core.verifier import PharmacyVerifier
 from repro.data.loaders import make_dataset
 from repro.data.synthesis import GeneratorConfig
 from repro.io import export_corpus, import_corpus, load_model, save_model
+from repro.web.site import Website
 
 __all__ = ["main", "build_parser"]
 
@@ -47,7 +50,25 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--legit", type=int, default=24)
     gen.add_argument("--illegit", type=int, default=176)
     gen.add_argument("--seed", type=int, default=7)
-    gen.add_argument("-o", "--output", required=True, help="corpus .jsonl path")
+    gen.add_argument(
+        "-o",
+        "--output",
+        required=True,
+        help="corpus .jsonl path (a directory with --shards)",
+    )
+    gen.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="write the corpus as this many shard files instead of one "
+        ".jsonl (output becomes a directory; 0 = single file)",
+    )
+    gen.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sharded generation (0 = CPU count)",
+    )
 
     train = sub.add_parser("train", help="train a verifier on a corpus")
     train.add_argument("corpus", help="corpus .jsonl path")
@@ -56,17 +77,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     verify = sub.add_parser("verify", help="classify a corpus with a model")
     verify.add_argument("model", help="model .pkl path")
-    verify.add_argument("corpus", help="corpus .jsonl path")
+    verify.add_argument("corpus", help="corpus .jsonl path or sharded dir")
     verify.add_argument("--top", type=int, default=20, help="rows to print")
 
     rank = sub.add_parser("rank", help="rank a corpus by legitimacy")
     rank.add_argument("model", help="model .pkl path")
-    rank.add_argument("corpus", help="corpus .jsonl path")
+    rank.add_argument("corpus", help="corpus .jsonl path or sharded dir")
     rank.add_argument("--top", type=int, default=20, help="rows to print")
 
     serve = sub.add_parser("serve", help="run the verification API server")
     serve.add_argument("model", help="model .pkl path")
-    serve.add_argument("corpus", help="corpus .jsonl path (pre-crawled sites)")
+    serve.add_argument(
+        "corpus", help="corpus .jsonl path or sharded dir (pre-crawled sites)"
+    )
     serve.add_argument("--host", default="127.0.0.1", help="interface to bind")
     serve.add_argument("--port", type=int, default=8470, help="port (0 = free)")
     serve.add_argument(
@@ -96,10 +119,50 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _is_sharded(path: str) -> bool:
+    """True when ``path`` is a sharded-corpus directory (has a manifest)."""
+    from repro.data.sharding import MANIFEST_FILENAME
+
+    return (Path(path) / MANIFEST_FILENAME).is_file()
+
+
+def _load_sites(path: str) -> tuple[Sequence[Website], list[int] | None]:
+    """Sites + labels from a ``.jsonl`` corpus or a sharded directory.
+
+    Sharded corpora come back as a lazy view (one shard in memory at a
+    time); single-file corpora load as before.
+    """
+    if _is_sharded(path):
+        from repro.data.sharding import ShardedCorpus
+
+        corpus = ShardedCorpus(path)
+        labels = [
+            record.label
+            for _, _, records in corpus.iter_shards()
+            for record in records
+        ]
+        return corpus.sites_view(), labels
+    corpus = import_corpus(path)
+    return list(corpus.sites), [int(y) for y in corpus.labels]
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     config = GeneratorConfig(
         n_legitimate=args.legit, n_illegitimate=args.illegit, seed=args.seed
     )
+    if args.shards > 0:
+        from repro.data.sharding import write_shards
+
+        manifest = write_shards(
+            config, args.output, args.shards, jobs=args.jobs
+        )
+        print(
+            f"wrote {manifest.n_sites} pharmacies "
+            f"({manifest.n_legitimate} legit / "
+            f"{manifest.n_illegitimate} illegit) "
+            f"as {manifest.n_shards} shards to {args.output}"
+        )
+        return 0
     corpus = make_dataset(config)
     export_corpus(corpus, args.output)
     summary = corpus.summary()
@@ -121,8 +184,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 def _cmd_verify(args: argparse.Namespace) -> int:
     verifier = load_model(args.model)
-    corpus = import_corpus(args.corpus)
-    reports = verifier.verify_sites(list(corpus.sites))
+    sites, _ = _load_sites(args.corpus)
+    reports = verifier.verify_sites(sites)
     print(f"{'domain':40}  {'verdict':12}  {'P(legit)':>8}")
     print("-" * 66)
     for report in reports[: args.top]:
@@ -141,8 +204,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 def _cmd_rank(args: argparse.Namespace) -> int:
     verifier = load_model(args.model)
-    corpus = import_corpus(args.corpus)
-    ranking = verifier.rank_sites(list(corpus.sites), corpus.labels)
+    sites, labels = _load_sites(args.corpus)
+    ranking = verifier.rank_sites(sites, labels)
     print(f"{'rank score':>10}  {'oracle':8}  domain")
     print("-" * 66)
     for entry in ranking.entries[: args.top]:
@@ -156,13 +219,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import Authenticator, build_server
 
     verifier = load_model(args.model)
-    corpus = import_corpus(args.corpus)
+    if _is_sharded(args.corpus):
+        # Lazy index: serve resolves each domain from its one shard.
+        from repro.data.sharding import ShardedCorpus
+
+        sites: object = ShardedCorpus(args.corpus)
+        n_sites = len(sites)
+    else:
+        corpus = import_corpus(args.corpus)
+        sites = list(corpus.sites)
+        n_sites = len(corpus)
     authenticator = (
         Authenticator.from_file(args.tier_config) if args.tier_config else None
     )
     server = build_server(
         verifier,
-        sites=list(corpus.sites),
+        sites=sites,
         bind_host=args.host,
         port=args.port,
         authenticator=authenticator,
@@ -171,7 +243,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue=args.max_queue,
     )
     print(
-        f"serving {len(corpus)} pharmacies on "
+        f"serving {n_sites} pharmacies on "
         f"http://{args.host}:{server.port} "
         f"(jobs={args.jobs}, queue={args.max_queue})"
     )

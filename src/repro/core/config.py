@@ -77,6 +77,23 @@ PRESETS: dict[str, ScalePreset] = {
             seed=7,
         ),
     ),
+    # Scale-out benchmark scale (ROADMAP item 2): web-scale site counts
+    # with a lighter per-site profile so 10^5–10^6-domain corpora are
+    # synthesizable in minutes; exercised by the sharded pipeline and
+    # benchmarks/perf/scale_harness.py, not the paper tables.
+    "large": ScalePreset(
+        name="large",
+        generator=GeneratorConfig(
+            n_legitimate=11_500,
+            n_illegitimate=88_500,
+            n_affiliate_hubs=60,
+            min_pages=2,
+            max_pages=3,
+            min_terms_per_page=30,
+            max_terms_per_page=60,
+            seed=7,
+        ),
+    ),
 }
 
 

@@ -1,0 +1,667 @@
+"""Sharded synthetic corpora: deterministic generation, lazy loading.
+
+The single-snapshot generator (:class:`~repro.data.synthesis.
+SyntheticWebGenerator`) materializes every page of every site in one
+process — fine at the paper's ~1.5k pharmacies, impossible at the 10^6
+domains ROADMAP item 2 targets.  This module grows the same synthetic
+web *sharded*:
+
+* **Stable placement** — a domain's shard is ``sha256(domain) mod K``
+  (:func:`shard_of`), never Python's per-process salted ``hash``.
+* **Per-site determinism** — every site is built from its own RNG whose
+  seed derives from ``(master seed, domain)`` (:func:`site_seed`), and
+  its role flags (outlier / affiliate member / trust imitator / …) come
+  from per-domain uniform draws against the configured fractions
+  (:func:`plan_site`).  No site's bytes depend on any other site, so
+  the union of all shards is bit-identical at any shard count K and
+  any worker count — the property pinned by
+  ``tests/data/test_sharding.py``.  (Role counts are therefore
+  *statistical* rather than the exact rounded counts the in-memory
+  snapshot generator draws; the two paths are separate determinism
+  schemes and are not byte-compatible with each other.)
+* **Streamed storage** — each shard is one JSON-lines file of
+  :func:`repro.io.site_record_to_row` rows written atomically, plus a
+  ``manifest.json`` carrying the generator config, so readers can
+  re-derive the domain plan without touching site data.
+* **Lazy reading** — :class:`ShardedCorpus` opens shards on demand with
+  a small LRU of parsed shards, so ``get(domain)`` on a million-site
+  corpus loads exactly one shard, and block-wise pipelines stream
+  ``iter_shards()`` holding one shard in memory at a time.
+
+Generation fans out over shards via :func:`repro.perf.pmap` — each
+worker writes only its own shard files, no shared state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+from bisect import bisect_right
+from collections import OrderedDict
+from dataclasses import asdict, dataclass, field
+from functools import partial
+from pathlib import Path
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.data.synthesis import (
+    GeneratorConfig,
+    PharmacyRecord,
+    SyntheticWebGenerator,
+    illegit_domain_names,
+    legit_domain_names,
+)
+from repro.devtools.sanitizers import sanitizes
+from repro.exceptions import MissingKeyError, ValidationError
+from repro.io import (
+    PersistenceError,
+    atomic_write,
+    site_record_from_row,
+    site_record_to_row,
+)
+from repro.perf.parallel import pmap
+from repro.web.site import Website
+
+logger = logging.getLogger(__name__)
+
+__all__ = [
+    "MANIFEST_FILENAME",
+    "SitePlan",
+    "ShardManifest",
+    "ShardedCorpus",
+    "stable_hash",
+    "shard_of",
+    "site_seed",
+    "plan_domains",
+    "plan_site",
+    "shard_filename",
+    "write_shards",
+]
+
+MANIFEST_FILENAME = "manifest.json"
+
+_SHARD_FORMAT = "repro-shard"
+_MANIFEST_FORMAT = "repro-shard-manifest"
+_FORMAT_VERSION = 1
+
+
+def stable_hash(text: str) -> int:
+    """Process-stable 64-bit hash (SHA-256 prefix).
+
+    Python's builtin ``hash`` is salted per process, which would move
+    domains between shards from run to run; this never changes.
+    """
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def shard_of(domain: str, n_shards: int) -> int:
+    """The shard that owns ``domain`` in a ``n_shards``-way layout.
+
+    Raises:
+        ValidationError: for a non-positive shard count.
+    """
+    if n_shards < 1:
+        raise ValidationError(f"n_shards must be >= 1, got {n_shards}")
+    return stable_hash(domain) % n_shards
+
+
+def site_seed(master_seed: int, domain: str, purpose: str = "site") -> int:
+    """Seed of one site's private RNG stream.
+
+    Derived from ``(master seed, purpose, domain)`` so each domain's
+    text/link draws and its role draws are independent streams, each a
+    pure function of the master seed — the root of shard- and
+    worker-count invariance.
+    """
+    digest = hashlib.sha256(
+        f"{master_seed}:{purpose}:{domain}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True, slots=True)
+class SitePlan:
+    """One domain's deterministic generation plan (label + roles)."""
+
+    domain: str
+    label: int
+    is_hub: bool = False
+    is_member: bool = False
+    is_outlier: bool = False
+    is_asocial: bool = False
+    is_imitator: bool = False
+    hub_targets: tuple[str, ...] = ()
+
+
+def plan_domains(
+    config: GeneratorConfig, generation: int = 1
+) -> tuple[list[str], list[str], tuple[str, ...]]:
+    """Canonical domain plan: (legit, illegit, sorted hub domains).
+
+    Pure function of the config — both the shard writers and
+    :class:`ShardedCorpus` re-derive it instead of persisting 10^6
+    domain strings.
+    """
+    n_illegit = config.n_illegitimate
+    if generation == 2 and config.n_illegitimate_snapshot2 is not None:
+        n_illegit = config.n_illegitimate_snapshot2
+    legit = legit_domain_names(config.n_legitimate)
+    illegit, hubs = illegit_domain_names(
+        n_illegit, config.n_affiliate_hubs, generation=generation
+    )
+    return legit, illegit, tuple(sorted(hubs))
+
+
+def plan_site(
+    config: GeneratorConfig,
+    domain: str,
+    label: int,
+    *,
+    is_hub: bool = False,
+    hubs: tuple[str, ...] = (),
+    generation: int = 1,
+) -> SitePlan:
+    """Deterministic role assignment for one domain.
+
+    Draws come from the domain's private ``"role"`` RNG stream in a
+    fixed order, so the plan depends on nothing but ``(config.seed,
+    domain)``.  Fractions are interpreted per-site (each site joins a
+    role with the configured probability), which converges to the
+    snapshot generator's exact rounded counts as the corpus grows.
+    """
+    rng = np.random.default_rng(site_seed(config.seed, domain, "role"))
+    draws = rng.random(4)
+    if label == 1:
+        return SitePlan(
+            domain=domain,
+            label=1,
+            is_outlier=bool(draws[0] < config.legit_outlier_fraction),
+            is_asocial=bool(draws[1] < config.legit_asocial_fraction),
+        )
+    if is_hub:
+        return SitePlan(domain=domain, label=0, is_hub=True)
+    is_outlier = bool(draws[0] < config.illegit_outlier_fraction)
+    is_member = not is_outlier and bool(
+        draws[1] < config.affiliate_member_fraction
+    )
+    is_imitator = not is_outlier and bool(
+        draws[2] < config.illegit_trust_imitation_fraction
+    )
+    hub_targets: tuple[str, ...] = ()
+    if is_member and hubs:
+        # Mirror the snapshot generator's 1-or-2 hub links per member.
+        n_links = min(len(hubs), 1 + int(draws[3] < 0.5))
+        picks = rng.choice(len(hubs), size=n_links, replace=False)
+        hub_targets = tuple(hubs[int(i)] for i in sorted(picks))
+    return SitePlan(
+        domain=domain,
+        label=0,
+        is_member=is_member,
+        is_outlier=is_outlier,
+        is_imitator=is_imitator,
+        hub_targets=hub_targets,
+    )
+
+
+def shard_filename(shard_index: int) -> str:
+    """On-disk name of one shard's JSON-lines file."""
+    return f"shard-{shard_index:05d}.jsonl"
+
+
+def _bucket_domains(
+    config: GeneratorConfig, n_shards: int, generation: int
+) -> tuple[list[list[tuple[str, int]]], tuple[str, ...]]:
+    """Per-shard ``(domain, label)`` lists in canonical corpus order."""
+    legit, illegit, hubs = plan_domains(config, generation)
+    buckets: list[list[tuple[str, int]]] = [[] for _ in range(n_shards)]
+    for domain in legit:
+        buckets[shard_of(domain, n_shards)].append((domain, 1))
+    for domain in illegit:
+        buckets[shard_of(domain, n_shards)].append((domain, 0))
+    return buckets, hubs
+
+
+def _build_planned_site(
+    generator: SyntheticWebGenerator,
+    plan: SitePlan,
+    generation: int,
+) -> tuple[Website, PharmacyRecord]:
+    """Materialize one planned site from its domain-derived RNG."""
+    rng = np.random.default_rng(
+        site_seed(generator.config.seed, plan.domain, "site")
+    )
+    pages, record = generator.build_pharmacy_site(
+        plan.domain,
+        plan.label,
+        rng,
+        is_hub=plan.is_hub,
+        is_member=plan.is_member,
+        is_outlier=plan.is_outlier,
+        is_asocial=plan.is_asocial,
+        is_imitator=plan.is_imitator,
+        hub_targets=plan.hub_targets,
+        generation=generation,
+    )
+    return Website(domain=plan.domain, pages=tuple(pages)), record
+
+
+def _write_shard_worker(
+    item: tuple[int, tuple[tuple[str, int], ...]],
+    *,
+    config: GeneratorConfig,
+    out_dir: str,
+    n_shards: int,
+    hubs: tuple[str, ...],
+    generation: int,
+    name: str,
+) -> dict[str, object]:
+    """Generate and atomically write one shard file (pmap worker).
+
+    Pure per shard: touches only its own output file, derives every
+    byte from ``(config, domain)`` — safe at any worker count.
+    """
+    shard_index, assigned = item
+    generator = SyntheticWebGenerator(config)
+    hub_set = set(hubs)
+    path = Path(out_dir) / shard_filename(shard_index)
+    n_pages = 0
+
+    def write(fh) -> None:
+        nonlocal n_pages
+        header = {
+            "format": _SHARD_FORMAT,
+            "version": _FORMAT_VERSION,
+            "name": name,
+            "shard": shard_index,
+            "n_shards": n_shards,
+            "domains": [domain for domain, _ in assigned],
+        }
+        fh.write(json.dumps(header) + "\n")
+        for domain, label in assigned:
+            plan = plan_site(
+                config,
+                domain,
+                label,
+                is_hub=domain in hub_set,
+                hubs=hubs,
+                generation=generation,
+            )
+            site, record = _build_planned_site(generator, plan, generation)
+            fh.write(json.dumps(site_record_to_row(site, record)) + "\n")
+            n_pages += len(site.pages)
+
+    atomic_write(path, "w", write, encoding="utf-8")
+    return {
+        "shard": shard_index,
+        "file": shard_filename(shard_index),
+        "n_sites": len(assigned),
+        "n_pages": n_pages,
+    }
+
+
+@dataclass(frozen=True, slots=True)
+class ShardManifest:
+    """Metadata of one sharded corpus directory.
+
+    ``config`` round-trips the :class:`GeneratorConfig` so readers can
+    re-derive the canonical domain plan without opening any shard.
+    """
+
+    name: str
+    n_shards: int
+    n_sites: int
+    n_legitimate: int
+    n_illegitimate: int
+    generation: int
+    config: dict[str, object]
+    shards: tuple[dict[str, object], ...] = field(default_factory=tuple)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serializable manifest payload (with format header)."""
+        payload = asdict(self)
+        payload["format"] = _MANIFEST_FORMAT
+        payload["version"] = _FORMAT_VERSION
+        payload["shards"] = list(self.shards)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "ShardManifest":
+        """Parse a manifest payload written by :meth:`as_dict`.
+
+        Raises:
+            PersistenceError: wrong format marker or version.
+        """
+        if (
+            payload.get("format") != _MANIFEST_FORMAT
+            or payload.get("version") != _FORMAT_VERSION
+        ):
+            raise PersistenceError("not a repro shard manifest")
+        return cls(
+            name=str(payload["name"]),
+            n_shards=int(payload["n_shards"]),
+            n_sites=int(payload["n_sites"]),
+            n_legitimate=int(payload["n_legitimate"]),
+            n_illegitimate=int(payload["n_illegitimate"]),
+            generation=int(payload["generation"]),
+            config=dict(payload["config"]),
+            shards=tuple(dict(s) for s in payload["shards"]),
+        )
+
+    @property
+    def generator_config(self) -> GeneratorConfig:
+        """The corpus's :class:`GeneratorConfig`, reconstructed."""
+        return GeneratorConfig(**self.config)
+
+
+def write_shards(
+    config: GeneratorConfig,
+    out_dir: str | Path,
+    n_shards: int,
+    *,
+    name: str = "dataset1",
+    generation: int = 1,
+    jobs: int | None = None,
+) -> ShardManifest:
+    """Generate a corpus as ``n_shards`` shard files plus a manifest.
+
+    Args:
+        config: generator knobs; ``config.seed`` roots all determinism.
+        out_dir: destination directory (created if missing).
+        n_shards: shard count K; placement is ``sha256(domain) mod K``.
+        name: dataset name recorded in the manifest.
+        generation: 1 = first crawl, 2 = drifted snapshot.
+        jobs: shard-level parallelism per :func:`repro.perf.pmap`
+            (``None``/1 serial, 0 = CPU count).
+
+    Returns:
+        The written :class:`ShardManifest`.
+    """
+    if n_shards < 1:
+        raise ValidationError(f"n_shards must be >= 1, got {n_shards}")
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    buckets, hubs = _bucket_domains(config, n_shards, generation)
+    worker = partial(
+        _write_shard_worker,
+        config=config,
+        out_dir=str(out),
+        n_shards=n_shards,
+        hubs=hubs,
+        generation=generation,
+        name=name,
+    )
+    shard_stats = pmap(
+        worker,
+        [(k, tuple(bucket)) for k, bucket in enumerate(buckets)],
+        jobs=jobs,
+    )
+    n_legit = sum(1 for bucket in buckets for _, label in bucket if label == 1)
+    n_sites = sum(len(bucket) for bucket in buckets)
+    manifest = ShardManifest(
+        name=name,
+        n_shards=n_shards,
+        n_sites=n_sites,
+        n_legitimate=n_legit,
+        n_illegitimate=n_sites - n_legit,
+        generation=generation,
+        config=asdict(config),
+        shards=tuple(shard_stats),
+    )
+    atomic_write(
+        out / MANIFEST_FILENAME,
+        "w",
+        lambda fh: json.dump(manifest.as_dict(), fh, indent=2),
+        encoding="utf-8",
+    )
+    logger.info(
+        "wrote sharded corpus %s: %d sites in %d shards at %s",
+        name,
+        n_sites,
+        n_shards,
+        out,
+    )
+    return manifest
+
+
+@dataclass(slots=True)
+class _LoadedShard:
+    """One parsed shard held in the reader's LRU."""
+
+    sites: tuple[Website, ...]
+    records: tuple[PharmacyRecord, ...]
+    by_domain: dict[str, int]
+
+
+class _LazySiteSequence(Sequence[Website]):
+    """Read-only global view over all shards' sites, opened lazily.
+
+    Index ``i`` maps to shard ``k`` via cumulative shard sizes; only
+    the shards a caller actually touches are parsed, so chunked
+    consumers (e.g. ``verify_sites`` slicing) stream one shard at a
+    time through the corpus LRU.
+    """
+
+    def __init__(self, corpus: "ShardedCorpus") -> None:
+        self._corpus = corpus
+        sizes = [int(s["n_sites"]) for s in corpus.manifest.shards]
+        self._offsets = list(np.cumsum([0] + sizes))
+
+    def __len__(self) -> int:
+        return int(self._offsets[-1])
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        i = int(index)
+        if i < 0:
+            i += len(self)
+        if not 0 <= i < len(self):
+            # The Sequence protocol requires IndexError here (iteration
+            # and slicing rely on it).
+            raise IndexError(index)  # repro-lint: disable=R001
+        shard_index = bisect_right(self._offsets, i) - 1
+        shard = self._corpus._shard(shard_index)
+        return shard.sites[i - self._offsets[shard_index]]
+
+
+class ShardedCorpus:
+    """Lazy reader over a directory written by :func:`write_shards`.
+
+    Holds at most ``max_open_shards`` parsed shards (LRU), so lookups
+    and shard-streaming passes run in O(shard) memory regardless of
+    corpus size.  ``shard_opens`` counts actual file parses — the
+    lazy-serving tests pin that a single-domain lookup opens exactly
+    one shard.
+
+    Args:
+        root: the sharded corpus directory.
+        max_open_shards: LRU capacity in shards.
+    """
+
+    def __init__(self, root: str | Path, max_open_shards: int = 2) -> None:
+        if max_open_shards < 1:
+            raise ValidationError(
+                f"max_open_shards must be >= 1, got {max_open_shards}"
+            )
+        self._root = Path(root)
+        manifest_path = self._root / MANIFEST_FILENAME
+        try:
+            with open(manifest_path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except FileNotFoundError as exc:
+            raise PersistenceError(
+                f"no shard manifest at {manifest_path}"
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise PersistenceError(
+                f"malformed shard manifest at {manifest_path}"
+            ) from exc
+        self._manifest = ShardManifest.from_dict(payload)
+        self._max_open = max_open_shards
+        self._cache: OrderedDict[int, _LoadedShard] = OrderedDict()
+        self.shard_opens = 0
+
+    # -- metadata ----------------------------------------------------------
+
+    @property
+    def root(self) -> Path:
+        """The corpus directory."""
+        return self._root
+
+    @property
+    def manifest(self) -> ShardManifest:
+        """The parsed manifest."""
+        return self._manifest
+
+    @property
+    def name(self) -> str:
+        """Dataset name recorded at write time."""
+        return self._manifest.name
+
+    @property
+    def n_shards(self) -> int:
+        """Shard count K of the on-disk layout."""
+        return self._manifest.n_shards
+
+    @property
+    def config(self) -> GeneratorConfig:
+        """The generator config the corpus was synthesized from."""
+        return self._manifest.generator_config
+
+    def __len__(self) -> int:
+        return self._manifest.n_sites
+
+    def __contains__(self, domain: str) -> bool:
+        return self.get(domain) is not None
+
+    # -- shard access -------------------------------------------------------
+
+    @sanitizes("*")
+    def _parse_shard(self, shard_index: int) -> _LoadedShard:
+        """Parse one shard file into typed sites and records.
+
+        Sanitizer: every row passes through
+        :func:`repro.io.site_record_from_row`, which coerces fields to
+        typed frozen dataclasses; malformed or format-skewed input
+        raises :class:`PersistenceError` instead of flowing onward.
+        """
+        path = self._root / str(
+            self._manifest.shards[shard_index]["file"]
+        )
+        try:
+            with open(path, encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        except FileNotFoundError as exc:
+            raise PersistenceError(f"missing shard file: {path}") from exc
+        if not lines:
+            raise PersistenceError(f"empty shard file: {path}")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise PersistenceError(f"malformed shard header: {path}") from exc
+        if (
+            header.get("format") != _SHARD_FORMAT
+            or header.get("version") != _FORMAT_VERSION
+        ):
+            raise PersistenceError(f"unsupported shard format: {path}")
+        sites: list[Website] = []
+        records: list[PharmacyRecord] = []
+        for line_no, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise PersistenceError(
+                    f"malformed shard row at {path}:{line_no}"
+                ) from exc
+            site, record = site_record_from_row(row)
+            sites.append(site)
+            records.append(record)
+        return _LoadedShard(
+            sites=tuple(sites),
+            records=tuple(records),
+            by_domain={r.domain: i for i, r in enumerate(records)},
+        )
+
+    def _shard(self, shard_index: int) -> _LoadedShard:
+        """The parsed shard, through the LRU of open shards."""
+        if not 0 <= shard_index < self.n_shards:
+            raise ValidationError(f"no such shard: {shard_index}")
+        cached = self._cache.get(shard_index)
+        if cached is not None:
+            self._cache.move_to_end(shard_index)
+            return cached
+        shard = self._parse_shard(shard_index)
+        self.shard_opens += 1
+        self._cache[shard_index] = shard
+        while len(self._cache) > self._max_open:
+            self._cache.popitem(last=False)
+        return shard
+
+    # -- domain-keyed lookups (one shard open each) -------------------------
+
+    def get(self, domain: str) -> Website | None:
+        """The site of ``domain``, or ``None`` when absent.
+
+        Opens only the one shard that ``sha256(domain)`` maps to.
+        """
+        shard = self._shard(shard_of(domain, self.n_shards))
+        i = shard.by_domain.get(domain)
+        return None if i is None else shard.sites[i]
+
+    def site_for(self, domain: str) -> Website:
+        """The site of ``domain``; raises :class:`MissingKeyError`."""
+        site = self.get(domain)
+        if site is None:
+            raise MissingKeyError(domain)
+        return site
+
+    def record_for(self, domain: str) -> PharmacyRecord:
+        """Ground truth of ``domain``; raises :class:`MissingKeyError`."""
+        shard = self._shard(shard_of(domain, self.n_shards))
+        i = shard.by_domain.get(domain)
+        if i is None:
+            raise MissingKeyError(domain)
+        return shard.records[i]
+
+    def oracle(self, domain: str) -> int:
+        """The oracle O(p): ground-truth label of ``domain``."""
+        return self.record_for(domain).label
+
+    # -- streaming views ----------------------------------------------------
+
+    def iter_shards(
+        self,
+    ) -> Iterator[tuple[int, tuple[Website, ...], tuple[PharmacyRecord, ...]]]:
+        """Yield ``(shard_index, sites, records)`` one shard at a time."""
+        for k in range(self.n_shards):
+            shard = self._shard(k)
+            yield k, shard.sites, shard.records
+
+    def iter_sites(self) -> Iterator[Website]:
+        """All sites in global (shard-major) order, streamed."""
+        for _, sites, _ in self.iter_shards():
+            yield from sites
+
+    def domains(self) -> tuple[str, ...]:
+        """All domains in global (shard-major) order, from headers only."""
+        out: list[str] = []
+        for entry in self._manifest.shards:
+            path = self._root / str(entry["file"])
+            with open(path, encoding="utf-8") as fh:
+                header = json.loads(fh.readline())
+            out.extend(header["domains"])
+        return tuple(out)
+
+    def sites_view(self) -> Sequence[Website]:
+        """Lazy, indexable, sliceable view over every site.
+
+        Drop-in for APIs that expect a sequence of sites (e.g.
+        ``PharmacyVerifier.verify_sites``) without materializing the
+        corpus: only the shards behind the touched indices are opened.
+        """
+        return _LazySiteSequence(self)

@@ -46,6 +46,8 @@ __all__ = [
     "PharmacyRecord",
     "WebSnapshot",
     "SyntheticWebGenerator",
+    "legit_domain_names",
+    "illegit_domain_names",
 ]
 
 # ---------------------------------------------------------------------------
@@ -314,6 +316,43 @@ class WebSnapshot:
         raise MissingKeyError(domain)
 
 
+def legit_domain_names(n: int) -> list[str]:
+    """The first ``n`` legitimate pharmacy domains, deterministically.
+
+    Pure function of ``n``: prefixes of this list are stable as ``n``
+    grows, which is what lets sharded generation enumerate domains
+    without materializing a snapshot.
+    """
+    stems = lexicon.LEGIT_DOMAIN_STEMS
+    return [
+        f"{stems[i % len(stems)]}-pharmacy{i // len(stems)}.com"
+        for i in range(n)
+    ]
+
+
+def illegit_domain_names(
+    n: int, n_hubs: int, generation: int = 1
+) -> tuple[list[str], set[str]]:
+    """The first ``n`` illegitimate domains plus the hub subset.
+
+    Hubs lead the list; generation 2 domains carry a ``-v2`` tag so the
+    two snapshots are disjoint.  Pure function of its arguments.
+    """
+    stems = lexicon.ILLEGIT_DOMAIN_STEMS
+    hub_stems = lexicon.AFFILIATE_HUB_STEMS
+    tag = "" if generation == 1 else "-v2"
+    hubs = []
+    for i in range(min(n_hubs, n)):
+        stem = hub_stems[i % len(hub_stems)]
+        suffix = "" if i < len(hub_stems) else str(i // len(hub_stems))
+        hubs.append(f"{stem}{tag}{suffix}.com")
+    plain = [
+        f"{stems[i % len(stems)]}{tag}{i // len(stems)}.net"
+        for i in range(n - len(hubs))
+    ]
+    return hubs + plain, set(hubs)
+
+
 class SyntheticWebGenerator:
     """Generate one or two labelled pharmacy-web snapshots.
 
@@ -356,6 +395,91 @@ class SyntheticWebGenerator:
         rng2 = np.random.default_rng(self._config.seed + 1_000_003)
         snap2 = self._build_snapshot("dataset2", rng2, generation=2)
         return snap1, snap2
+
+    def build_pharmacy_site(
+        self,
+        domain: str,
+        label: int,
+        rng: np.random.Generator,
+        *,
+        is_hub: bool = False,
+        is_member: bool = False,
+        is_outlier: bool = False,
+        is_asocial: bool = False,
+        is_imitator: bool = False,
+        hub_targets: tuple[str, ...] = (),
+        generation: int = 1,
+    ) -> tuple[list[WebPage], PharmacyRecord]:
+        """Build one pharmacy's pages + ground truth from its own RNG.
+
+        This is the per-site core of :meth:`_build_snapshot`, exposed so
+        the sharded generator (:mod:`repro.data.sharding`) can produce
+        site ``domain`` from a domain-derived RNG — independent of every
+        other site, hence identical at any shard count or worker count.
+
+        Args:
+            domain: the pharmacy's registrable domain.
+            label: 1 legitimate, 0 illegitimate.
+            rng: the site's private RNG (seed derived from the domain).
+            is_hub / is_member / is_outlier / is_asocial / is_imitator:
+                role flags (see :class:`PharmacyRecord`).
+            hub_targets: affiliate hub domains this site links to
+                (members only).
+            generation: 1 = first crawl vocabulary, 2 = drifted.
+        """
+        if label == 1:
+            mix = self._site_mixture(
+                rng,
+                base=_LEGIT_MIX,
+                blend=_ILLEGIT_MIX if is_outlier else None,
+                blend_weight=0.40 if is_outlier else 0.0,
+            )
+            pages = self._make_site_pages(
+                rng,
+                domain=domain,
+                mix=mix,
+                link_weights=(
+                    _ASOCIAL_LEGIT_LINK_WEIGHTS
+                    if is_asocial
+                    else _LEGIT_LINK_WEIGHTS
+                ),
+                hub_targets=(),
+                link_rate_scale=0.35 if is_asocial else 1.0,
+            )
+            record = PharmacyRecord(
+                domain=domain,
+                label=1,
+                is_outlier=is_outlier,
+                is_asocial=is_asocial,
+            )
+            return pages, record
+
+        base_illegit = _ILLEGIT_DRIFT_MIX if generation == 2 else _ILLEGIT_MIX
+        mix = self._site_mixture(
+            rng,
+            base=base_illegit,
+            blend=_LEGIT_MIX if is_outlier else None,
+            blend_weight=0.55 if is_outlier else 0.0,
+        )
+        link_weights = dict(_ILLEGIT_LINK_WEIGHTS)
+        if is_imitator:
+            link_weights.update(_TRUST_IMITATION_LINK_WEIGHTS)
+        pages = self._make_site_pages(
+            rng,
+            domain=domain,
+            mix=mix,
+            link_weights=link_weights,
+            hub_targets=() if is_outlier else hub_targets,
+        )
+        record = PharmacyRecord(
+            domain=domain,
+            label=0,
+            is_affiliate_hub=is_hub,
+            is_affiliate_member=is_member,
+            is_outlier=is_outlier,
+            is_trust_imitator=is_imitator,
+        )
+        return pages, record
 
     # -- snapshot assembly -----------------------------------------------------
 
@@ -625,32 +749,17 @@ class SyntheticWebGenerator:
     # -- domain naming -------------------------------------------------------------
 
     def _legit_domains(self) -> list[str]:
-        stems = lexicon.LEGIT_DOMAIN_STEMS
-        return [
-            f"{stems[i % len(stems)]}-pharmacy{i // len(stems)}.com"
-            for i in range(self._config.n_legitimate)
-        ]
+        return legit_domain_names(self._config.n_legitimate)
 
     def _illegit_domains(self, generation: int) -> tuple[list[str], set[str]]:
         """Illegitimate domains + hub subset; disjoint across generations."""
         cfg = self._config
-        stems = lexicon.ILLEGIT_DOMAIN_STEMS
-        hub_stems = lexicon.AFFILIATE_HUB_STEMS
-        tag = "" if generation == 1 else "-v2"
         n_illegit = cfg.n_illegitimate
         if generation == 2 and cfg.n_illegitimate_snapshot2 is not None:
             n_illegit = cfg.n_illegitimate_snapshot2
-        hubs = []
-        for i in range(min(cfg.n_affiliate_hubs, n_illegit)):
-            stem = hub_stems[i % len(hub_stems)]
-            suffix = "" if i < len(hub_stems) else str(i // len(hub_stems))
-            hubs.append(f"{stem}{tag}{suffix}.com")
-        n_plain = n_illegit - len(hubs)
-        plain = [
-            f"{stems[i % len(stems)]}{tag}{i // len(stems)}.net"
-            for i in range(n_plain)
-        ]
-        return hubs + plain, set(hubs)
+        return illegit_domain_names(
+            n_illegit, cfg.n_affiliate_hubs, generation=generation
+        )
 
     # -- text generation -----------------------------------------------------------
 

@@ -93,6 +93,12 @@ HOT_ENTRY_SUFFIXES: tuple[str, ...] = (
     # reflectively, invisible to the call graph)
     "http.VerificationRequestHandler._dispatch",
     "service.VerificationService.verify_batch",
+    # the million-site scale-out inner loops: the per-block SpMV runs
+    # once per block per power iteration through a process pool (the
+    # pool.map dispatch is invisible to the call graph), and the shard
+    # writer is the pmap worker behind sharded corpus generation
+    "blockrank._block_spmv",
+    "sharding._write_shard_worker",
 )
 
 #: The reference-kernel module P002 polices.

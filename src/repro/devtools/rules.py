@@ -119,15 +119,19 @@ LAYERS = frozenset(
 #: layer -> layers it must NOT import.  Absent layers are unrestricted.
 #: ``serve`` sits above ``core`` (it wraps the verifier) but below
 #: ``experiments``/``cli``; nothing below it may reach up into it.
+#: ``data`` sits above ``perf``/``web`` (``data.sharding`` fans out
+#: through ``perf.parallel`` and builds ``web.site`` objects), so the
+#: kernel layers — and ``serve``, which reaches sharded corpora only
+#: through the structural ``SiteIndex`` protocol — must not import it.
 FORBIDDEN_IMPORTS: dict[str, frozenset[str]] = {
-    "perf": frozenset({"core", "experiments", "cli", "serve"}),
-    "text": frozenset({"core", "experiments", "cli", "serve"}),
-    "network": frozenset({"core", "experiments", "cli", "serve"}),
-    "ml": frozenset({"core", "experiments", "cli", "serve"}),
-    "web": frozenset({"core", "experiments", "cli", "serve"}),
+    "perf": frozenset({"core", "data", "experiments", "cli", "serve"}),
+    "text": frozenset({"core", "data", "experiments", "cli", "serve"}),
+    "network": frozenset({"core", "data", "experiments", "cli", "serve"}),
+    "ml": frozenset({"core", "data", "experiments", "cli", "serve"}),
+    "web": frozenset({"core", "data", "experiments", "cli", "serve"}),
     "data": frozenset({"core", "experiments", "cli", "serve"}),
     "core": frozenset({"experiments", "cli", "serve"}),
-    "serve": frozenset({"experiments", "cli"}),
+    "serve": frozenset({"data", "experiments", "cli"}),
     "experiments": frozenset({"cli", "serve"}),
     "devtools": frozenset(
         {

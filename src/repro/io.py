@@ -35,6 +35,8 @@ __all__ = [
     "import_corpus",
     "atomic_write",
     "atomic_write_text",
+    "site_record_to_row",
+    "site_record_from_row",
 ]
 
 _MAGIC = "repro-model"
@@ -128,6 +130,49 @@ def load_model(path: str | Path) -> Any:
     return payload["model"]
 
 
+def site_record_to_row(site: Website, record: PharmacyRecord) -> dict[str, Any]:
+    """The JSON-line row of one (site, record) pair.
+
+    Shared by :func:`export_corpus` and the sharded corpus writers in
+    :mod:`repro.data.sharding`, so every on-disk pharmacy row uses one
+    format regardless of which path wrote it.
+    """
+    return {
+        "domain": record.domain,
+        "label": record.label,
+        "flags": {
+            "is_affiliate_hub": record.is_affiliate_hub,
+            "is_affiliate_member": record.is_affiliate_member,
+            "is_outlier": record.is_outlier,
+            "is_asocial": record.is_asocial,
+            "is_trust_imitator": record.is_trust_imitator,
+        },
+        "pages": [
+            {"url": p.url, "text": p.text, "links": list(p.links)}
+            for p in site.pages
+        ],
+    }
+
+
+def site_record_from_row(row: dict[str, Any]) -> tuple[Website, PharmacyRecord]:
+    """Parse one row written by :func:`site_record_to_row`."""
+    pages = tuple(
+        WebPage(url=p["url"], text=p["text"], links=tuple(p["links"]))
+        for p in row["pages"]
+    )
+    flags = row.get("flags", {})
+    record = PharmacyRecord(
+        domain=row["domain"],
+        label=int(row["label"]),
+        is_affiliate_hub=bool(flags.get("is_affiliate_hub", False)),
+        is_affiliate_member=bool(flags.get("is_affiliate_member", False)),
+        is_outlier=bool(flags.get("is_outlier", False)),
+        is_asocial=bool(flags.get("is_asocial", False)),
+        is_trust_imitator=bool(flags.get("is_trust_imitator", False)),
+    )
+    return Website(domain=row["domain"], pages=pages), record
+
+
 def export_corpus(corpus: PharmacyCorpus, path: str | Path) -> None:
     """Write a corpus as JSON lines (one pharmacy per line), atomically."""
 
@@ -135,22 +180,7 @@ def export_corpus(corpus: PharmacyCorpus, path: str | Path) -> None:
         header = {"format": "repro-corpus", "version": 1, "name": corpus.name}
         fh.write(json.dumps(header) + "\n")
         for site, record in zip(corpus.sites, corpus.records):
-            row = {
-                "domain": record.domain,
-                "label": record.label,
-                "flags": {
-                    "is_affiliate_hub": record.is_affiliate_hub,
-                    "is_affiliate_member": record.is_affiliate_member,
-                    "is_outlier": record.is_outlier,
-                    "is_asocial": record.is_asocial,
-                    "is_trust_imitator": record.is_trust_imitator,
-                },
-                "pages": [
-                    {"url": p.url, "text": p.text, "links": list(p.links)}
-                    for p in site.pages
-                ],
-            }
-            fh.write(json.dumps(row) + "\n")
+            fh.write(json.dumps(site_record_to_row(site, record)) + "\n")
 
     atomic_write(path, "w", write, encoding="utf-8")
 

@@ -10,11 +10,36 @@ from repro.network.features import (
     NetworkFeatureMatrix,
     top_linked_domains,
 )
+from repro.network.blockrank import (
+    BlockPlan,
+    block_anti_trustrank,
+    block_pagerank,
+    block_personalized_pagerank,
+    block_trustrank,
+    compile_transition_store,
+    compile_transition_store_from_edges,
+    load_block_plan,
+)
 from repro.network.graph import DirectedGraph
-from repro.network.pagerank import pagerank, personalized_pagerank
+from repro.network.pagerank import (
+    pagerank,
+    personalized_pagerank,
+    teleport_vector,
+    transition_matrix,
+)
 from repro.network.trustrank import anti_trustrank, reverse_graph, trustrank
 
 __all__ = [
+    "BlockPlan",
+    "block_anti_trustrank",
+    "block_pagerank",
+    "block_personalized_pagerank",
+    "block_trustrank",
+    "compile_transition_store",
+    "compile_transition_store_from_edges",
+    "load_block_plan",
+    "teleport_vector",
+    "transition_matrix",
     "build_graph_from_link_table",
     "build_pharmacy_graph",
     "eigentrust",

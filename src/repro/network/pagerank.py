@@ -29,10 +29,15 @@ from repro.devtools.contracts import check_probability_vector
 from repro.exceptions import GraphError, ValidationError
 from repro.network.graph import DirectedGraph
 
-__all__ = ["pagerank", "personalized_pagerank"]
+__all__ = [
+    "pagerank",
+    "personalized_pagerank",
+    "teleport_vector",
+    "transition_matrix",
+]
 
 
-def _teleport_vector(
+def teleport_vector(
     graph: DirectedGraph,
     index: Mapping[str, int],
     teleport: Mapping[str, float] | None,
@@ -60,14 +65,17 @@ def _teleport_vector(
     return t / total
 
 
-def _transition_matrix(
+def transition_matrix(
     graph: DirectedGraph, index: Mapping[str, int]
 ) -> tuple[sp.csr_matrix, np.ndarray]:
     """Column-stochastic CSR transition matrix and dangling mask.
 
     ``matrix[dst, src]`` carries the weight-normalized probability of
     following the ``src -> dst`` link; columns of dangling nodes are
-    empty and flagged in the boolean mask instead.
+    empty and flagged in the boolean mask instead.  Public because the
+    block-wise ranker (:mod:`repro.network.blockrank`) compiles its
+    row-partitioned blocks from this exact matrix — slicing rows of one
+    CSR is what makes block SpMV bit-identical to the full product.
     """
     n = len(index)
     src_parts: list[np.ndarray] = []
@@ -135,8 +143,8 @@ def personalized_pagerank(
 
     nodes = list(graph.nodes())
     index = {node: i for i, node in enumerate(nodes)}
-    t = _teleport_vector(graph, index, teleport)
-    matrix, dangling = _transition_matrix(graph, index)
+    t = teleport_vector(graph, index, teleport)
+    matrix, dangling = transition_matrix(graph, index)
     any_dangling = bool(dangling.any())
 
     rank = t.copy()

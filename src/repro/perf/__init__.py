@@ -21,11 +21,20 @@ infrastructure:
 """
 
 from repro.perf.cache import FeatureCache, content_fingerprint
-from repro.perf.parallel import pmap, resolve_jobs
+from repro.perf.parallel import (
+    WorkerPool,
+    default_chunksize,
+    pmap,
+    resolve_jobs,
+)
+from repro.perf.store import MatrixStore
 
 __all__ = [
     "FeatureCache",
+    "MatrixStore",
+    "WorkerPool",
     "content_fingerprint",
+    "default_chunksize",
     "pmap",
     "resolve_jobs",
 ]

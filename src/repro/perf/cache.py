@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -34,6 +35,8 @@ from typing import Any, Callable, Iterable, Mapping
 
 from repro.exceptions import ValidationError
 from repro.io import PersistenceError, load_model, save_model
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "CODE_VERSION",
@@ -48,6 +51,9 @@ CODE_VERSION = "1"
 
 #: Environment variable naming the cache directory (unset = disabled).
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable capping total cache bytes (unset = unbounded).
+CACHE_MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
 
 
 def content_fingerprint(parts: Iterable[str | bytes]) -> str:
@@ -111,21 +117,55 @@ class FeatureCache:
 
     Args:
         root: cache directory (created on first store).
+        max_bytes: total size budget; when a store pushes the cache
+            over it, the least-recently-used entries are evicted (and
+            counted in ``stats.evictions``) until it fits.  ``None``
+            means unbounded.  Million-site runs should set a budget
+            (or ``$REPRO_CACHE_MAX_BYTES``) so the cache cannot fill
+            the disk.
 
     Entries are sharded two hex characters deep
     (``<root>/ab/abcdef….pkl``) to keep directory fan-out sane for
     large corpora.
     """
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(
+        self, root: str | Path, max_bytes: int | None = None
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValidationError(
+                f"max_bytes must be > 0 or None, got {max_bytes}"
+            )
         self._root = Path(root)
+        self._max_bytes = max_bytes
         self.stats = CacheStats()
 
     @classmethod
     def from_env(cls) -> "FeatureCache | None":
-        """Cache at ``$REPRO_CACHE_DIR``, or ``None`` when unset/empty."""
+        """Cache at ``$REPRO_CACHE_DIR``, or ``None`` when unset/empty.
+
+        ``$REPRO_CACHE_MAX_BYTES`` (a positive integer) sets the size
+        budget; malformed values raise so misconfiguration fails loudly
+        instead of silently running unbounded.
+        """
         root = os.environ.get(CACHE_DIR_ENV, "").strip()
-        return cls(root) if root else None
+        if not root:
+            return None
+        raw = os.environ.get(CACHE_MAX_BYTES_ENV, "").strip()
+        max_bytes: int | None = None
+        if raw:
+            try:
+                max_bytes = int(raw)
+            except ValueError as exc:
+                raise ValidationError(
+                    f"${CACHE_MAX_BYTES_ENV} must be an integer, got {raw!r}"
+                ) from exc
+        return cls(root, max_bytes=max_bytes)
+
+    @property
+    def max_bytes(self) -> int | None:
+        """The size budget (``None`` = unbounded)."""
+        return self._max_bytes
 
     @property
     def root(self) -> Path:
@@ -177,15 +217,61 @@ class FeatureCache:
                 self.stats.evictions += 1
             self.stats.misses += 1
             return None
+        if self._max_bytes is not None:
+            # Refresh recency so LRU eviction spares hot entries.
+            try:
+                os.utime(path)
+            except OSError:
+                pass  # entry raced away or fs is read-only; still a hit
         self.stats.hits += 1
         return value
 
     def store(self, key: str, value: Any) -> None:
-        """Persist ``value`` under ``key`` (atomically)."""
+        """Persist ``value`` under ``key`` (atomically), then enforce
+        the size budget by evicting least-recently-used entries."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         save_model(value, path)
         self.stats.stores += 1
+        if self._max_bytes is not None:
+            self._enforce_budget(keep=path)
+
+    def _enforce_budget(self, keep: Path) -> None:
+        """Evict oldest-accessed entries until the cache fits its budget.
+
+        The just-written entry (``keep``) is never evicted — otherwise a
+        single value larger than the budget would thrash forever.
+        """
+        entries: list[tuple[float, int, Path]] = []
+        total = 0
+        for entry in self._root.glob("??/*.pkl"):
+            try:
+                stat = entry.stat()
+            except OSError:
+                continue  # concurrently evicted by another process
+            total += stat.st_size
+            if entry != keep:
+                entries.append((stat.st_mtime, stat.st_size, entry))
+        if total <= self._max_bytes:
+            return
+        entries.sort()
+        evicted = 0
+        for _, size, entry in entries:
+            entry.unlink(missing_ok=True)
+            evicted += 1
+            total -= size
+            if total <= self._max_bytes:
+                break
+        self.stats.evictions += evicted
+        # Every logged value is an integer byte/entry count, never
+        # cached content.
+        logger.info(  # repro-flow: disable=T005
+            "feature cache over %d-byte budget: evicted %d LRU entries "
+            "(now ~%d bytes)",
+            self._max_bytes,
+            evicted,
+            total,
+        )
 
     def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
         """The cached value for ``key``, computing and storing on miss."""

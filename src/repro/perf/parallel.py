@@ -31,7 +31,7 @@ from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.exceptions import ValidationError
 
-__all__ = ["pmap", "resolve_jobs"]
+__all__ = ["pmap", "resolve_jobs", "default_chunksize", "WorkerPool"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -58,10 +58,22 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
-def _chunksize(n_items: int, n_workers: int) -> int:
-    # Large chunks amortize pickling; keep ~4 chunks per worker so the
-    # pool still load-balances uneven per-item costs.
+def default_chunksize(n_items: int, n_workers: int) -> int:
+    """Adaptive per-batch item count for process-pool maps.
+
+    ``ProcessPoolExecutor.map``'s default of 1 round-trips a pickle per
+    item, which dominates wall time on large fine-grained workloads.
+    Large chunks amortize pickling; keeping ~4 chunks per worker still
+    load-balances uneven per-item costs.
+    """
+    if n_items < 0:
+        raise ValidationError(f"n_items must be >= 0, got {n_items}")
+    if n_workers < 1:
+        raise ValidationError(f"n_workers must be >= 1, got {n_workers}")
     return max(1, n_items // (n_workers * 4))
+
+
+_chunksize = default_chunksize
 
 
 def pmap(
@@ -104,3 +116,69 @@ def pmap(
         # Workers were killed under us (container OOM/seccomp); the
         # computation is pure, so redo it serially.
         return [fn(x) for x in materialized]
+
+
+class WorkerPool:
+    """A reusable process pool with :func:`pmap`'s exact contract.
+
+    ``pmap`` spins a pool up and down per call, which is fine for one
+    big map but wasteful for iterative algorithms (block-wise power
+    iteration dispatches one small map per iteration — re-importing the
+    worker interpreter 100 times would swamp the SpMV).  ``WorkerPool``
+    keeps the workers alive across ``map`` calls while preserving:
+
+    * order-stable results at any worker count,
+    * serial fallback when pools cannot be created here, and
+    * serial redo of a map whose pool broke mid-flight (after which the
+      pool stays serial — the environment has shown it kills workers).
+
+    Use as a context manager or call :meth:`close` when done.
+    """
+
+    def __init__(self, jobs: int | None = None) -> None:
+        self._requested = resolve_jobs(jobs)
+        self._executor: ProcessPoolExecutor | None = None
+        if self._requested > 1:
+            try:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self._requested
+                )
+            except (OSError, PermissionError, ValueError):
+                self._executor = None
+
+    @property
+    def workers(self) -> int:
+        """Effective worker count (1 when running serially)."""
+        return self._requested if self._executor is not None else 1
+
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        chunksize: int | None = None,
+    ) -> list[R]:
+        """``[fn(x) for x in items]`` — same order at any worker count."""
+        materialized: Sequence[T] = list(items)
+        if self._executor is None or len(materialized) < _MIN_PARALLEL_ITEMS:
+            return [fn(x) for x in materialized]
+        if chunksize is None:
+            chunksize = default_chunksize(len(materialized), self._requested)
+        try:
+            return list(
+                self._executor.map(fn, materialized, chunksize=chunksize)
+            )
+        except BrokenProcessPool:
+            self.close()
+            return [fn(x) for x in materialized]
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent; the pool goes serial)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,226 @@
+"""Out-of-core matrix store: mmap-backed numpy and CSR artifacts.
+
+The :class:`~repro.perf.cache.FeatureCache` memoizes *pickled* feature
+values — loading a hit materializes the whole object in RAM.  That is
+the wrong shape for million-site matrices: a 10^6-row TF-IDF or
+link-transition matrix must be *assembled shard-by-shard* and then
+*consumed block-by-block* without any stage ever holding it whole.
+
+:class:`MatrixStore` is that spillable tier:
+
+* Arrays are stored as ``.npy`` files written through the atomic
+  writers of :mod:`repro.io` (sibling temp file + ``os.replace``), so
+  a crash mid-spill never leaves a truncated artifact.
+* Loads default to ``np.load(mmap_mode="r")``: the OS pages data in on
+  demand and evicts it under memory pressure, so a reader's resident
+  set is its working set, not the artifact size.
+* CSR matrices spill as three arrays (``data``/``indices``/``indptr``)
+  plus a JSON meta sidecar; loading reassembles a
+  ``scipy.sparse.csr_matrix`` *around the mmaps* (scipy wraps the
+  buffers without copying), so block-wise SpMV touches only the rows
+  it reads.
+
+Names are path-like keys (``"tfidf/shard-0003"``); each artifact is
+content under ``root``, safe to delete wholesale between runs.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import re
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ValidationError
+from repro.io import PersistenceError, atomic_write
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["MatrixStore"]
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9._-]+(/[A-Za-z0-9._-]+)*$")
+
+_CSR_META = "csr.json"
+_CSR_PARTS = ("data", "indices", "indptr")
+
+
+def _check_name(name: str) -> str:
+    """Validate a store key (relative, no traversal, no empty parts)."""
+    if not _NAME_RE.match(name) or ".." in name.split("/"):
+        raise ValidationError(f"invalid store name: {name!r}")
+    return name
+
+
+class MatrixStore:
+    """Directory of atomically-written, mmap-loadable matrix artifacts.
+
+    Args:
+        root: store directory (created on first save).
+
+    All ``save_*`` methods overwrite atomically; all ``load_*`` methods
+    raise :class:`~repro.io.PersistenceError` on missing or malformed
+    artifacts and default to read-only memory maps.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self._root = Path(root)
+
+    @property
+    def root(self) -> Path:
+        """The store directory."""
+        return self._root
+
+    # -- dense arrays -------------------------------------------------------
+
+    def _array_path(self, name: str) -> Path:
+        return self._root / f"{_check_name(name)}.npy"
+
+    def save_array(self, name: str, array: np.ndarray) -> Path:
+        """Spill ``array`` as ``<root>/<name>.npy`` (atomic)."""
+        arr = np.ascontiguousarray(array)
+        path = self._array_path(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write(path, "wb", lambda fh: np.save(fh, arr))
+        return path
+
+    def load_array(self, name: str, mmap: bool = True) -> np.ndarray:
+        """The stored array, memory-mapped read-only by default."""
+        path = self._array_path(name)
+        try:
+            return np.load(path, mmap_mode="r" if mmap else None)
+        except FileNotFoundError as exc:
+            raise PersistenceError(f"no such array: {name}") from exc
+        except ValueError as exc:
+            raise PersistenceError(f"corrupt array {name}: {exc}") from exc
+
+    def has_array(self, name: str) -> bool:
+        """Whether an array artifact named ``name`` exists."""
+        return self._array_path(name).exists()
+
+    # -- CSR matrices -------------------------------------------------------
+
+    def _csr_dir(self, name: str) -> Path:
+        return self._root / _check_name(name)
+
+    def save_csr(self, name: str, matrix: sp.csr_matrix) -> Path:
+        """Spill a CSR matrix as three arrays + a meta sidecar.
+
+        The meta file is written *last*, so a directory with a valid
+        sidecar always has complete part files.
+        """
+        if not sp.issparse(matrix):
+            raise ValidationError("save_csr needs a scipy sparse matrix")
+        csr = matrix.tocsr()
+        directory = self._csr_dir(name)
+        directory.mkdir(parents=True, exist_ok=True)
+        for part in _CSR_PARTS:
+            arr = np.ascontiguousarray(getattr(csr, part))
+            atomic_write(
+                directory / f"{part}.npy", "wb", lambda fh, a=arr: np.save(fh, a)
+            )
+        meta = {
+            "format": "repro-csr",
+            "version": 1,
+            "shape": [int(csr.shape[0]), int(csr.shape[1])],
+            "nnz": int(csr.nnz),
+            "dtype": str(csr.dtype),
+        }
+        atomic_write(
+            directory / _CSR_META,
+            "w",
+            lambda fh: json.dump(meta, fh),
+            encoding="utf-8",
+        )
+        return directory
+
+    def load_csr(self, name: str, mmap: bool = True) -> sp.csr_matrix:
+        """Reassemble a stored CSR around read-only memory maps.
+
+        scipy wraps the given buffers without copying, so slicing rows
+        of the result reads only those rows' bytes from disk.
+        """
+        directory = self._csr_dir(name)
+        meta_path = directory / _CSR_META
+        try:
+            with open(meta_path, encoding="utf-8") as fh:
+                meta = json.load(fh)
+        except FileNotFoundError as exc:
+            raise PersistenceError(f"no such CSR artifact: {name}") from exc
+        except json.JSONDecodeError as exc:
+            raise PersistenceError(f"corrupt CSR meta for {name}") from exc
+        if meta.get("format") != "repro-csr" or meta.get("version") != 1:
+            raise PersistenceError(f"unsupported CSR format for {name}")
+        mode = "r" if mmap else None
+        try:
+            parts = {
+                part: np.load(directory / f"{part}.npy", mmap_mode=mode)
+                for part in _CSR_PARTS
+            }
+        except FileNotFoundError as exc:
+            raise PersistenceError(f"incomplete CSR artifact: {name}") from exc
+        except ValueError as exc:
+            raise PersistenceError(f"corrupt CSR part in {name}: {exc}") from exc
+        matrix = sp.csr_matrix(
+            (parts["data"], parts["indices"], parts["indptr"]),
+            shape=tuple(meta["shape"]),
+            copy=False,
+        )
+        if matrix.nnz != int(meta["nnz"]):
+            raise PersistenceError(
+                f"CSR artifact {name} nnz mismatch: "
+                f"{matrix.nnz} != {meta['nnz']}"
+            )
+        return matrix
+
+    def has_csr(self, name: str) -> bool:
+        """Whether a complete CSR artifact named ``name`` exists."""
+        return (self._csr_dir(name) / _CSR_META).exists()
+
+    # -- JSON sidecars ------------------------------------------------------
+
+    def save_meta(self, name: str, payload: dict) -> Path:
+        """Spill a small JSON metadata document (atomic)."""
+        path = self._root / f"{_check_name(name)}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write(
+            path, "w", lambda fh: json.dump(payload, fh), encoding="utf-8"
+        )
+        return path
+
+    def load_meta(self, name: str) -> dict:
+        """The stored JSON document.
+
+        Raises:
+            PersistenceError: missing or malformed document.
+        """
+        path = self._root / f"{_check_name(name)}.json"
+        try:
+            with open(path, encoding="utf-8") as fh:
+                return json.load(fh)
+        except FileNotFoundError as exc:
+            raise PersistenceError(f"no such meta: {name}") from exc
+        except json.JSONDecodeError as exc:
+            raise PersistenceError(f"corrupt meta {name}: {exc}") from exc
+
+    # -- maintenance --------------------------------------------------------
+
+    def names(self) -> Iterator[str]:
+        """All artifact names (arrays, CSR dirs, metas), sorted."""
+        found: set[str] = set()
+        for path in sorted(self._root.rglob("*")):
+            rel = path.relative_to(self._root)
+            if path.is_file() and path.suffix == ".npy" and len(rel.parts) >= 1:
+                parent = path.parent
+                if (parent / _CSR_META).exists():
+                    found.add(str(parent.relative_to(self._root)))
+                else:
+                    found.add(str(rel)[: -len(".npy")])
+            elif path.is_file() and path.suffix == ".json":
+                if path.name == _CSR_META:
+                    continue
+                found.add(str(rel)[: -len(".json")])
+        return iter(sorted(found))

@@ -24,7 +24,7 @@ from repro.serve.auth import DEFAULT_TIERS, AuthResult, Authenticator, Tier
 from repro.serve.http import VerificationHTTPServer, VerificationRequestHandler
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.ratelimit import RateLimitDecision, SlidingWindowRateLimiter
-from repro.serve.service import ServiceConfig, VerificationService
+from repro.serve.service import ServiceConfig, SiteIndex, VerificationService
 
 __all__ = [
     "AdmissionStats",
@@ -36,6 +36,7 @@ __all__ = [
     "MetricsRegistry",
     "RateLimitDecision",
     "ServiceConfig",
+    "SiteIndex",
     "SlidingWindowRateLimiter",
     "Tier",
     "VerificationHTTPServer",

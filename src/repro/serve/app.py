@@ -17,7 +17,7 @@ from repro.serve.auth import Authenticator
 from repro.serve.http import VerificationHTTPServer
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.ratelimit import SlidingWindowRateLimiter
-from repro.serve.service import ServiceConfig, VerificationService
+from repro.serve.service import ServiceConfig, SiteIndex, VerificationService
 from repro.web.host import WebHost
 from repro.web.resilience.clock import Clock, SystemClock
 from repro.web.resilience.retry import RetryPolicy
@@ -28,7 +28,7 @@ __all__ = ["build_server"]
 
 def build_server(
     verifier: PharmacyVerifier,
-    sites: tuple[Website, ...] | list[Website] = (),
+    sites: tuple[Website, ...] | list[Website] | SiteIndex = (),
     host: WebHost | None = None,
     bind_host: str = "127.0.0.1",
     port: int = 8470,
@@ -45,7 +45,10 @@ def build_server(
 
     Args:
         verifier: a fitted verifier (the model backend).
-        sites: pre-crawled websites served from memory.
+        sites: pre-crawled websites served from memory, or a lazy
+            domain-keyed :class:`~repro.serve.service.SiteIndex` (e.g.
+            a :class:`repro.data.sharding.ShardedCorpus`) resolved
+            per-lookup without loading the corpus.
         host: optional web host for crawl-on-miss verification.
         bind_host: interface to bind.
         port: port to bind (0 picks a free one; see
@@ -75,7 +78,7 @@ def build_server(
     metrics = MetricsRegistry()
     service = VerificationService(
         verifier,
-        sites=tuple(sites),
+        sites=sites if isinstance(sites, SiteIndex) else tuple(sites),
         host=host,
         clock=resolved_clock,
         cache=FeatureCache(cache_dir) if cache_dir else None,

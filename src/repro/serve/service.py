@@ -40,7 +40,7 @@ import logging
 import re
 import threading
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Mapping, Protocol, Sequence, runtime_checkable
 
 from repro.core.verifier import PharmacyVerifier, VerificationReport
 from repro.devtools.sanitizers import sanitizes
@@ -63,11 +63,30 @@ from repro.web.site import Website
 
 logger = logging.getLogger(__name__)
 
-__all__ = ["ServiceConfig", "VerificationService"]
+__all__ = ["ServiceConfig", "SiteIndex", "VerificationService"]
 
 #: Backend route names the per-backend circuit breaker distinguishes.
 _VERIFY_BACKEND = "verify"
 _REVIEW_BACKEND = "review"
+
+
+@runtime_checkable
+class SiteIndex(Protocol):
+    """A domain-keyed site lookup the service can resolve against.
+
+    Structural, not nominal, so the serving layer never imports a
+    concrete corpus implementation: a plain ``dict[str, Website]``
+    satisfies it, and so does :class:`repro.data.sharding.
+    ShardedCorpus`, whose ``get`` opens only the one shard the
+    domain's hash maps to — a million-site corpus serves lookups in
+    O(shard) memory.
+    """
+
+    def get(self, domain: str) -> Website | None:
+        """The site of ``domain``, or ``None`` when unknown."""
+
+    def __len__(self) -> int:
+        """Number of servable domains."""
 
 
 @dataclass(frozen=True, slots=True)
@@ -154,7 +173,10 @@ class VerificationService:
 
     Args:
         verifier: a fitted :class:`~repro.core.verifier.PharmacyVerifier`.
-        sites: pre-crawled websites served straight from memory.
+        sites: pre-crawled websites — either a sequence (indexed into a
+            dict up front) or an already domain-keyed :class:`SiteIndex`
+            such as a sharded corpus, which is resolved against lazily
+            (each lookup opens one shard, never the whole corpus).
         host: optional web host for crawl-on-miss; without it unknown
             domains raise :class:`~repro.exceptions.MissingKeyError`.
         clock: time source for deadlines and breaker cooldowns
@@ -172,7 +194,7 @@ class VerificationService:
     def __init__(
         self,
         verifier: PharmacyVerifier,
-        sites: Sequence[Website] = (),
+        sites: Sequence[Website] | SiteIndex = (),
         host: WebHost | None = None,
         clock: Clock | None = None,
         cache: FeatureCache | None = None,
@@ -188,8 +210,18 @@ class VerificationService:
         self._retry_policy = retry_policy
         self._metrics = metrics if metrics is not None else MetricsRegistry()
         self._config = config if config is not None else ServiceConfig()
-        self._index: dict[str, Website] = {site.domain: site for site in sites}
-        self._known_domains = tuple(sorted(self._index))
+        if isinstance(sites, SiteIndex):
+            # Already domain-keyed (a dict or e.g. a sharded corpus):
+            # resolve against it lazily instead of materializing sites.
+            self._index: SiteIndex = sites
+            domains = (
+                sites.domains() if hasattr(sites, "domains") else sites
+            )
+            self._known_domains = tuple(sorted(domains))
+        else:
+            index = {site.domain: site for site in sites}
+            self._index = index
+            self._known_domains = tuple(sorted(index))
         self._host = host
         self._breaker = CircuitBreaker(
             failure_threshold=self._config.breaker_failure_threshold,

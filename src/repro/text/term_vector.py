@@ -112,13 +112,28 @@ class TfidfVectorizer:
         doc_freq: Counter[str] = Counter()
         for doc in documents:
             doc_freq.update(set(doc))
+        return self.fit_document_frequencies(doc_freq, len(documents))
+
+    def fit_document_frequencies(
+        self, doc_freq: Counter[str], n_docs: int
+    ) -> "TfidfVectorizer":
+        """Finalize a fit from pre-counted document frequencies.
+
+        The out-of-core path: a streaming caller counts ``doc_freq``
+        one corpus shard at a time (merging per-shard Counters) and
+        hands the totals here, so fitting a million-site vocabulary
+        never holds the tokenized corpus in memory.  ``fit`` delegates
+        to this method, so both paths select and order terms — and
+        weight IDF — identically.
+        """
+        if n_docs < 1:
+            raise ValidationError(f"n_docs must be >= 1, got {n_docs}")
         items = [(t, df) for t, df in doc_freq.items() if df >= self._min_df]
         if self._max_features is not None and len(items) > self._max_features:
             items.sort(key=lambda kv: (-kv[1], kv[0]))
             items = items[: self._max_features]
         items.sort(key=lambda kv: kv[0])  # deterministic column order
         vocab = Vocabulary(term for term, _ in items)
-        n_docs = len(documents)
         idf = np.empty(len(vocab), dtype=np.float64)
         for term, df in items:
             idx = vocab.index_of(term)

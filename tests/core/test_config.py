@@ -8,7 +8,7 @@ from repro.exceptions import ConfigurationError
 
 class TestPresets:
     def test_all_presets_present(self):
-        assert set(PRESETS) == {"tiny", "small", "medium", "paper"}
+        assert set(PRESETS) == {"tiny", "small", "medium", "paper", "large"}
 
     def test_paper_preset_matches_table1(self):
         gen = preset("paper").generator

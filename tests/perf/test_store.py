@@ -1,0 +1,128 @@
+"""Tests for the out-of-core matrix store (mmap-backed artifacts)."""
+
+from __future__ import annotations
+
+import mmap
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import ValidationError
+from repro.io import PersistenceError
+from repro.perf.store import MatrixStore
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return MatrixStore(tmp_path / "store")
+
+
+def _backing(array: np.ndarray):
+    base = array
+    while getattr(base, "base", None) is not None:
+        base = base.base
+    return base
+
+
+class TestArrays:
+    def test_round_trip_bit_equal(self, store):
+        array = np.random.default_rng(3).normal(size=(100, 7))
+        store.save_array("vectors/rank", array)
+        loaded = store.load_array("vectors/rank")
+        np.testing.assert_array_equal(loaded, array)
+        assert loaded.dtype == array.dtype
+
+    def test_load_is_memory_mapped(self, store):
+        store.save_array("big", np.arange(10_000, dtype=np.float64))
+        loaded = store.load_array("big")
+        assert isinstance(_backing(loaded), mmap.mmap)
+
+    def test_mmap_false_gives_plain_array(self, store):
+        store.save_array("plain", np.arange(5))
+        loaded = store.load_array("plain", mmap=False)
+        assert not isinstance(_backing(loaded), mmap.mmap)
+
+    def test_missing_array_raises(self, store):
+        with pytest.raises(PersistenceError):
+            store.load_array("absent")
+        assert not store.has_array("absent")
+
+    def test_has_array(self, store):
+        store.save_array("x", np.zeros(3))
+        assert store.has_array("x")
+
+
+class TestCsr:
+    def test_round_trip_bit_equal(self, store):
+        matrix = sp.random(
+            60, 40, density=0.1, format="csr", random_state=5
+        )
+        store.save_csr("m", matrix)
+        loaded = store.load_csr("m")
+        assert loaded.shape == matrix.shape
+        np.testing.assert_array_equal(loaded.data, matrix.data)
+        np.testing.assert_array_equal(loaded.indices, matrix.indices)
+        np.testing.assert_array_equal(loaded.indptr, matrix.indptr)
+
+    def test_loaded_parts_are_memory_mapped(self, store):
+        store.save_csr(
+            "m", sp.random(50, 50, density=0.2, format="csr", random_state=1)
+        )
+        loaded = store.load_csr("m")
+        assert isinstance(_backing(loaded.data), mmap.mmap)
+        assert isinstance(_backing(loaded.indices), mmap.mmap)
+
+    def test_row_slices_match(self, store):
+        matrix = sp.random(30, 20, density=0.3, format="csr", random_state=9)
+        store.save_csr("m", matrix)
+        loaded = store.load_csr("m")
+        np.testing.assert_array_equal(
+            loaded[5:15, :].toarray(), matrix[5:15, :].toarray()
+        )
+
+    def test_spmv_matches(self, store):
+        matrix = sp.random(40, 40, density=0.2, format="csr", random_state=2)
+        x = np.random.default_rng(0).normal(size=40)
+        store.save_csr("m", matrix)
+        np.testing.assert_array_equal(store.load_csr("m") @ x, matrix @ x)
+
+    def test_missing_csr_raises(self, store):
+        with pytest.raises(PersistenceError):
+            store.load_csr("absent")
+        assert not store.has_csr("absent")
+
+    def test_truncated_meta_raises(self, store, tmp_path):
+        store.save_csr(
+            "m", sp.random(10, 10, density=0.2, format="csr", random_state=3)
+        )
+        meta = next((tmp_path / "store").rglob("csr.json"))
+        meta.write_text("{broken")
+        with pytest.raises(PersistenceError):
+            store.load_csr("m")
+
+
+class TestMetaAndNames:
+    def test_meta_round_trip(self, store):
+        store.save_meta("plan", {"n": 3, "offsets": [0, 1, 3]})
+        assert store.load_meta("plan") == {"n": 3, "offsets": [0, 1, 3]}
+
+    def test_missing_meta_raises(self, store):
+        with pytest.raises(PersistenceError):
+            store.load_meta("absent")
+
+    def test_names_lists_artifacts(self, store):
+        store.save_array("a/x", np.zeros(2))
+        store.save_csr(
+            "b/y", sp.random(4, 4, density=0.5, format="csr", random_state=0)
+        )
+        names = set(store.names())
+        assert "a/x" in names
+        assert "b/y" in names
+
+    @pytest.mark.parametrize(
+        "bad", ["", "../escape", "a//b", "a b", "UPPER/..", "x\x00"]
+    )
+    def test_rejects_unsafe_names(self, store, bad):
+        with pytest.raises(ValidationError):
+            store.save_array(bad, np.zeros(1))

@@ -139,3 +139,59 @@ class TestCommands:
         assert main(["experiments", "figure3", "--scale", "tiny"]) == 0
         out = capsys.readouterr().out
         assert "FIGURE3" in out
+
+
+class TestShardedCommands:
+    """generate --shards writes a directory verify/rank/serve can read."""
+
+    @pytest.fixture(scope="class")
+    def sharded_dir(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("cli-shards")
+        out = str(root / "corpus")
+        assert (
+            main(
+                [
+                    "generate",
+                    "--legit", "6",
+                    "--illegit", "44",
+                    "--seed", "3",
+                    "--shards", "4",
+                    "-o", out,
+                ]
+            )
+            == 0
+        )
+        return out
+
+    def test_generate_writes_manifest_and_shards(self, sharded_dir, capsys):
+        from pathlib import Path
+
+        root = Path(sharded_dir)
+        assert (root / "manifest.json").is_file()
+        assert len(list(root.glob("shard-*.jsonl"))) == 4
+
+    def test_verify_reads_sharded_dir(self, cli_artifacts, sharded_dir, capsys):
+        _, model_path = cli_artifacts
+        assert main(["verify", model_path, sharded_dir, "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "50 pharmacies verified" in out
+
+    def test_rank_reads_sharded_dir(self, cli_artifacts, sharded_dir, capsys):
+        _, model_path = cli_artifacts
+        assert main(["rank", model_path, sharded_dir, "--top", "3"]) == 0
+        assert "pairwise orderedness" in capsys.readouterr().out
+
+    def test_serve_check_on_sharded_dir(self, cli_artifacts, sharded_dir, capsys):
+        _, model_path = cli_artifacts
+        assert (
+            main(
+                [
+                    "serve", model_path, sharded_dir,
+                    "--port", "0",
+                    "--check",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "serving 50 pharmacies" in out

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.exceptions import NotFittedError
+from repro.exceptions import NotFittedError, ValidationError
 from repro.text.term_vector import TfidfVectorizer, Vocabulary
 
 
@@ -165,3 +165,56 @@ def test_tfidf_rows_have_unit_or_zero_norm(docs):
 def test_tfidf_values_nonnegative(docs):
     X = TfidfVectorizer().fit_transform(docs)
     assert (X.toarray() >= 0).all()
+
+
+class TestStreamingFit:
+    """fit_document_frequencies == fit — the out-of-core fitting path."""
+
+    DOCS = [
+        ["alpha", "beta", "beta", "gamma"],
+        ["alpha", "delta"],
+        ["beta", "gamma", "gamma", "epsilon"],
+        ["zeta", "alpha", "beta"],
+    ]
+
+    @staticmethod
+    def _streamed(vectorizer, chunks):
+        from collections import Counter
+
+        doc_freq: Counter[str] = Counter()
+        n_docs = 0
+        for chunk in chunks:
+            for doc in chunk:
+                doc_freq.update(set(doc))
+                n_docs += 1
+        return vectorizer.fit_document_frequencies(doc_freq, n_docs)
+
+    def test_matches_fit_exactly(self):
+        whole = TfidfVectorizer().fit(self.DOCS)
+        chunked = self._streamed(
+            TfidfVectorizer(), [self.DOCS[:2], self.DOCS[2:]]
+        )
+        assert whole.vocabulary.terms() == chunked.vocabulary.terms()
+        np.testing.assert_array_equal(whole.idf, chunked.idf)
+
+    def test_matches_with_min_df_and_max_features(self):
+        kwargs = dict(min_df=2, max_features=3)
+        whole = TfidfVectorizer(**kwargs).fit(self.DOCS)
+        chunked = self._streamed(
+            TfidfVectorizer(**kwargs), [[d] for d in self.DOCS]
+        )
+        assert whole.vocabulary.terms() == chunked.vocabulary.terms()
+        np.testing.assert_array_equal(whole.idf, chunked.idf)
+
+    def test_transforms_identically(self):
+        whole = TfidfVectorizer().fit(self.DOCS)
+        chunked = self._streamed(TfidfVectorizer(), [self.DOCS])
+        a = whole.transform(self.DOCS)
+        b = chunked.transform(self.DOCS)
+        np.testing.assert_array_equal(a.toarray(), b.toarray())
+
+    def test_rejects_bad_doc_count(self):
+        from collections import Counter
+
+        with pytest.raises(ValidationError):
+            TfidfVectorizer().fit_document_frequencies(Counter(), 0)
