@@ -1,0 +1,1 @@
+"""Streaming-pipeline benchmarks (incremental vs full recompute)."""

@@ -12,6 +12,8 @@ Subcommands:
 * ``serve``     — run the verification API server over a saved model
   and corpus (tiered auth, rate limiting, admission control; see
   :mod:`repro.serve`).
+* ``stream``    — replay planned snapshot deltas through the
+  incremental pipeline (:mod:`repro.stream`), one tick at a time.
 * ``experiments`` — delegate to the table/figure regeneration runner.
 
 Example session::
@@ -21,6 +23,8 @@ Example session::
     python -m repro.cli verify verifier.pkl corpus.jsonl --top 10
     python -m repro.cli rank verifier.pkl corpus.jsonl
     python -m repro.cli serve verifier.pkl corpus.jsonl --port 8470
+    python -m repro.cli generate -o shards/ --shards 4 --deltas 12
+    python -m repro.cli stream shards/ --retrain-every 8
 """
 
 from __future__ import annotations
@@ -69,6 +73,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for sharded generation (0 = CPU count)",
     )
+    gen.add_argument(
+        "--deltas",
+        type=int,
+        default=0,
+        help="also plan this many snapshot deltas (weekly ticks) and "
+        "write them as deltas.json next to the shards (requires --shards)",
+    )
 
     train = sub.add_parser("train", help="train a verifier on a corpus")
     train.add_argument("corpus", help="corpus .jsonl path")
@@ -113,6 +124,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="bind, report the address, drain, and exit (smoke test)",
     )
 
+    stream = sub.add_parser(
+        "stream", help="replay snapshot deltas through the incremental pipeline"
+    )
+    stream.add_argument(
+        "corpus", help="sharded corpus directory holding a deltas.json"
+    )
+    stream.add_argument(
+        "--ticks", type=int, default=0, help="deltas to replay (0 = all planned)"
+    )
+    stream.add_argument(
+        "--retrain-every",
+        type=int,
+        default=0,
+        help="force a full retrain at least every N ticks (0 = drift-driven only)",
+    )
+    stream.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="crawl checkpoint directory (resumable re-crawls)",
+    )
+
     exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
     exp.add_argument("ids", nargs="*", default=[])
     exp.add_argument("--scale", default="small")
@@ -150,7 +182,11 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     config = GeneratorConfig(
         n_legitimate=args.legit, n_illegitimate=args.illegit, seed=args.seed
     )
+    if args.deltas > 0 and args.shards <= 0:
+        print("--deltas requires --shards (deltas ride on a sharded corpus)")
+        return 2
     if args.shards > 0:
+        from repro.data.deltas import DELTAS_FILENAME, StreamConfig, plan_deltas, write_deltas
         from repro.data.sharding import write_shards
 
         manifest = write_shards(
@@ -162,6 +198,16 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             f"{manifest.n_illegitimate} illegit) "
             f"as {manifest.n_shards} shards to {args.output}"
         )
+        if args.deltas > 0:
+            stream_config = StreamConfig(n_ticks=args.deltas)
+            deltas = plan_deltas(config, stream_config)
+            deltas_path = Path(args.output) / DELTAS_FILENAME
+            write_deltas(deltas_path, deltas, stream_config)
+            n_changes = sum(delta.n_changes for delta in deltas)
+            print(
+                f"planned {len(deltas)} snapshot deltas "
+                f"({n_changes} site changes) to {deltas_path}"
+            )
         return 0
     corpus = make_dataset(config)
     export_corpus(corpus, args.output)
@@ -266,6 +312,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0 if drained else 1
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.data.deltas import DELTAS_FILENAME, StreamCorpus, load_deltas
+    from repro.data.sharding import ShardedCorpus
+    from repro.stream import DriftDetector, StreamingVerifier
+
+    if not _is_sharded(args.corpus):
+        print(f"{args.corpus} is not a sharded corpus directory")
+        return 2
+    deltas, _stream_config = load_deltas(Path(args.corpus) / DELTAS_FILENAME)
+    if args.ticks > 0:
+        deltas = deltas[: args.ticks]
+    corpus = StreamCorpus.from_sharded(ShardedCorpus(args.corpus))
+    detector = DriftDetector(
+        max_ticks_between_retrains=args.retrain_every or None
+    )
+    verifier = StreamingVerifier(
+        corpus, detector=detector, checkpoint_dir=args.checkpoint_dir
+    )
+    verifier.bootstrap()
+    print(f"bootstrapped {len(corpus)} sites at epoch {corpus.epoch}")
+    retrains = 0
+    for delta in deltas:
+        report = verifier.apply_tick(delta)
+        retrains += int(report.retrained)
+        print(
+            f"tick {report.epoch:3d}: {report.n_sites} sites  "
+            f"+{report.n_changed} changed  -{report.n_removed} removed  "
+            f"{report.n_flips} flips  {report.rank_sweeps} sweeps  "
+            f"{report.seconds:.2f}s"
+            + ("  [retrained]" if report.retrained else "")
+        )
+    n_legit = sum(1 for v in verifier.verdicts.values() if v == 1)
+    print(
+        f"replayed {len(deltas)} ticks ({retrains} retrains): "
+        f"{n_legit} legitimate / {len(corpus) - n_legit} illegitimate"
+    )
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runner import main as runner_main
 
@@ -279,6 +364,7 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "rank": _cmd_rank,
     "serve": _cmd_serve,
+    "stream": _cmd_stream,
     "experiments": _cmd_experiments,
 }
 

@@ -1,0 +1,595 @@
+"""Timestamped snapshot deltas over a sharded synthetic corpus.
+
+The paper's temporal study (Section 6.5) is one step: Dataset 1 →
+Dataset 2.  A production verifier faces the continuous version — every
+tick some illegitimate pharmacies appear, some are taken down, some
+rotate their vocabulary, and affiliate spokes rewire to different hubs.
+This module grows that stream *deterministically*, with the same
+seed-stable scheme as :mod:`repro.data.sharding`:
+
+* **Delta planning** — :func:`plan_deltas` derives each epoch's
+  added / removed / drifted / rewired domains from per-``(domain,
+  epoch)`` RNG streams (:func:`repro.data.sharding.site_seed` with an
+  epoch-tagged purpose).  The plan is a pure function of the generator
+  config and the :class:`StreamConfig` — independent of shard count,
+  worker count, or which corpus instance applies it.
+* **Versioned site builds** — a site's bytes at any point in the
+  stream are a pure function of ``(seed, domain, revision, drifted)``.
+  Revision 0 reuses the exact ``"site"`` / ``"role"`` RNG purposes of
+  the sharded writer, so an unmodified domain is bit-identical to its
+  shard row; revision ``r > 0`` draws from ``"site:r{r}"`` streams.
+  Drifted illegitimate sites rotate to the generation-2 vocabulary
+  (:data:`repro.data.synthesis._ILLEGIT_DRIFT_MIX`), reproducing the
+  paper's Old→New degradation as a gradual process.
+* **Mutable corpus state** — :class:`StreamCorpus` loads a
+  :class:`~repro.data.sharding.ShardedCorpus` snapshot and applies
+  deltas in sequence.  It also implements the
+  :class:`~repro.web.host.WebHost` protocol, so the delta-aware
+  crawler (:mod:`repro.stream.crawl`) fetches changed pages straight
+  from the evolving state without rebuilding a host per tick.
+
+Persistence: :func:`write_deltas` / :func:`load_deltas` round-trip a
+planned stream as ``deltas.json`` next to the shard files, written
+through the atomic helpers of :mod:`repro.io`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.data import lexicon
+from repro.data.sharding import (
+    ShardedCorpus,
+    plan_domains,
+    plan_site,
+    site_seed,
+)
+from repro.data.synthesis import (
+    GeneratorConfig,
+    PharmacyRecord,
+    SyntheticWebGenerator,
+)
+from repro.exceptions import (
+    DataGenerationError,
+    InvalidURLError,
+    MissingKeyError,
+    ValidationError,
+)
+from repro.io import PersistenceError, atomic_write_text
+from repro.web.page import WebPage
+from repro.web.site import Website
+from repro.web.url import endpoint, normalize_url
+
+__all__ = [
+    "DELTAS_FILENAME",
+    "StreamConfig",
+    "SnapshotDelta",
+    "AppliedDelta",
+    "StreamCorpus",
+    "epoch_domain_names",
+    "plan_deltas",
+    "write_deltas",
+    "load_deltas",
+]
+
+DELTAS_FILENAME = "deltas.json"
+
+_DELTAS_FORMAT = "repro-snapshot-deltas"
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class StreamConfig:
+    """Knobs of the snapshot-delta stream.
+
+    Fractions are interpreted per tick: every live site draws its fate
+    from its own ``(domain, epoch)`` RNG stream against these rates,
+    the same per-site Bernoulli scheme :func:`~repro.data.sharding.
+    plan_site` uses for role assignment.  Legitimate pharmacies never
+    disappear (the paper's Dataset 2 keeps them all); appearance,
+    takedown, and rewiring are illegitimate-side dynamics, while
+    content drift touches both classes.
+
+    Attributes:
+        n_ticks: number of deltas to plan.
+        tick_days: simulated days between consecutive snapshots.
+        birth_fraction: new illegitimate sites per tick, as a fraction
+            of the base illegitimate count (rounded, may be 0).
+        death_fraction: per-tick takedown probability of each live
+            illegitimate site.
+        drift_fraction: per-tick probability that a live site's content
+            is regenerated (illegitimate sites also rotate vocabulary).
+        rewire_fraction: per-tick probability that a live illegitimate
+            site re-draws its roles and affiliate hub links.
+    """
+
+    n_ticks: int = 52
+    tick_days: float = 7.0
+    birth_fraction: float = 0.02
+    death_fraction: float = 0.02
+    drift_fraction: float = 0.01
+    rewire_fraction: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.n_ticks < 0:
+            raise ValidationError(f"n_ticks must be >= 0, got {self.n_ticks}")
+        if self.tick_days <= 0:
+            raise ValidationError(f"tick_days must be > 0, got {self.tick_days}")
+        for name in (
+            "birth_fraction",
+            "death_fraction",
+            "drift_fraction",
+            "rewire_fraction",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValidationError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotDelta:
+    """One tick's changes, in deterministic plan order.
+
+    Attributes:
+        epoch: 1-based delta-sequence id; doubles as the snapshot epoch
+            used in feature-cache keys.
+        timestamp_days: simulated days since the base snapshot.
+        added: newly appeared (illegitimate) domains.
+        removed: taken-down domains.
+        drifted: domains whose content was regenerated (illegitimate
+            ones also rotate to the drifted vocabulary, permanently).
+        rewired: domains that re-drew roles and affiliate hub links.
+    """
+
+    epoch: int
+    timestamp_days: float
+    added: tuple[str, ...] = ()
+    removed: tuple[str, ...] = ()
+    drifted: tuple[str, ...] = ()
+    rewired: tuple[str, ...] = ()
+
+    @property
+    def changed(self) -> tuple[str, ...]:
+        """Domains needing a re-crawl: added + drifted + rewired."""
+        return self.added + self.drifted + self.rewired
+
+    @property
+    def n_changes(self) -> int:
+        """Total number of per-site changes in this delta."""
+        return (
+            len(self.added)
+            + len(self.removed)
+            + len(self.drifted)
+            + len(self.rewired)
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serializable payload."""
+        payload = asdict(self)
+        for name in ("added", "removed", "drifted", "rewired"):
+            payload[name] = list(payload[name])
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "SnapshotDelta":
+        """Parse a payload written by :meth:`as_dict`."""
+        return cls(
+            epoch=int(payload["epoch"]),  # type: ignore[arg-type]
+            timestamp_days=float(payload["timestamp_days"]),  # type: ignore[arg-type]
+            added=tuple(payload.get("added", ())),  # type: ignore[arg-type]
+            removed=tuple(payload.get("removed", ())),  # type: ignore[arg-type]
+            drifted=tuple(payload.get("drifted", ())),  # type: ignore[arg-type]
+            rewired=tuple(payload.get("rewired", ())),  # type: ignore[arg-type]
+        )
+
+
+def epoch_domain_names(epoch: int, count: int) -> list[str]:
+    """Domains of the illegitimate sites born at ``epoch``.
+
+    Pure function of its arguments; the ``-t{epoch}x{i}`` tag keeps
+    every epoch's births disjoint from the base plan (no tag) and the
+    generation-2 plan (``-v2`` tag).
+    """
+    if epoch < 1:
+        raise ValidationError(f"epoch must be >= 1, got {epoch}")
+    stems = lexicon.ILLEGIT_DOMAIN_STEMS
+    return [
+        f"{stems[i % len(stems)]}-t{epoch}x{i // len(stems)}.net"
+        for i in range(count)
+    ]
+
+
+def _fate_draws(seed: int, domain: str, epoch: int) -> np.ndarray:
+    """The (death, drift, rewire) uniform draws of one domain at one tick."""
+    rng = np.random.default_rng(site_seed(seed, domain, f"tick{epoch}"))
+    return rng.random(3)
+
+
+def plan_deltas(
+    config: GeneratorConfig,
+    stream: StreamConfig,
+    generation: int = 1,
+) -> tuple[SnapshotDelta, ...]:
+    """Plan the full delta sequence for a corpus.
+
+    Deterministic: each live site's fate at each tick comes from its
+    private ``(seed, "tick{epoch}", domain)`` RNG stream, and births
+    are named by :func:`epoch_domain_names` — so the plan never depends
+    on shard layout, worker count, or the order deltas are applied.
+
+    Returns:
+        ``stream.n_ticks`` deltas with epochs ``1..n_ticks``.
+    """
+    legit, illegit, _hubs = plan_domains(config, generation)
+    legit_set = frozenset(legit)
+    live: list[str] = list(legit) + list(illegit)
+    n_births = int(round(stream.birth_fraction * len(illegit)))
+    deltas: list[SnapshotDelta] = []
+    for epoch in range(1, stream.n_ticks + 1):
+        removed: list[str] = []
+        drifted: list[str] = []
+        rewired: list[str] = []
+        for domain in live:
+            draws = _fate_draws(config.seed, domain, epoch)
+            is_legit = domain in legit_set
+            if not is_legit and draws[0] < stream.death_fraction:
+                removed.append(domain)
+                continue
+            if draws[1] < stream.drift_fraction:
+                drifted.append(domain)
+            elif not is_legit and draws[2] < stream.rewire_fraction:
+                rewired.append(domain)
+        added = epoch_domain_names(epoch, n_births)
+        removed_set = frozenset(removed)
+        live = [d for d in live if d not in removed_set] + added
+        deltas.append(
+            SnapshotDelta(
+                epoch=epoch,
+                timestamp_days=epoch * stream.tick_days,
+                added=tuple(added),
+                removed=tuple(removed),
+                drifted=tuple(drifted),
+                rewired=tuple(rewired),
+            )
+        )
+    return tuple(deltas)
+
+
+def write_deltas(
+    path: str | Path,
+    deltas: tuple[SnapshotDelta, ...] | list[SnapshotDelta],
+    stream: StreamConfig,
+) -> None:
+    """Persist a planned delta stream atomically as JSON."""
+    payload = {
+        "format": _DELTAS_FORMAT,
+        "version": _FORMAT_VERSION,
+        "stream": asdict(stream),
+        "deltas": [delta.as_dict() for delta in deltas],
+    }
+    atomic_write_text(Path(path), json.dumps(payload, indent=2))
+
+
+def load_deltas(path: str | Path) -> tuple[tuple[SnapshotDelta, ...], StreamConfig]:
+    """Load a delta stream written by :func:`write_deltas`.
+
+    Raises:
+        PersistenceError: missing file, malformed JSON, or wrong format.
+    """
+    try:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except FileNotFoundError as exc:
+        raise PersistenceError(f"no delta stream at {path}") from exc
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"malformed delta stream at {path}") from exc
+    if (
+        payload.get("format") != _DELTAS_FORMAT
+        or payload.get("version") != _FORMAT_VERSION
+    ):
+        raise PersistenceError(f"not a repro delta stream: {path}")
+    deltas = tuple(SnapshotDelta.from_dict(d) for d in payload["deltas"])
+    return deltas, StreamConfig(**payload["stream"])
+
+
+@dataclass(slots=True)
+class _SiteVersion:
+    """One domain's current materialization in the stream."""
+
+    site: Website
+    record: PharmacyRecord
+    revision: int = 0
+    drifted: bool = False
+    born_epoch: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class AppliedDelta:
+    """What one :meth:`StreamCorpus.apply` call actually did.
+
+    ``changed`` lists the domains whose pages differ from the previous
+    epoch (added + drifted + rewired) — the re-crawl set.
+    """
+
+    epoch: int
+    changed: tuple[str, ...]
+    removed: tuple[str, ...] = ()
+    added: tuple[str, ...] = ()
+    drifted: tuple[str, ...] = ()
+    rewired: tuple[str, ...] = ()
+
+    @property
+    def n_changes(self) -> int:
+        """Total per-site changes this delta carried."""
+        return len(self.changed) + len(self.removed)
+
+
+class StreamCorpus:
+    """Mutable corpus state: a sharded snapshot plus applied deltas.
+
+    Sites live in insertion order (base shard-major order, then births
+    in epoch order).  The *set* of sites after any delta prefix is a
+    pure function of ``(config, stream plan)`` — identical no matter
+    how many shards or workers built the base snapshot — which is the
+    property the ``tests/stream`` equivalence suite pins.
+
+    The corpus doubles as a :class:`~repro.web.host.WebHost`: ``fetch``
+    resolves a URL to its owning domain and serves the current page
+    bytes, so a crawler pointed at the corpus always sees the state of
+    the latest applied epoch.
+    """
+
+    def __init__(self, config: GeneratorConfig, generation: int = 1) -> None:
+        self._config = config
+        self._generation = generation
+        self._generator = SyntheticWebGenerator(config)
+        _legit, _illegit, hubs = plan_domains(config, generation)
+        self._hubs = hubs
+        self._state: dict[str, _SiteVersion] = {}
+        self._pages: dict[str, dict[str, WebPage]] = {}
+        self._epoch = 0
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_sharded(cls, corpus: ShardedCorpus) -> "StreamCorpus":
+        """Load a sharded snapshot as epoch-0 stream state.
+
+        Streams one shard at a time through the corpus LRU; memory is
+        the materialized site set (the stream layer's working set).
+        """
+        state = cls(corpus.config, generation=corpus.manifest.generation)
+        for _, sites, records in corpus.iter_shards():
+            for site, record in zip(sites, records):
+                state._install(site, record, revision=0, drifted=False, born=0)
+        return state
+
+    @classmethod
+    def generate(cls, config: GeneratorConfig, generation: int = 1) -> "StreamCorpus":
+        """Build epoch-0 state directly from the config (no shard files).
+
+        Site bytes are identical to :func:`~repro.data.sharding.
+        write_shards` output — both derive every site from the same
+        per-domain RNG streams; only the iteration order differs
+        (canonical plan order here, shard-major on disk).
+        """
+        state = cls(config, generation=generation)
+        legit, illegit, _hubs = plan_domains(config, generation)
+        for domain in legit:
+            state._install(*state._build(domain, 1, 0, False), revision=0,
+                           drifted=False, born=0)
+        for domain in illegit:
+            state._install(*state._build(domain, 0, 0, False), revision=0,
+                           drifted=False, born=0)
+        return state
+
+    # -- site building ------------------------------------------------------
+
+    def _build(
+        self, domain: str, label: int, revision: int, drifted: bool
+    ) -> tuple[Website, PharmacyRecord]:
+        """Materialize one domain at one revision from its RNG streams."""
+        plan = plan_site(
+            self._config,
+            domain,
+            label,
+            is_hub=domain in self._hubs,
+            hubs=self._hubs,
+            generation=self._generation,
+            revision=revision,
+        )
+        purpose = "site" if revision == 0 else f"site:r{revision}"
+        rng = np.random.default_rng(
+            site_seed(self._config.seed, domain, purpose)
+        )
+        generation = 2 if drifted else self._generation
+        pages, record = self._generator.build_pharmacy_site(
+            plan.domain,
+            plan.label,
+            rng,
+            is_hub=plan.is_hub,
+            is_member=plan.is_member,
+            is_outlier=plan.is_outlier,
+            is_asocial=plan.is_asocial,
+            is_imitator=plan.is_imitator,
+            hub_targets=plan.hub_targets,
+            generation=generation,
+        )
+        return Website(domain=domain, pages=tuple(pages)), record
+
+    def _install(
+        self,
+        site: Website,
+        record: PharmacyRecord,
+        *,
+        revision: int,
+        drifted: bool,
+        born: int,
+    ) -> None:
+        if site.domain in self._state:
+            raise DataGenerationError(f"duplicate stream domain: {site.domain}")
+        self._state[site.domain] = _SiteVersion(
+            site=site,
+            record=record,
+            revision=revision,
+            drifted=drifted,
+            born_epoch=born,
+        )
+        self._pages[site.domain] = {
+            normalize_url(page.url): page for page in site.pages
+        }
+
+    def _replace(self, domain: str, revision: int, drifted: bool) -> None:
+        version = self._state[domain]
+        site, record = self._build(domain, version.record.label, revision, drifted)
+        version.site = site
+        version.record = record
+        version.revision = revision
+        version.drifted = drifted
+        self._pages[domain] = {
+            normalize_url(page.url): page for page in site.pages
+        }
+
+    # -- delta application --------------------------------------------------
+
+    def apply(self, delta: SnapshotDelta) -> AppliedDelta:
+        """Advance the corpus state by one delta.
+
+        Deltas must be applied in epoch order; skipping or repeating an
+        epoch raises.  Returns the applied change set (``changed`` is
+        the re-crawl list).
+
+        Raises:
+            ValidationError: out-of-sequence epoch or a delta touching
+                a domain the corpus does not hold.
+        """
+        if delta.epoch != self._epoch + 1:
+            raise ValidationError(
+                f"delta epoch {delta.epoch} does not follow corpus epoch "
+                f"{self._epoch}"
+            )
+        for domain in delta.removed:
+            if domain not in self._state:
+                raise ValidationError(f"cannot remove unknown domain {domain}")
+            del self._state[domain]
+            del self._pages[domain]
+        for domain in delta.drifted:
+            version = self._state.get(domain)
+            if version is None:
+                raise ValidationError(f"cannot drift unknown domain {domain}")
+            sticky = version.drifted or version.record.label == 0
+            self._replace(domain, version.revision + 1, sticky)
+        for domain in delta.rewired:
+            version = self._state.get(domain)
+            if version is None:
+                raise ValidationError(f"cannot rewire unknown domain {domain}")
+            self._replace(domain, version.revision + 1, version.drifted)
+        for domain in delta.added:
+            site, record = self._build(domain, 0, 0, False)
+            self._install(
+                site, record, revision=0, drifted=False, born=delta.epoch
+            )
+        self._epoch = delta.epoch
+        return AppliedDelta(
+            epoch=delta.epoch,
+            changed=delta.changed,
+            removed=delta.removed,
+            added=delta.added,
+            drifted=delta.drifted,
+            rewired=delta.rewired,
+        )
+
+    # -- corpus views -------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Epoch of the last applied delta (0 = base snapshot)."""
+        return self._epoch
+
+    @property
+    def config(self) -> GeneratorConfig:
+        """The generator config rooting all determinism."""
+        return self._config
+
+    def __len__(self) -> int:
+        return len(self._state)
+
+    def __contains__(self, domain: str) -> bool:
+        return domain in self._state
+
+    def domains(self) -> tuple[str, ...]:
+        """Live domains in insertion order."""
+        return tuple(self._state)
+
+    def iter_sites(self) -> Iterator[Website]:
+        """Live sites in insertion order."""
+        for version in self._state.values():
+            yield version.site
+
+    def site_for(self, domain: str) -> Website:
+        """The current site of ``domain``.
+
+        Raises:
+            MissingKeyError: unknown domain.
+        """
+        version = self._state.get(domain)
+        if version is None:
+            raise MissingKeyError(domain)
+        return version.site
+
+    def record_for(self, domain: str) -> PharmacyRecord:
+        """Current ground truth of ``domain``.
+
+        Raises:
+            MissingKeyError: unknown domain.
+        """
+        version = self._state.get(domain)
+        if version is None:
+            raise MissingKeyError(domain)
+        return version.record
+
+    def revision_of(self, domain: str) -> int:
+        """Content revision of ``domain`` (0 = base snapshot build).
+
+        Raises:
+            MissingKeyError: unknown domain.
+        """
+        version = self._state.get(domain)
+        if version is None:
+            raise MissingKeyError(domain)
+        return version.revision
+
+    def labels(self) -> dict[str, int]:
+        """domain -> ground-truth label for every live site."""
+        return {d: v.record.label for d, v in self._state.items()}
+
+    def seed_url(self, domain: str) -> str:
+        """The crawl seed URL of a live domain."""
+        return f"https://www.{self.site_for(domain).domain}/"
+
+    # -- WebHost protocol ---------------------------------------------------
+
+    def fetch(self, url: str) -> WebPage | None:
+        """Serve the current page at ``url`` (``None`` when unknown).
+
+        Dead domains 404 (return ``None``) the moment their removal
+        delta is applied, so stale affiliate links to taken-down hubs
+        behave like the real web.
+        """
+        try:
+            domain = endpoint(url)
+            key = normalize_url(url)
+        except InvalidURLError:
+            return None
+        pages = self._pages.get(domain)
+        if pages is None:
+            # Generated URLs carry a www. prefix; endpoint() already
+            # strips it, so a second probe is only needed for hosts
+            # whose registrable domain itself contains a subdomain.
+            return None
+        return pages.get(key)

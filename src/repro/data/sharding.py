@@ -163,6 +163,7 @@ def plan_site(
     is_hub: bool = False,
     hubs: tuple[str, ...] = (),
     generation: int = 1,
+    revision: int = 0,
 ) -> SitePlan:
     """Deterministic role assignment for one domain.
 
@@ -171,8 +172,15 @@ def plan_site(
     domain)``.  Fractions are interpreted per-site (each site joins a
     role with the configured probability), which converges to the
     snapshot generator's exact rounded counts as the corpus grows.
+
+    ``revision`` selects the delta-stream rebuild of the same domain
+    (:mod:`repro.data.deltas`): revision 0 is the base snapshot stream
+    (bit-identical to shard rows), revision ``r > 0`` draws fresh roles
+    from the ``"role:r{r}"`` stream so a rewired affiliate can land on
+    different hubs without disturbing any other site.
     """
-    rng = np.random.default_rng(site_seed(config.seed, domain, "role"))
+    purpose = "role" if revision == 0 else f"role:r{revision}"
+    rng = np.random.default_rng(site_seed(config.seed, domain, purpose))
     draws = rng.random(4)
     if label == 1:
         return SitePlan(

@@ -41,6 +41,7 @@ from repro.devtools.conc.registry import (
     EXECUTION_KNOBS,
     FORK_UNSAFE_FACTORIES,
     SUPPRESSION_MARKER,
+    TEMPORAL_KEY_ATTRS,
 )
 from repro.devtools.findings import Finding, assign_occurrences
 from repro.devtools.flow.analysis import ProjectAnalysis
@@ -301,6 +302,52 @@ class _ConcAnalyzer:
                 "hits when it changes",
                 site.site_unit.symbol if site.site_unit else "<module>",
                 identity_extra=name,
+            )
+
+        self._check_temporal_key(site, compute)
+
+    def _check_temporal_key(self, site: CacheSite, compute: FunctionUnit) -> None:
+        """C005's temporal extension: epoch-like attribute reads.
+
+        Free-variable tracking misses instance state: a compute that
+        reads ``self._epoch`` sees only the covered name ``self``.
+        Attribute loads whose normalized name is in
+        :data:`TEMPORAL_KEY_ATTRS` get their own coverage pass — the
+        key call must mention the field (as an attribute load, a bare
+        name, or a string params key), else a replayed or resumed tick
+        can be served another snapshot's cached artifact.
+        """
+        assert site.key_call is not None
+        key_tokens: set[str] = set()
+        for child in ast.walk(site.key_call):
+            if isinstance(child, ast.Attribute):
+                key_tokens.add(child.attr.lstrip("_"))
+            elif isinstance(child, ast.Name):
+                key_tokens.add(child.id.lstrip("_"))
+            elif isinstance(child, ast.Constant) and isinstance(child.value, str):
+                key_tokens.add(child.value.lstrip("_"))
+        temporal_reads: dict[str, int] = {}
+        for child in ast.walk(compute.node):
+            if (
+                isinstance(child, ast.Attribute)
+                and isinstance(child.ctx, ast.Load)
+                and child.attr.lstrip("_") in TEMPORAL_KEY_ATTRS
+            ):
+                temporal_reads.setdefault(child.attr.lstrip("_"), child.lineno)
+        for name, line in sorted(temporal_reads.items()):
+            if name in key_tokens:
+                continue
+            self._emit(
+                "C005",
+                site.module,
+                site.key_call.lineno,
+                site.key_call.col_offset,
+                f"cache key omits temporal field '{name}' read by the "
+                f"memoized computation '{compute.qualname}' (line {line}) "
+                "— a replayed epoch can be served another snapshot's "
+                "cached value",
+                site.site_unit.symbol if site.site_unit else "<module>",
+                identity_extra=f"temporal:{name}",
             )
 
     # -- driver ------------------------------------------------------------

@@ -25,6 +25,7 @@ __all__ = [
     "EXECUTOR_FACTORIES",
     "FORK_UNSAFE_FACTORIES",
     "EXECUTION_KNOBS",
+    "TEMPORAL_KEY_ATTRS",
     "ATOMIC_IO_EXEMPT_SUFFIXES",
     "WRITE_MODE_CHARS",
 ]
@@ -127,6 +128,14 @@ EXECUTION_KNOBS = frozenset(
         "logger",
     }
 )
+
+#: Attribute names (after stripping leading underscores) that mark a
+#: value as *temporal* — a snapshot epoch, content revision, or
+#: delta-sequence id.  A memoized computation that reads one of these
+#: from its instance must fold it into the cache key, else a replayed
+#: or resumed tick can be served another snapshot's cached artifact
+#: (C005's incremental-pipeline extension).
+TEMPORAL_KEY_ATTRS = frozenset({"epoch", "revision", "tick", "delta_seq"})
 
 #: Module-path suffixes exempt from C004: the atomic helpers themselves
 #: must open temp files with write modes.

@@ -99,6 +99,12 @@ HOT_ENTRY_SUFFIXES: tuple[str, ...] = (
     # writer is the pmap worker behind sharded corpus generation
     "blockrank._block_spmv",
     "sharding._write_shard_worker",
+    # the incremental-stream tick path: delta application materializes
+    # changed sites every tick, and the residual push is the per-tick
+    # TrustRank kernel (driven by benchmarks/stream, invisible to the
+    # call graph from the batch entries)
+    "deltas.StreamCorpus.apply",
+    "rank.DeltaRankState.push",
 )
 
 #: The reference-kernel module P002 polices.

@@ -113,6 +113,7 @@ LAYERS = frozenset(
         "devtools",
         "perf",
         "serve",
+        "stream",
     }
 )
 
@@ -123,15 +124,19 @@ LAYERS = frozenset(
 #: through ``perf.parallel`` and builds ``web.site`` objects), so the
 #: kernel layers — and ``serve``, which reaches sharded corpora only
 #: through the structural ``SiteIndex`` protocol — must not import it.
+#: ``stream`` (the incremental pipeline) sits beside ``core``: it builds
+#: on the kernel layers and ``data`` deltas but must not reach into the
+#: batch verifier, and nothing below it may import it.
 FORBIDDEN_IMPORTS: dict[str, frozenset[str]] = {
-    "perf": frozenset({"core", "data", "experiments", "cli", "serve"}),
-    "text": frozenset({"core", "data", "experiments", "cli", "serve"}),
-    "network": frozenset({"core", "data", "experiments", "cli", "serve"}),
-    "ml": frozenset({"core", "data", "experiments", "cli", "serve"}),
-    "web": frozenset({"core", "data", "experiments", "cli", "serve"}),
-    "data": frozenset({"core", "experiments", "cli", "serve"}),
-    "core": frozenset({"experiments", "cli", "serve"}),
-    "serve": frozenset({"data", "experiments", "cli"}),
+    "perf": frozenset({"core", "data", "experiments", "cli", "serve", "stream"}),
+    "text": frozenset({"core", "data", "experiments", "cli", "serve", "stream"}),
+    "network": frozenset({"core", "data", "experiments", "cli", "serve", "stream"}),
+    "ml": frozenset({"core", "data", "experiments", "cli", "serve", "stream"}),
+    "web": frozenset({"core", "data", "experiments", "cli", "serve", "stream"}),
+    "data": frozenset({"core", "experiments", "cli", "serve", "stream"}),
+    "core": frozenset({"experiments", "cli", "serve", "stream"}),
+    "stream": frozenset({"core", "experiments", "cli", "serve"}),
+    "serve": frozenset({"data", "experiments", "cli", "stream"}),
     "experiments": frozenset({"cli", "serve"}),
     "devtools": frozenset(
         {
@@ -144,6 +149,7 @@ FORBIDDEN_IMPORTS: dict[str, frozenset[str]] = {
             "experiments",
             "cli",
             "serve",
+            "stream",
         }
     ),
 }

@@ -45,6 +45,8 @@ def pegasos_weights(
     n_epochs: int,
     seed: int,
     batch_size: int,
+    init_weights: np.ndarray | None = None,
+    t0: int = 0,
 ) -> np.ndarray:
     """Mini-batch Pegasos on ±1 ``signs``; returns the augmented weights.
 
@@ -68,13 +70,36 @@ def pegasos_weights(
         n_epochs: full passes over the training set.
         seed: RNG seed controlling the example order.
         batch_size: samples per sub-gradient step.
+        init_weights: optional augmented ``n_features + 1`` start
+            weights (a previous run's return value).  The streaming
+            layer warm-starts each tick's refresh from the prior
+            tick's weights so a handful of epochs suffices; the
+            defaults (zeros, ``t0=0``) reproduce the cold schedule
+            bit-for-bit.
+        t0: global step counter to resume from.  Continuing with the
+            prior run's final ``t`` keeps the ``1/(lam*t)`` step sizes
+            small, so the warm start refines rather than overwrites.
+
+    Raises:
+        ValidationError: ``init_weights`` of the wrong shape or a
+            negative ``t0``.
     """
     n_samples, n_features = X.shape
     rng = np.random.default_rng(seed)
-    w = np.zeros(n_features + 1, dtype=np.float64)
+    if init_weights is None:
+        w = np.zeros(n_features + 1, dtype=np.float64)
+    else:
+        w = np.asarray(init_weights, dtype=np.float64).copy()
+        if w.shape != (n_features + 1,):
+            raise ValidationError(
+                f"init_weights must have shape ({n_features + 1},), "
+                f"got {w.shape}"
+            )
+    if t0 < 0:
+        raise ValidationError(f"t0 must be >= 0, got {t0}")
     is_sparse = sp.issparse(X)
     coef_full = sample_weight * signs
-    t = 0
+    t = t0
     for _ in range(n_epochs):
         order = rng.permutation(n_samples)
         for start in range(0, n_samples, batch_size):
@@ -136,8 +161,10 @@ class LinearSVC(BaseClassifier):
         self._batch_size = batch_size
         self._w: np.ndarray | None = None
         self._b: float = 0.0
+        self._t: int = 0
 
-    def fit(self, X: Any, y: Any) -> "LinearSVC":
+    def _prepare(self, X: Any, y: Any) -> tuple[Any, np.ndarray, np.ndarray]:
+        """Validate ``(X, y)`` and derive signs + balanced weights."""
         X, y = check_X_y(X, y, allow_sparse=True)
         encoded = self._store_classes(y)
         if len(self._fitted_classes()) != 2:
@@ -153,6 +180,13 @@ class LinearSVC(BaseClassifier):
         else:
             w_pos = w_neg = 1.0
         sample_weight = np.where(signs > 0, w_pos, w_neg)
+        return X, signs, sample_weight
+
+    def _steps_per_pass(self, n_samples: int) -> int:
+        return -(-n_samples // self._batch_size)
+
+    def fit(self, X: Any, y: Any) -> "LinearSVC":
+        X, signs, sample_weight = self._prepare(X, y)
         w = pegasos_weights(
             X,
             signs,
@@ -164,6 +198,50 @@ class LinearSVC(BaseClassifier):
         )
         self._w = w[:-1]
         self._b = float(w[-1])
+        self._t = self._n_epochs * self._steps_per_pass(X.shape[0])
+        return self
+
+    def warm_fit(
+        self, X: Any, y: Any, *, n_epochs: int = 3, seed: int | None = None
+    ) -> "LinearSVC":
+        """Refine the fitted hyperplane with a few extra Pegasos passes.
+
+        The streaming layer calls this once per tick: the current
+        weights seed :func:`pegasos_weights` (``init_weights``) and the
+        global step counter continues where training left off, so the
+        ``1/(lam*t)`` learning rates stay small and the update nudges
+        the margin toward the changed examples instead of restarting
+        the schedule.  ``seed`` varies the shuffle order between ticks
+        (defaults to the constructor seed).
+
+        Raises:
+            NotFittedError: no prior :meth:`fit`.
+            ValidationError: feature-count mismatch with the fit.
+        """
+        if self._w is None:
+            raise NotFittedError("warm_fit requires a prior fit")
+        if n_epochs < 1:
+            raise ValidationError(f"n_epochs must be >= 1, got {n_epochs}")
+        X, signs, sample_weight = self._prepare(X, y)
+        if X.shape[1] != self._w.shape[0]:
+            raise ValidationError(
+                f"feature-count mismatch: fitted on {self._w.shape[0]}, "
+                f"got {X.shape[1]}"
+            )
+        w = pegasos_weights(
+            X,
+            signs,
+            sample_weight,
+            lam=self._lam,
+            n_epochs=n_epochs,
+            seed=self._seed if seed is None else seed,
+            batch_size=self._batch_size,
+            init_weights=np.concatenate([self._w, [self._b]]),
+            t0=self._t,
+        )
+        self._w = w[:-1]
+        self._b = float(w[-1])
+        self._t += n_epochs * self._steps_per_pass(X.shape[0])
         return self
 
     def decision_function(self, X: Any) -> np.ndarray:

@@ -1,0 +1,135 @@
+"""Delta-aware crawling: re-crawl only the domains a delta touched.
+
+The batch pipeline crawls every site of every snapshot.  The stream
+keeps one crawled :class:`~repro.web.site.Website` per live domain and,
+per tick, re-crawls exactly the delta's ``changed`` set (births +
+drifts + rewires) while dropping the removed ones — per-tick crawl cost
+is O(changed sites), not O(corpus).
+
+Checkpoint reuse (PR 3): each domain's crawl runs with a per-domain
+``checkpoint_path`` under ``checkpoint_dir``, so a tick interrupted
+mid-crawl resumes from the page it stopped at instead of refetching the
+domain.  Completed crawls clear their checkpoint themselves
+(:meth:`repro.web.crawler.Crawler.crawl_site`); a *changed* domain's
+leftover checkpoint is explicitly discarded first, because state
+recorded against the previous revision's pages must not seed the new
+revision's crawl.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.data.deltas import AppliedDelta, StreamCorpus
+from repro.exceptions import MissingKeyError
+from repro.web.crawler import Crawler
+from repro.web.site import Website
+
+__all__ = ["DeltaCrawlStore"]
+
+
+class DeltaCrawlStore:
+    """Crawled sites of a :class:`StreamCorpus`, maintained per delta.
+
+    Args:
+        corpus: the evolving corpus; doubles as the
+            :class:`~repro.web.host.WebHost` the crawler fetches from,
+            so every crawl sees the state of the last applied epoch.
+        checkpoint_dir: directory for per-domain crawl checkpoints;
+            ``None`` disables checkpointing.
+        max_pages: per-site page cap (default mirrors the crawler's).
+    """
+
+    def __init__(
+        self,
+        corpus: StreamCorpus,
+        checkpoint_dir: str | Path | None = None,
+        max_pages: int | None = None,
+    ) -> None:
+        self._corpus = corpus
+        self._checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        if self._checkpoint_dir is not None:
+            self._checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        self._max_pages = max_pages
+        self._sites: dict[str, Website] = {}
+        self._pages_fetched = 0
+
+    @property
+    def n_sites(self) -> int:
+        """Number of crawled sites currently held."""
+        return len(self._sites)
+
+    @property
+    def pages_fetched(self) -> int:
+        """Total pages fetched across all crawls (cost accounting)."""
+        return self._pages_fetched
+
+    def _checkpoint_path(self, domain: str) -> Path | None:
+        if self._checkpoint_dir is None:
+            return None
+        return self._checkpoint_dir / f"{domain}.checkpoint.json"
+
+    def _crawl(self, domain: str) -> Website:
+        kwargs = {}
+        if self._max_pages is not None:
+            kwargs["max_pages"] = self._max_pages
+        crawler = Crawler(
+            self._corpus,
+            checkpoint_path=self._checkpoint_path(domain),
+            **kwargs,
+        )
+        site = crawler.crawl_site(self._corpus.seed_url(domain))
+        self._pages_fetched += crawler.last_stats.pages_fetched
+        return site
+
+    def bootstrap(self) -> tuple[str, ...]:
+        """Crawl every live domain of the current corpus state."""
+        crawled = []
+        for domain in self._corpus.domains():
+            self._sites[domain] = self._crawl(domain)
+            crawled.append(domain)
+        return tuple(crawled)
+
+    def apply(self, applied: AppliedDelta) -> tuple[str, ...]:
+        """Advance the store past one applied delta.
+
+        Removed domains are dropped (and their stale checkpoints
+        discarded); changed domains are re-crawled against the new
+        corpus state.  Returns the re-crawled domains.
+        """
+        for domain in applied.removed:
+            self._sites.pop(domain, None)
+            self._discard_checkpoint(domain)
+        for domain in applied.drifted + applied.rewired:
+            # The previous revision's in-flight state must not seed the
+            # new revision's crawl.
+            self._discard_checkpoint(domain)
+        for domain in applied.changed:
+            self._sites[domain] = self._crawl(domain)
+        return applied.changed
+
+    def _discard_checkpoint(self, domain: str) -> None:
+        path = self._checkpoint_path(domain)
+        if path is not None:
+            path.unlink(missing_ok=True)
+
+    def site(self, domain: str) -> Website:
+        """The crawled site of ``domain``.
+
+        Raises:
+            MissingKeyError: domain was never crawled (or was removed).
+        """
+        site = self._sites.get(domain)
+        if site is None:
+            raise MissingKeyError(domain)
+        return site
+
+    def sites(self, order: Iterable[str] | None = None) -> list[Website]:
+        """Crawled sites, in ``order`` (default: corpus domain order)."""
+        domains: Sequence[str] = (
+            tuple(order) if order is not None else self._corpus.domains()
+        )
+        return [self.site(domain) for domain in domains]

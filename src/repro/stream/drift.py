@@ -1,0 +1,148 @@
+"""Drift detection: decide when incremental updates stop being enough.
+
+Warm-started models track the data they were last fully fitted on.  As
+the stream drifts — vocabulary rotations pile up, the affiliate graph
+rewires — the warm model's error versus a cold refit grows.  The
+detector watches two cheap proxies every tick and triggers a full
+retrain when either crosses its bound:
+
+* **Feature-distribution shift** — relative L2 distance between the
+  current per-column TF-IDF means and the means at the last full
+  retrain.  Vocabulary drift moves mass between columns long before
+  accuracy visibly degrades.
+* **Verdict-flip rate** — the fraction of *unchanged* sites whose
+  verdict flipped this tick.  Unchanged sites have unchanged features
+  under a frozen vocabulary, so their flips are pure model movement:
+  a high rate means warm updates are reshaping the hyperplane, i.e.
+  the incremental state has wandered from what a cold fit would say.
+
+Both thresholds are plain knobs; ``max_ticks_between_retrains`` adds a
+hard staleness ceiling so a slow cumulative drift that never spikes
+either proxy still gets flushed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["DriftDetector", "DriftReport"]
+
+
+@dataclass(frozen=True, slots=True)
+class DriftReport:
+    """One tick's drift measurements and the retrain decision.
+
+    Attributes:
+        epoch: the observed tick.
+        feature_shift: relative L2 distance of feature means from the
+            last-retrain baseline.
+        flip_rate: verdict flips among unchanged sites / unchanged
+            sites (0.0 when nothing persisted).
+        ticks_since_retrain: ticks observed since the last baseline.
+        should_retrain: whether any bound was exceeded.
+        reasons: which bounds fired (``"feature_shift"``,
+            ``"flip_rate"``, ``"max_interval"``).
+    """
+
+    epoch: int
+    feature_shift: float
+    flip_rate: float
+    ticks_since_retrain: int
+    should_retrain: bool
+    reasons: tuple[str, ...] = ()
+
+
+class DriftDetector:
+    """Threshold detector over feature shift and verdict-flip rate.
+
+    Args:
+        max_feature_shift: relative feature-mean drift bound.
+        max_flip_rate: unchanged-site verdict-flip-rate bound.
+        max_ticks_between_retrains: hard retrain interval; ``None``
+            disables the ceiling.
+    """
+
+    def __init__(
+        self,
+        max_feature_shift: float = 0.25,
+        max_flip_rate: float = 0.05,
+        max_ticks_between_retrains: int | None = None,
+    ) -> None:
+        if max_feature_shift <= 0.0:
+            raise ValidationError(
+                f"max_feature_shift must be > 0, got {max_feature_shift}"
+            )
+        if max_flip_rate <= 0.0:
+            raise ValidationError(
+                f"max_flip_rate must be > 0, got {max_flip_rate}"
+            )
+        if max_ticks_between_retrains is not None and (
+            max_ticks_between_retrains < 1
+        ):
+            raise ValidationError(
+                "max_ticks_between_retrains must be >= 1 or None, got "
+                f"{max_ticks_between_retrains}"
+            )
+        self._max_shift = max_feature_shift
+        self._max_flip = max_flip_rate
+        self._max_interval = max_ticks_between_retrains
+        self._baseline: np.ndarray | None = None
+        self._baseline_norm = 0.0
+        self._ticks_since = 0
+
+    def set_baseline(self, feature_means: np.ndarray) -> None:
+        """Record the feature means of a fresh full fit."""
+        baseline = np.asarray(feature_means, dtype=np.float64).ravel()
+        self._baseline = baseline
+        self._baseline_norm = float(np.linalg.norm(baseline))
+        self._ticks_since = 0
+
+    def observe(
+        self,
+        epoch: int,
+        feature_means: np.ndarray,
+        n_flips: int,
+        n_unchanged: int,
+    ) -> DriftReport:
+        """Measure one tick and decide whether to retrain.
+
+        Raises:
+            ValidationError: no baseline recorded yet, or a feature-
+                dimension mismatch (the vocabulary changed without a
+                new baseline).
+        """
+        if self._baseline is None:
+            raise ValidationError("observe() before any set_baseline()")
+        means = np.asarray(feature_means, dtype=np.float64).ravel()
+        if means.shape != self._baseline.shape:
+            raise ValidationError(
+                f"feature dimension changed: baseline {self._baseline.shape}"
+                f" vs observed {means.shape} — retrain must reset the baseline"
+            )
+        self._ticks_since += 1
+        shift = float(np.linalg.norm(means - self._baseline))
+        if self._baseline_norm > 0.0:
+            shift /= self._baseline_norm
+        flip_rate = n_flips / n_unchanged if n_unchanged > 0 else 0.0
+        reasons = []
+        if shift > self._max_shift:
+            reasons.append("feature_shift")
+        if flip_rate > self._max_flip:
+            reasons.append("flip_rate")
+        if (
+            self._max_interval is not None
+            and self._ticks_since >= self._max_interval
+        ):
+            reasons.append("max_interval")
+        return DriftReport(
+            epoch=epoch,
+            feature_shift=shift,
+            flip_rate=flip_rate,
+            ticks_since_retrain=self._ticks_since,
+            should_retrain=bool(reasons),
+            reasons=tuple(reasons),
+        )

@@ -187,6 +187,41 @@ class NGramGraph:
         graph._add_text(text)
         return graph
 
+    @classmethod
+    def from_edge_arrays(
+        cls,
+        keys: np.ndarray,
+        weights: np.ndarray,
+        *,
+        n: int = 4,
+        window: int = 4,
+        interner: NGramInterner | None = None,
+    ) -> "NGramGraph":
+        """Wrap precomputed ``(sorted keys, weights)`` arrays as a graph.
+
+        The incremental class-graph maintainer (:mod:`repro.stream.
+        features`) rebuilds class graphs from running edge sums; this
+        constructor adopts its arrays without re-tokenizing anything.
+        ``keys`` must be packed edge keys interned through ``interner``
+        (the shared table by default), strictly sorted ascending.
+
+        Raises:
+            ValidationError: mismatched lengths or unsorted keys.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.float64)
+        if keys.shape != weights.shape or keys.ndim != 1:
+            raise ValidationError(
+                f"edge arrays must be equal-length 1-D, got {keys.shape} "
+                f"and {weights.shape}"
+            )
+        if keys.size > 1 and not bool(np.all(keys[:-1] < keys[1:])):
+            raise ValidationError("edge keys must be strictly sorted ascending")
+        graph = cls(n=n, window=window, interner=interner)
+        graph._keys = keys.copy()
+        graph._weights = weights.copy()
+        return graph
+
     def _add_text(self, text: str) -> None:
         ids = self._interner.intern_many(self._ngrams(text))
         m = ids.size
@@ -498,6 +533,31 @@ class ClassGraphModel:
         self._seed = seed
         self._class_graphs: dict[int, NGramGraph] | None = None
         self._class_order: tuple[int, ...] = ()
+
+    @classmethod
+    def with_class_graphs(
+        cls,
+        class_graphs: Mapping[int, NGramGraph],
+        *,
+        n: int = 4,
+        window: int = 4,
+    ) -> "ClassGraphModel":
+        """Adopt prebuilt per-class graphs as a fitted model.
+
+        The incremental class-graph maintainer (:mod:`repro.stream.
+        features`) rebuilds class graphs from running edge sums each
+        tick; this constructor wraps them in a transform-capable model
+        without re-merging anything.
+
+        Raises:
+            ValidationError: empty mapping.
+        """
+        if not class_graphs:
+            raise ValidationError("class_graphs must be non-empty")
+        model = cls(n=n, window=window, class_sample_fraction=1.0)
+        model._class_graphs = dict(class_graphs)
+        model._class_order = tuple(sorted(class_graphs))
+        return model
 
     @property
     def class_graphs(self) -> dict[int, NGramGraph]:

@@ -17,7 +17,7 @@ class TestExitCodes:
     def test_fixture_package_fails(self, capsys):
         assert main([str(CONCPKG), "--no-baseline"]) == 1
         out = capsys.readouterr().out
-        assert "found 11 new finding(s)" in out
+        assert "found 12 new finding(s)" in out
 
     def test_missing_path_is_usage_error(self, capsys):
         assert main(["does/not/exist"]) == 2
@@ -52,7 +52,7 @@ class TestBaselineRoundTrip:
             == 0
         )
         payload = json.loads(baseline.read_text())
-        assert len(payload["findings"]) == 11
+        assert len(payload["findings"]) == 12
         assert all(
             e["justification"] == "seeded fixture hazards"
             for e in payload["findings"]
@@ -61,7 +61,7 @@ class TestBaselineRoundTrip:
         capsys.readouterr()
         assert main([str(CONCPKG), "--baseline", str(baseline)]) == 0
         out = capsys.readouterr().out
-        assert "(11 baselined finding(s) suppressed)" in out
+        assert "(12 baselined finding(s) suppressed)" in out
         assert "clean" in out
 
 
@@ -126,4 +126,4 @@ class TestUmbrella:
         status = analyze_main([str(CONCPKG), "--no-baseline"])
         assert status == 1
         out = capsys.readouterr().out
-        assert "repro-conc: 11 new finding(s)" in out
+        assert "repro-conc: 12 new finding(s)" in out

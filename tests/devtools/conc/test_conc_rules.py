@@ -43,10 +43,21 @@ class TestTruePositives:
 
     def test_c005_incomplete_cache_keys(self, concpkg_findings):
         found = _by_rule(concpkg_findings, "C005")
-        assert _lines(concpkg_findings, "C005", "caching.py") == [41, 51]
+        assert _lines(concpkg_findings, "C005", "caching.py") == [46, 56, 88]
         messages = " ".join(f.message for f in found)
         assert "limit" in messages and "parameter" in messages
         assert "_SUFFIX" in messages and "module global" in messages
+
+    def test_c005_temporal_field_omitted(self, concpkg_findings):
+        # EpochSummaries.stale reads self._epoch but never keys it.
+        (finding,) = [
+            f
+            for f in _by_rule(concpkg_findings, "C005")
+            if "temporal field" in f.message
+        ]
+        assert finding.line == 88
+        assert "'epoch'" in finding.message
+        assert "EpochSummaries.stale" in finding.message
 
     def test_c006_fork_unsafe_submissions(self, concpkg_findings):
         assert _lines(concpkg_findings, "C006", "driver.py") == [30, 37, 41]
@@ -56,7 +67,7 @@ class TestTruePositives:
         assert "lock" in messages
 
     def test_exact_finding_count(self, concpkg_findings):
-        assert len(concpkg_findings) == 11
+        assert len(concpkg_findings) == 12
 
 
 class TestNearMisses:
@@ -99,9 +110,12 @@ class TestNearMisses:
         )
 
     def test_fully_keyed_cache_site_not_flagged(self, concpkg_findings):
+        # summarize_keyed covers every compute input (jobs is a knob),
+        # and EpochSummaries.keyed carries the epoch in its params.
         assert not any(
-            f.rule == "C005" and f.line > 60 for f in concpkg_findings
-        ), "summarize_keyed covers every compute input (jobs is a knob)"
+            f.rule == "C005" and f.line not in (46, 56, 88)
+            for f in concpkg_findings
+        )
 
 
 class TestSuppression:

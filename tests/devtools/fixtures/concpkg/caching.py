@@ -10,6 +10,11 @@
 * ``summarize_keyed`` — near-miss: every input ``compute`` reads is in
   the key, and the ``jobs`` execution knob is legitimately unkeyed
   (``pmap`` is order-stable at any worker count).
+* ``EpochSummaries.stale`` — true positive for the temporal extension:
+  ``compute`` reads ``self._epoch`` but the key never mentions the
+  epoch, so a replayed tick is served another snapshot's rows.
+* ``EpochSummaries.keyed`` — near-miss: the same read, but the key's
+  params carry the epoch.
 """
 
 from __future__ import annotations
@@ -64,3 +69,36 @@ def summarize_keyed(texts, limit, jobs=None, cache=None):
         {"n_texts": len(texts), "limit": limit},
     )
     return cache.get_or_compute(key, compute)
+
+
+class EpochSummaries:
+    def __init__(self, cache):
+        self._cache = cache
+        self._epoch = 0
+        self._texts: list = []
+
+    def advance(self, texts):
+        self._epoch += 1
+        self._texts = list(texts)
+
+    def stale(self):
+        def compute():
+            return [text + f"@{self._epoch}" for text in self._texts]
+
+        key = self._cache.key(
+            "epoch-summaries",
+            str(len(self._texts)),
+            {"n_texts": len(self._texts)},
+        )
+        return self._cache.get_or_compute(key, compute)
+
+    def keyed(self):
+        def compute():
+            return [text + f"@{self._epoch}" for text in self._texts]
+
+        key = self._cache.key(
+            "epoch-summaries-keyed",
+            str(len(self._texts)),
+            {"n_texts": len(self._texts), "epoch": self._epoch},
+        )
+        return self._cache.get_or_compute(key, compute)

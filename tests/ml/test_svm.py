@@ -91,3 +91,82 @@ class TestLinearSVC:
         clf = LinearSVC(n_epochs=3).fit(X, y)
         with pytest.raises(ValueError):
             clf.decision_function(np.ones((2, 9)))
+
+
+class TestWarmStart:
+    def test_explicit_cold_start_args_reproduce_the_default(self):
+        from repro.ml.svm import pegasos_weights
+
+        X, y = blobs(n=20)
+        signs = np.where(y == 1, 1.0, -1.0)
+        weight = np.ones(len(y))
+        kwargs = dict(lam=1e-3, n_epochs=4, seed=7, batch_size=8)
+        cold = pegasos_weights(X, signs, weight, **kwargs)
+        explicit = pegasos_weights(
+            X,
+            signs,
+            weight,
+            init_weights=np.zeros(X.shape[1] + 1),
+            t0=0,
+            **kwargs,
+        )
+        assert np.array_equal(cold, explicit)
+
+    def test_warm_fit_matches_manual_schedule_continuation(self):
+        from repro.ml.svm import pegasos_weights
+
+        X, y = blobs(n=30, seed=2)
+        clf = LinearSVC(n_epochs=5, class_weight=None, seed=3).fit(X, y)
+        start = np.concatenate([clf._w, [clf._b]])
+        t_before = clf._t
+        clf.warm_fit(X, y, n_epochs=2)
+        manual = pegasos_weights(
+            X,
+            np.where(y == 1, 1.0, -1.0),
+            np.ones(len(y)),
+            lam=clf._lam,
+            n_epochs=2,
+            seed=3,
+            batch_size=clf._batch_size,
+            init_weights=start,
+            t0=t_before,
+        )
+        assert np.array_equal(np.concatenate([clf._w, [clf._b]]), manual)
+        assert clf._t == t_before + 2 * clf._steps_per_pass(X.shape[0])
+
+    def test_warm_fit_keeps_separable_data_separated(self):
+        X, y = blobs()
+        clf = LinearSVC(n_epochs=20).fit(X, y)
+        clf.warm_fit(X, y, n_epochs=3)
+        assert (clf.predict(X) == y).mean() > 0.97
+
+    def test_warm_fit_before_fit_raises(self):
+        X, y = blobs(n=10)
+        with pytest.raises(NotFittedError):
+            LinearSVC().warm_fit(X, y)
+
+    def test_warm_fit_feature_mismatch_raises(self):
+        X, y = blobs(n=10)
+        clf = LinearSVC(n_epochs=2).fit(X, y)
+        with pytest.raises(ValueError):
+            clf.warm_fit(np.ones((4, X.shape[1] + 1)), np.array([0, 1, 0, 1]))
+
+    def test_warm_fit_param_validation(self):
+        X, y = blobs(n=10)
+        clf = LinearSVC(n_epochs=2).fit(X, y)
+        with pytest.raises(ValueError):
+            clf.warm_fit(X, y, n_epochs=0)
+
+    def test_pegasos_init_weights_validation(self):
+        from repro.ml.svm import pegasos_weights
+
+        X, y = blobs(n=10)
+        signs = np.where(y == 1, 1.0, -1.0)
+        weight = np.ones(len(y))
+        kwargs = dict(lam=1e-3, n_epochs=1, seed=0, batch_size=4)
+        with pytest.raises(ValueError):
+            pegasos_weights(
+                X, signs, weight, init_weights=np.zeros(2), **kwargs
+            )
+        with pytest.raises(ValueError):
+            pegasos_weights(X, signs, weight, t0=-1, **kwargs)

@@ -1,0 +1,39 @@
+"""Shared stream fixtures: one tiny corpus streamed once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.deltas import StreamConfig, StreamCorpus, plan_deltas
+from repro.data.synthesis import GeneratorConfig
+
+STREAM_GEN = GeneratorConfig(
+    n_legitimate=10,
+    n_illegitimate=30,
+    n_affiliate_hubs=3,
+    min_pages=3,
+    max_pages=5,
+    min_terms_per_page=40,
+    max_terms_per_page=80,
+    seed=11,
+)
+
+STREAM_CFG = StreamConfig(
+    n_ticks=6,
+    birth_fraction=0.05,
+    death_fraction=0.06,
+    drift_fraction=0.06,
+    rewire_fraction=0.06,
+)
+
+
+@pytest.fixture(scope="session")
+def stream_deltas():
+    """The planned tiny delta sequence (pure function of the configs)."""
+    return plan_deltas(STREAM_GEN, STREAM_CFG)
+
+
+@pytest.fixture()
+def stream_corpus():
+    """A fresh epoch-0 stream corpus (mutable — function scoped)."""
+    return StreamCorpus.generate(STREAM_GEN)

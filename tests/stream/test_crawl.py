@@ -1,0 +1,132 @@
+"""Delta-aware crawl store: changed-only re-crawls, checkpoint hygiene."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import MissingKeyError
+from repro.stream.crawl import DeltaCrawlStore
+
+
+def _applied(stream_corpus, stream_deltas, index=0):
+    return stream_corpus.apply(stream_deltas[index])
+
+
+class TestBootstrap:
+    def test_bootstrap_crawls_every_live_domain(self, stream_corpus):
+        store = DeltaCrawlStore(stream_corpus)
+        crawled = store.bootstrap()
+        assert crawled == stream_corpus.domains()
+        assert store.n_sites == len(stream_corpus.domains())
+        assert store.pages_fetched > 0
+
+    def test_sites_follow_corpus_domain_order(self, stream_corpus):
+        store = DeltaCrawlStore(stream_corpus)
+        store.bootstrap()
+        sites = store.sites()
+        assert [s.domain for s in sites] == list(stream_corpus.domains())
+        explicit = stream_corpus.domains()[:3]
+        assert [s.domain for s in store.sites(explicit)] == list(explicit)
+
+    def test_unknown_domain_raises(self, stream_corpus):
+        store = DeltaCrawlStore(stream_corpus)
+        with pytest.raises(MissingKeyError):
+            store.site("never-crawled.net")
+
+
+class TestApply:
+    def test_apply_recrawls_exactly_the_changed_set(
+        self, stream_corpus, stream_deltas
+    ):
+        store = DeltaCrawlStore(stream_corpus)
+        store.bootstrap()
+        before = {d: store.site(d) for d in stream_corpus.domains()}
+        applied = _applied(stream_corpus, stream_deltas)
+        recrawled = store.apply(applied)
+        assert recrawled == applied.changed
+        for domain in applied.changed:
+            if domain in before:
+                assert store.site(domain) is not before[domain]
+        for domain in stream_corpus.domains():
+            if domain not in applied.changed:
+                # Unchanged sites are served from the store untouched.
+                assert store.site(domain) is before[domain]
+
+    def test_removed_domains_are_dropped(self, stream_corpus, stream_deltas):
+        store = DeltaCrawlStore(stream_corpus)
+        store.bootstrap()
+        removed = None
+        for delta in stream_deltas:
+            applied = stream_corpus.apply(delta)
+            store.apply(applied)
+            for domain in applied.removed:
+                removed = domain
+                with pytest.raises(MissingKeyError):
+                    store.site(domain)
+        assert removed is not None, "fixture stream planned no takedowns"
+        assert store.n_sites == len(stream_corpus.domains())
+
+    def test_recrawl_reflects_the_new_revision(
+        self, stream_corpus, stream_deltas
+    ):
+        store = DeltaCrawlStore(stream_corpus)
+        store.bootstrap()
+        drifted = None
+        for delta in stream_deltas:
+            before = {d: store.site(d) for d in delta.drifted}
+            applied = stream_corpus.apply(delta)
+            store.apply(applied)
+            for domain, old in before.items():
+                drifted = domain
+                new = store.site(domain)
+                old_text = " ".join(p.text for p in old.pages)
+                new_text = " ".join(p.text for p in new.pages)
+                assert old_text != new_text
+        assert drifted is not None, "fixture stream planned no drifts"
+
+
+class TestCheckpoints:
+    def test_stale_checkpoints_of_changed_domains_are_discarded(
+        self, tmp_path, stream_corpus, stream_deltas
+    ):
+        store = DeltaCrawlStore(stream_corpus, checkpoint_dir=tmp_path)
+        store.bootstrap()
+        delta = next(d for d in stream_deltas if d.drifted or d.rewired)
+        for epoch in range(1, delta.epoch):
+            store.apply(stream_corpus.apply(stream_deltas[epoch - 1]))
+        changed = (delta.drifted + delta.rewired)[0]
+        # A leftover checkpoint recorded against the previous revision:
+        # garbage on purpose — it must be unlinked before the crawler
+        # could ever try to resume from it.
+        stale = tmp_path / f"{changed}.checkpoint.json"
+        stale.write_text("{not json")
+        store.apply(stream_corpus.apply(delta))
+        assert not stale.exists()
+        assert store.site(changed) is not None
+
+    def test_removed_domain_checkpoints_are_discarded(
+        self, tmp_path, stream_corpus, stream_deltas
+    ):
+        store = DeltaCrawlStore(stream_corpus, checkpoint_dir=tmp_path)
+        store.bootstrap()
+        delta = next(d for d in stream_deltas if d.removed)
+        for epoch in range(1, delta.epoch):
+            store.apply(stream_corpus.apply(stream_deltas[epoch - 1]))
+        stale = tmp_path / f"{delta.removed[0]}.checkpoint.json"
+        stale.write_text("{not json")
+        store.apply(stream_corpus.apply(delta))
+        assert not stale.exists()
+
+    def test_completed_crawls_leave_no_checkpoints_behind(
+        self, tmp_path, stream_corpus
+    ):
+        store = DeltaCrawlStore(stream_corpus, checkpoint_dir=tmp_path)
+        store.bootstrap()
+        assert list(tmp_path.glob("*.checkpoint.json")) == []
+
+    def test_missing_checkpoint_dir_is_created(self, tmp_path, stream_corpus):
+        target = tmp_path / "nested" / "checkpoints"
+        store = DeltaCrawlStore(stream_corpus, checkpoint_dir=target)
+        assert target.is_dir()
+        store.bootstrap()
+        assert store.n_sites == len(stream_corpus.domains())

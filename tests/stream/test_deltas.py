@@ -1,0 +1,173 @@
+"""Snapshot-delta planning and the mutable stream corpus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.deltas import (
+    DELTAS_FILENAME,
+    SnapshotDelta,
+    StreamConfig,
+    StreamCorpus,
+    epoch_domain_names,
+    load_deltas,
+    plan_deltas,
+    write_deltas,
+)
+from repro.data.sharding import ShardedCorpus, plan_domains, write_shards
+from repro.exceptions import ValidationError
+from repro.io import PersistenceError
+
+from tests.stream.conftest import STREAM_CFG, STREAM_GEN
+
+
+class TestPlanning:
+    def test_plan_is_deterministic(self, stream_deltas):
+        assert plan_deltas(STREAM_GEN, STREAM_CFG) == stream_deltas
+
+    def test_epochs_are_sequential_and_timestamped(self, stream_deltas):
+        assert [d.epoch for d in stream_deltas] == list(
+            range(1, STREAM_CFG.n_ticks + 1)
+        )
+        for delta in stream_deltas:
+            assert delta.timestamp_days == delta.epoch * STREAM_CFG.tick_days
+
+    def test_legitimate_sites_never_die(self, stream_deltas):
+        legit, _, _ = plan_domains(STREAM_GEN, 1)
+        removed = {d for delta in stream_deltas for d in delta.removed}
+        assert not removed & set(legit)
+
+    def test_births_are_epoch_tagged(self, stream_deltas):
+        for delta in stream_deltas:
+            for domain in delta.added:
+                assert f"-t{delta.epoch}x" in domain
+
+    def test_drift_and_rewire_are_exclusive_per_tick(self, stream_deltas):
+        for delta in stream_deltas:
+            assert not set(delta.drifted) & set(delta.rewired)
+
+    def test_epoch_domain_names_rejects_epoch_zero(self):
+        with pytest.raises(ValidationError):
+            epoch_domain_names(0, 3)
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            StreamConfig(n_ticks=-1)
+        with pytest.raises(ValidationError):
+            StreamConfig(death_fraction=1.5)
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path, stream_deltas):
+        path = tmp_path / DELTAS_FILENAME
+        write_deltas(path, stream_deltas, STREAM_CFG)
+        loaded, config = load_deltas(path)
+        assert loaded == stream_deltas
+        assert config == STREAM_CFG
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_deltas(tmp_path / "nope.json")
+
+    def test_wrong_format_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "other", "version": 1}')
+        with pytest.raises(PersistenceError):
+            load_deltas(path)
+
+
+class TestStreamCorpus:
+    def test_apply_enforces_epoch_order(self, stream_corpus, stream_deltas):
+        with pytest.raises(ValidationError):
+            stream_corpus.apply(stream_deltas[1])
+        stream_corpus.apply(stream_deltas[0])
+        assert stream_corpus.epoch == 1
+        with pytest.raises(ValidationError):
+            stream_corpus.apply(stream_deltas[0])
+
+    def test_apply_updates_membership(self, stream_corpus, stream_deltas):
+        for delta in stream_deltas:
+            before = set(stream_corpus.domains())
+            applied = stream_corpus.apply(delta)
+            after = set(stream_corpus.domains())
+            assert after == (before - set(delta.removed)) | set(delta.added)
+            assert applied.changed == delta.changed
+
+    def test_removed_domains_404(self, stream_corpus, stream_deltas):
+        removed = None
+        for delta in stream_deltas:
+            urls = {
+                d: stream_corpus.seed_url(d)
+                for d in delta.removed
+                if d in stream_corpus
+            }
+            stream_corpus.apply(delta)
+            for domain, url in urls.items():
+                removed = domain
+                assert stream_corpus.fetch(url) is None
+        assert removed is not None, "fixture stream planned no takedowns"
+
+    def test_changed_sites_bump_revision(self, stream_corpus, stream_deltas):
+        delta = stream_deltas[0]
+        revisions = {
+            d: stream_corpus.revision_of(d)
+            for d in delta.drifted + delta.rewired
+        }
+        stream_corpus.apply(delta)
+        for domain, before in revisions.items():
+            assert stream_corpus.revision_of(domain) == before + 1
+
+    def test_fetch_serves_current_pages(self, stream_corpus):
+        domain = stream_corpus.domains()[0]
+        page = stream_corpus.fetch(stream_corpus.seed_url(domain))
+        assert page is not None
+        assert page.url.endswith("/")
+
+    def test_replay_is_deterministic(self, stream_deltas):
+        first = StreamCorpus.generate(STREAM_GEN)
+        second = StreamCorpus.generate(STREAM_GEN)
+        for delta in stream_deltas:
+            first.apply(delta)
+            second.apply(delta)
+        assert first.domains() == second.domains()
+        for a, b in zip(first.iter_sites(), second.iter_sites()):
+            assert a == b
+
+
+class TestShardInvariance:
+    @pytest.mark.parametrize("n_shards,jobs", [(1, 1), (3, 2)])
+    def test_from_sharded_matches_generate(self, tmp_path, n_shards, jobs):
+        write_shards(STREAM_GEN, tmp_path / "shards", n_shards, jobs=jobs)
+        sharded = StreamCorpus.from_sharded(ShardedCorpus(tmp_path / "shards"))
+        direct = StreamCorpus.generate(STREAM_GEN)
+        assert set(sharded.domains()) == set(direct.domains())
+        for domain in direct.domains():
+            assert sharded.site_for(domain) == direct.site_for(domain)
+            assert sharded.record_for(domain) == direct.record_for(domain)
+
+    def test_delta_replay_identical_across_shard_counts(
+        self, tmp_path, stream_deltas
+    ):
+        write_shards(STREAM_GEN, tmp_path / "shards", 3, jobs=2)
+        sharded = StreamCorpus.from_sharded(ShardedCorpus(tmp_path / "shards"))
+        direct = StreamCorpus.generate(STREAM_GEN)
+        for delta in stream_deltas:
+            sharded.apply(delta)
+            direct.apply(delta)
+        assert set(sharded.domains()) == set(direct.domains())
+        for domain in direct.domains():
+            assert sharded.site_for(domain) == direct.site_for(domain)
+
+
+def test_snapshot_delta_round_trips_as_dict():
+    delta = SnapshotDelta(
+        epoch=3,
+        timestamp_days=21.0,
+        added=("a.net",),
+        removed=("b.net",),
+        drifted=("c.net",),
+        rewired=("d.net",),
+    )
+    assert SnapshotDelta.from_dict(delta.as_dict()) == delta
+    assert delta.changed == ("a.net", "c.net", "d.net")
+    assert delta.n_changes == 4

@@ -1,0 +1,111 @@
+"""Drift detector thresholds, interval ceiling, and validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.stream.drift import DriftDetector
+
+
+def _detector(**kwargs) -> DriftDetector:
+    defaults = dict(max_feature_shift=0.25, max_flip_rate=0.05)
+    defaults.update(kwargs)
+    return DriftDetector(**defaults)
+
+
+class TestThresholds:
+    def test_identical_means_report_zero_shift(self):
+        detector = _detector()
+        baseline = np.array([1.0, 2.0, 3.0])
+        detector.set_baseline(baseline)
+        report = detector.observe(1, baseline.copy(), n_flips=0, n_unchanged=10)
+        assert report.feature_shift == 0.0
+        assert report.flip_rate == 0.0
+        assert not report.should_retrain
+        assert report.reasons == ()
+
+    def test_feature_shift_is_relative_to_baseline_norm(self):
+        detector = _detector()
+        detector.set_baseline(np.array([2.0, 0.0]))
+        report = detector.observe(
+            1, np.array([0.0, 2.0]), n_flips=0, n_unchanged=1
+        )
+        # ||[−2, 2]|| / ||[2, 0]|| = sqrt(8)/2 = sqrt(2)
+        assert report.feature_shift == pytest.approx(np.sqrt(2.0))
+        assert report.should_retrain
+        assert report.reasons == ("feature_shift",)
+
+    def test_zero_baseline_uses_absolute_shift(self):
+        detector = _detector()
+        detector.set_baseline(np.zeros(3))
+        report = detector.observe(
+            1, np.array([3.0, 0.0, 4.0]), n_flips=0, n_unchanged=1
+        )
+        assert report.feature_shift == pytest.approx(5.0)
+
+    def test_flip_rate_threshold(self):
+        detector = _detector()
+        detector.set_baseline(np.ones(2))
+        report = detector.observe(1, np.ones(2), n_flips=3, n_unchanged=10)
+        assert report.flip_rate == pytest.approx(0.3)
+        assert report.reasons == ("flip_rate",)
+
+    def test_no_unchanged_sites_means_zero_flip_rate(self):
+        detector = _detector()
+        detector.set_baseline(np.ones(2))
+        report = detector.observe(1, np.ones(2), n_flips=5, n_unchanged=0)
+        assert report.flip_rate == 0.0
+        assert not report.should_retrain
+
+    def test_multiple_reasons_accumulate(self):
+        detector = _detector(max_ticks_between_retrains=1)
+        detector.set_baseline(np.array([1.0, 0.0]))
+        report = detector.observe(
+            1, np.array([0.0, 1.0]), n_flips=1, n_unchanged=2
+        )
+        assert report.should_retrain
+        assert report.reasons == ("feature_shift", "flip_rate", "max_interval")
+
+
+class TestInterval:
+    def test_interval_ceiling_fires_without_drift(self):
+        detector = _detector(max_ticks_between_retrains=2)
+        detector.set_baseline(np.ones(3))
+        first = detector.observe(1, np.ones(3), n_flips=0, n_unchanged=5)
+        assert not first.should_retrain
+        assert first.ticks_since_retrain == 1
+        second = detector.observe(2, np.ones(3), n_flips=0, n_unchanged=5)
+        assert second.should_retrain
+        assert second.reasons == ("max_interval",)
+        assert second.ticks_since_retrain == 2
+
+    def test_set_baseline_resets_the_clock(self):
+        detector = _detector(max_ticks_between_retrains=2)
+        detector.set_baseline(np.ones(3))
+        detector.observe(1, np.ones(3), n_flips=0, n_unchanged=5)
+        detector.set_baseline(np.ones(3))
+        report = detector.observe(2, np.ones(3), n_flips=0, n_unchanged=5)
+        assert report.ticks_since_retrain == 1
+        assert not report.should_retrain
+
+
+class TestValidation:
+    def test_constructor_bounds(self):
+        with pytest.raises(ValidationError):
+            DriftDetector(max_feature_shift=0.0)
+        with pytest.raises(ValidationError):
+            DriftDetector(max_flip_rate=0.0)
+        with pytest.raises(ValidationError):
+            DriftDetector(max_ticks_between_retrains=0)
+
+    def test_observe_before_baseline_rejected(self):
+        with pytest.raises(ValidationError):
+            _detector().observe(1, np.ones(2), n_flips=0, n_unchanged=1)
+
+    def test_dimension_mismatch_rejected(self):
+        detector = _detector()
+        detector.set_baseline(np.ones(3))
+        with pytest.raises(ValidationError):
+            detector.observe(1, np.ones(4), n_flips=0, n_unchanged=1)
